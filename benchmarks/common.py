@@ -1,0 +1,76 @@
+"""Shared machinery for the experiment benchmarks.
+
+Each ``test_eNN_*.py`` file regenerates one experiment from DESIGN.md's
+per-experiment index: it runs the parameter sweep through the experiment
+suite API, prints the same table/series the demo shows, and asserts the
+qualitative *shape* recorded in EXPERIMENTS.md (who wins, what the trend
+is).  pytest-benchmark times the sweep.
+
+The benchmark SSD is a mid-size configuration: large enough that
+parallelism, GC and mapping effects show, small enough that the whole
+benchmark suite finishes in minutes of wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro import Simulation, SimulationConfig, SsdGeometry
+from repro.core.simulation import SimulationResult
+from repro.workloads import precondition_sequential
+
+
+def bench_config(**overrides) -> SimulationConfig:
+    """The benchmark baseline SSD: 4 channels x 2 LUNs, 8k pages."""
+    config = SimulationConfig(
+        geometry=SsdGeometry(
+            channels=4,
+            luns_per_channel=2,
+            blocks_per_lun=32,
+            pages_per_block=32,
+            page_size_bytes=2048,
+        ),
+    )
+    config.controller.overprovisioning = 0.15
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def run_threads(
+    config: SimulationConfig,
+    threads: Iterable,
+    precondition: bool = True,
+    max_time_ns: Optional[int] = None,
+) -> SimulationResult:
+    """Run threads (after optional preconditioning) and sanity-check."""
+    simulation = Simulation(config)
+    depends: list[str] = []
+    if precondition:
+        prep = precondition_sequential(config.logical_pages)
+        simulation.add_thread(prep)
+        depends = [prep.name]
+    for thread in threads:
+        simulation.add_thread(thread, depends_on=depends)
+    result = simulation.run(max_time_ns=max_time_ns)
+    result.simulation = simulation
+    simulation.controller.check_invariants()
+    assert not result.incomplete, "benchmark workload did not drain"
+    return result
+
+
+def print_series(title: str, rows: list[tuple], headers: list[str]) -> None:
+    """Print one experiment's table (the demo's numeric output panel)."""
+    from repro.analysis.reporting import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def monotonically_nondecreasing(values, tolerance: float = 0.0) -> bool:
+    """True when each value is >= the previous (within tolerance)."""
+    return all(b >= a * (1.0 - tolerance) for a, b in zip(values, values[1:]))
+
+
+def monotonically_nonincreasing(values, tolerance: float = 0.0) -> bool:
+    return all(b <= a * (1.0 + tolerance) for a, b in zip(values, values[1:]))

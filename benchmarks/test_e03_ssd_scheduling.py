@@ -1,0 +1,102 @@
+"""E3 -- SSD scheduling policies vs per-type latency (paper Section 3).
+
+The demo "pay[s] particular attention to the impact of scheduling
+policies on performance, and explain[s] why prioritizing between
+application reads and writes is not always easy."
+
+Compares four SSD-internal schedulers on a mixed read/write workload in
+GC steady state: FIFO, read-priority, write-priority and deadline.
+Expected shape: read-priority cuts read latency at the writes' expense;
+write-priority does the reverse.  The counter-intuitive part: *both*
+priority extremes beat FIFO on closed-loop throughput (reordering keeps
+fast reads from queueing behind slow programs), so raw throughput does
+not tell you which way to prioritise -- the read/write latency balance
+does, which is exactly the demo game's point.
+"""
+
+import pytest
+
+from repro import SimulationConfig, SsdSchedulerPolicy
+from repro.core.events import IoType
+from repro.workloads import MixedWorkloadThread
+
+from benchmarks.common import bench_config, print_series, run_threads
+
+_POLICIES = ["fifo", "read-priority", "write-priority", "deadline"]
+
+
+def _configure(policy: str) -> SimulationConfig:
+    config = bench_config()
+    scheduler = config.controller.scheduler
+    if policy == "fifo":
+        scheduler.policy = SsdSchedulerPolicy.FIFO
+    elif policy == "read-priority":
+        scheduler.policy = SsdSchedulerPolicy.PRIORITY
+        scheduler.type_priorities = {"READ": 0, "PROGRAM": 1, "COPYBACK": 2, "ERASE": 3}
+    elif policy == "write-priority":
+        scheduler.policy = SsdSchedulerPolicy.PRIORITY
+        scheduler.type_priorities = {"PROGRAM": 0, "READ": 1, "COPYBACK": 2, "ERASE": 3}
+    elif policy == "deadline":
+        scheduler.policy = SsdSchedulerPolicy.DEADLINE
+    return config
+
+
+def _run_one(policy: str):
+    config = _configure(policy)
+    result = run_threads(
+        config,
+        [MixedWorkloadThread("mix", count=6000, read_fraction=0.5, depth=16)],
+    )
+    stats = result.thread_stats["mix"]
+    return {
+        "policy": policy,
+        "read_mean": stats.latency[IoType.READ].mean,
+        "write_mean": stats.latency[IoType.WRITE].mean,
+        "read_p99": stats.latency[IoType.READ].percentile(99),
+        "write_p99": stats.latency[IoType.WRITE].percentile(99),
+        "throughput": stats.throughput_iops(),
+    }
+
+
+def run_experiment():
+    return [_run_one(policy) for policy in _POLICIES]
+
+
+def test_e03_scheduling_policy_latency_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    by_policy = {row["policy"]: row for row in rows}
+    print_series(
+        "E3 SSD scheduling policies",
+        [
+            [
+                row["policy"],
+                row["throughput"],
+                row["read_mean"] / 1e3,
+                row["write_mean"] / 1e3,
+                row["read_p99"] / 1e6,
+                row["write_p99"] / 1e6,
+            ]
+            for row in rows
+        ],
+        ["policy", "IOPS", "read mean (us)", "write mean (us)",
+         "read p99 (ms)", "write p99 (ms)"],
+    )
+    # Shape: read-priority gives the best read latency of all policies...
+    assert by_policy["read-priority"]["read_mean"] < by_policy["fifo"]["read_mean"]
+    assert (
+        by_policy["read-priority"]["read_mean"]
+        < by_policy["write-priority"]["read_mean"]
+    )
+    # ...while write-priority favours writes over FIFO.
+    assert by_policy["write-priority"]["write_mean"] < by_policy["fifo"]["write_mean"]
+    # Counter-intuitive: BOTH priority extremes beat FIFO on throughput
+    # (reordering stops fast reads queueing behind slow programs), and
+    # the two extremes land close together -- so throughput alone cannot
+    # pick the right priority direction.
+    assert by_policy["read-priority"]["throughput"] > by_policy["fifo"]["throughput"]
+    assert by_policy["write-priority"]["throughput"] > by_policy["fifo"]["throughput"]
+    extremes = (
+        by_policy["read-priority"]["throughput"],
+        by_policy["write-priority"]["throughput"],
+    )
+    assert max(extremes) < 1.25 * min(extremes)

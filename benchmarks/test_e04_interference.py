@@ -1,0 +1,72 @@
+"""E4 -- GC interference with application IOs (paper intro, question 2).
+
+"GC and WL interfere with the application's IOs, possibly compromising
+throughput and contributing to latency variability."
+
+Runs sustained random overwrites from a fresh device into GC steady
+state and looks at the time axis: before GC kicks in, write latency is
+low and stable; once the device fills, GC traffic shares the channels
+and LUNs with the application and the latency tail inflates.  Prints the
+latency-over-time and GC-activity-over-time series side by side (the
+demo's metrics-across-time graphs).
+"""
+
+from repro.core import units
+from repro.core.events import IoType
+from repro.workloads import RandomWriterThread
+
+from benchmarks.common import bench_config, print_series, run_threads
+
+
+def run_experiment():
+    config = bench_config()
+    result = run_threads(
+        config,
+        [RandomWriterThread("writer", count=14000, depth=16)],
+        precondition=False,  # the fresh->steady transition IS the story
+    )
+    return result
+
+
+def test_e04_gc_interference(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    stats = result.thread_stats["writer"]
+    writes = stats.latency[IoType.WRITE]
+
+    # Correlate over time: mean write latency per bucket vs GC activity.
+    latency_sum = dict(stats.latency_sum_over_time[IoType.WRITE].series())
+    completions = dict(stats.completions_over_time[IoType.WRITE].series())
+    gc_activity = dict(result.stats.gc_activity_over_time.series())
+    buckets = sorted(completions)
+    rows = []
+    for bucket in buckets:
+        count = completions.get(bucket, 0.0)
+        if count == 0:
+            continue
+        rows.append(
+            [
+                units.format_time(bucket),
+                count,
+                latency_sum.get(bucket, 0.0) / count / 1e3,
+                gc_activity.get(bucket, 0.0),
+            ]
+        )
+    print_series(
+        "E4 latency and GC activity over time",
+        rows[:30],
+        ["t", "writes done", "mean write latency (us)", "GC pages moved"],
+    )
+
+    quiet = [bucket for bucket in buckets if gc_activity.get(bucket, 0.0) == 0]
+    noisy = [bucket for bucket in buckets if gc_activity.get(bucket, 0.0) > 0]
+    assert quiet and noisy, "workload must span both fresh and steady state"
+
+    def mean_latency(bucket_list):
+        total = sum(latency_sum.get(b, 0.0) for b in bucket_list)
+        count = sum(completions.get(b, 0.0) for b in bucket_list)
+        return total / max(1.0, count)
+
+    # Shape: GC periods have visibly higher application write latency...
+    assert mean_latency(noisy) > 1.2 * mean_latency(quiet)
+    # ...and the latency tail is far above the median (variability).
+    assert writes.percentile(99) > 2 * writes.percentile(50)

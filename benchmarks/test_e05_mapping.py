@@ -1,0 +1,114 @@
+"""E5 -- Mapping schemes: page map in RAM vs DFTL vs hybrid (§2.2).
+
+Compares the full in-RAM page map against DFTL across cached-mapping-
+table sizes, under uniform and zipf-skewed workloads, and against the
+hybrid (block + log) FTL under sequential and random writes.  Expected
+shapes:
+
+* the page map is an upper bound (no mapping IO at all);
+* DFTL approaches it as the CMT grows (fewer misses/evictions);
+* skew helps DFTL: a hot working set fits a small CMT, so the hit
+  ratio -- and throughput -- is far better than under uniform access;
+* the hybrid FTL matches page-level mapping on sequential writes
+  (switch merges) but collapses under random updates (full merges) --
+  the result that motivated DFTL in the first place.
+"""
+
+from repro import FtlKind
+from repro.workloads import MixedWorkloadThread, RandomWriterThread, SequentialWriterThread
+
+from benchmarks.common import bench_config, monotonically_nondecreasing, print_series, run_threads
+
+CMT_SIZES = [64, 256, 1024, 4096]
+
+
+def _run(ftl: FtlKind, cmt_entries=None, zipf_theta=None):
+    config = bench_config()
+    config.controller.ftl = ftl
+    if cmt_entries is not None:
+        config.controller.dftl.cmt_entries = cmt_entries
+    result = run_threads(
+        config,
+        [
+            MixedWorkloadThread(
+                "mix", count=5000, read_fraction=0.5, depth=16, zipf_theta=zipf_theta
+            )
+        ],
+    )
+    ftl_obj = result.simulation.controller.ftl
+    hit_ratio = ftl_obj.hit_ratio() if ftl is FtlKind.DFTL else 1.0
+    return result.thread_stats["mix"].throughput_iops(), hit_ratio
+
+
+def _run_write_pattern(ftl: FtlKind, pattern: str):
+    """Write-only pattern probe for the hybrid comparison."""
+    config = bench_config()
+    config.controller.ftl = ftl
+    if ftl is FtlKind.HYBRID:
+        config.controller.hybrid.log_blocks = 16
+    count = config.logical_pages
+    if pattern == "sequential":
+        thread = SequentialWriterThread("w", count=count, depth=16)
+    else:
+        thread = RandomWriterThread("w", count=count, depth=16)
+    result = run_threads(config, [thread], precondition=True)
+    return (
+        result.thread_stats["w"].throughput_iops(),
+        result.stats.write_amplification(),
+    )
+
+
+def run_experiment():
+    page_tp, _ = _run(FtlKind.PAGE)
+    uniform = [_run(FtlKind.DFTL, cmt) for cmt in CMT_SIZES]
+    zipf_small_cmt = _run(FtlKind.DFTL, CMT_SIZES[0], zipf_theta=0.95)
+    hybrid = {
+        pattern: _run_write_pattern(FtlKind.HYBRID, pattern)
+        for pattern in ("sequential", "random")
+    }
+    page_patterns = {
+        pattern: _run_write_pattern(FtlKind.PAGE, pattern)
+        for pattern in ("sequential", "random")
+    }
+    return page_tp, uniform, zipf_small_cmt, hybrid, page_patterns
+
+
+def test_e05_mapping_schemes(benchmark):
+    page_tp, uniform, zipf_small_cmt, hybrid, page_patterns = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    rows = [["page map (RAM)", "-", page_tp, 1.0]]
+    for cmt, (tp, hit) in zip(CMT_SIZES, uniform):
+        rows.append(["dftl uniform", cmt, tp, hit])
+    rows.append(["dftl zipf 0.95", CMT_SIZES[0], zipf_small_cmt[0], zipf_small_cmt[1]])
+    print_series(
+        "E5 page map vs DFTL",
+        rows,
+        ["ftl", "CMT entries", "IOPS", "CMT hit ratio"],
+    )
+    print_series(
+        "E5b hybrid (block+log) vs page mapping, write patterns",
+        [
+            ["page", pattern, *page_patterns[pattern]]
+            for pattern in ("sequential", "random")
+        ]
+        + [
+            ["hybrid", pattern, *hybrid[pattern]]
+            for pattern in ("sequential", "random")
+        ],
+        ["ftl", "pattern", "write IOPS", "write amp."],
+    )
+    throughputs = [tp for tp, _ in uniform]
+    hits = [hit for _, hit in uniform]
+    # Shape: page map is the upper bound...
+    assert page_tp >= max(throughputs)
+    # ...DFTL improves monotonically with CMT size...
+    assert monotonically_nondecreasing(throughputs, tolerance=0.05)
+    assert monotonically_nondecreasing(hits, tolerance=0.02)
+    # ...and skew rescues a small CMT (better hit ratio than uniform).
+    assert zipf_small_cmt[1] > uniform[0][1]
+    # Hybrid: fine sequentially, collapses under random updates -- the
+    # gap that motivated page-level demand mapping (DFTL).
+    assert hybrid["sequential"][1] < 1.5  # near-free switch merges
+    assert hybrid["random"][1] > 2 * hybrid["sequential"][1]
+    assert hybrid["random"][0] < 0.5 * page_patterns["random"][0]

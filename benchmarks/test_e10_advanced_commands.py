@@ -1,0 +1,100 @@
+"""E10 -- Advanced flash commands (paper Section 2.2, hardware layer).
+
+"How should we use advanced commands (e.g. copybacks, pipelining), and
+what trade-offs is their usage subject to?"
+
+Three toggles, each exercised where it matters:
+
+* **interleaving** within a channel -- write-heavy workload, many LUNs
+  per channel: releasing the bus during array time is the whole point of
+  intra-channel parallelism;
+* **copyback** -- GC-heavy workload: relocations that skip the bus
+  leave it to the application;
+* **pipelining** (cache register) -- read-heavy workload: the LUN can
+  start the next read while the previous page drains over the bus.
+"""
+
+from repro import ChipTimings
+from repro.core.config import SsdGeometry
+from repro.workloads import RandomReaderThread, RandomWriterThread
+
+from benchmarks.common import bench_config, print_series, run_threads
+
+
+def _interleaving_config(enabled: bool):
+    config = bench_config()
+    # Few channels, many LUNs each: the bus is the shared resource.
+    config.geometry = SsdGeometry(
+        channels=2,
+        luns_per_channel=4,
+        blocks_per_lun=32,
+        pages_per_block=32,
+        page_size_bytes=2048,
+    )
+    config.controller.enable_interleaving = enabled
+    return config
+
+
+def _run_interleaving(enabled: bool):
+    result = run_threads(
+        _interleaving_config(enabled),
+        [RandomWriterThread("writer", count=4000, depth=32)],
+    )
+    return result.thread_stats["writer"].throughput_iops()
+
+
+def _run_copyback(enabled: bool):
+    config = bench_config()
+    config.controller.enable_copyback = enabled
+    result = run_threads(
+        config,
+        [RandomWriterThread("writer", count=8000, depth=16)],
+    )
+    return (
+        result.thread_stats["writer"].throughput_iops(),
+        result.gc_copybacks,
+    )
+
+
+def _run_pipelining(enabled: bool):
+    config = bench_config()
+    config.timings = ChipTimings.slc()  # supports pipelining
+    config.controller.enable_pipelining = enabled
+    result = run_threads(
+        config,
+        [RandomReaderThread("reader", count=6000, depth=64)],
+    )
+    return result.thread_stats["reader"].throughput_iops()
+
+
+def run_experiment():
+    return {
+        "interleaving": (_run_interleaving(False), _run_interleaving(True)),
+        "copyback": (_run_copyback(False), _run_copyback(True)),
+        "pipelining": (_run_pipelining(False), _run_pipelining(True)),
+    }
+
+
+def test_e10_advanced_commands(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    inter_off, inter_on = results["interleaving"]
+    (cb_off_tp, _), (cb_on_tp, cb_count) = results["copyback"]
+    pipe_off, pipe_on = results["pipelining"]
+    print_series(
+        "E10 advanced commands",
+        [
+            ["interleaving", inter_off, inter_on, inter_on / inter_off],
+            ["copyback (GC-heavy)", cb_off_tp, cb_on_tp, cb_on_tp / cb_off_tp],
+            ["pipelining (read QD64)", pipe_off, pipe_on, pipe_on / pipe_off],
+        ],
+        ["feature", "off IOPS", "on IOPS", "gain"],
+    )
+    # Shape: interleaving is the big win with 4 LUNs per channel...
+    assert inter_on > 1.5 * inter_off
+    # ...copyback helps (or at worst is neutral) under GC pressure and
+    # was actually used...
+    assert cb_count > 0
+    assert cb_on_tp >= 0.95 * cb_off_tp
+    # ...pipelining gives read throughput a visible edge (the next
+    # read's array time overlaps the previous read's data-out).
+    assert pipe_on > 1.05 * pipe_off

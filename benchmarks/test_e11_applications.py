@@ -1,0 +1,76 @@
+"""E11 -- SSD-based algorithms: hash join, LSM insertions, external sort.
+
+The paper's motivating question: "how can an algorithm, say a hash join
+or LSM-tree insertions, leverage the intrinsic parallelism of a modern
+SSD?" (§1), with external sorting named in the cross-layer list (§2.1).
+Runs all three application threads across increasing device parallelism
+and reports completion time.  Expected shape: every algorithm speeds up
+with more channels.
+"""
+
+from repro.core import units
+from repro.workloads import ExternalSortThread, GraceHashJoinThread, LsmInsertThread
+
+from benchmarks.common import bench_config, monotonically_nonincreasing, print_series, run_threads
+
+CHANNELS = [1, 2, 4]
+
+
+def _config(channels: int):
+    config = bench_config()
+    config.geometry.channels = channels
+    return config
+
+
+def _run_join(channels: int) -> float:
+    # Sized to fit the 1-channel configuration's logical space.
+    thread = GraceHashJoinThread(
+        "join", r_pages=300, s_pages=450, partitions=8, depth=16
+    )
+    result = run_threads(_config(channels), [thread], precondition=False)
+    return units.to_milliseconds(result.elapsed_ns)
+
+
+def _run_lsm(channels: int) -> float:
+    thread = LsmInsertThread(
+        "lsm", inserts=2500, memtable_pages=8, fanout=4, levels=3, depth=16
+    )
+    result = run_threads(_config(channels), [thread], precondition=False)
+    return units.to_milliseconds(result.elapsed_ns)
+
+
+def _run_sort(channels: int) -> float:
+    thread = ExternalSortThread(
+        "sort", input_pages=512, memory_pages=32, fanin=4, depth=16
+    )
+    result = run_threads(_config(channels), [thread], precondition=False)
+    return units.to_milliseconds(result.elapsed_ns)
+
+
+def run_experiment():
+    join_times = [_run_join(c) for c in CHANNELS]
+    lsm_times = [_run_lsm(c) for c in CHANNELS]
+    sort_times = [_run_sort(c) for c in CHANNELS]
+    return join_times, lsm_times, sort_times
+
+
+def test_e11_applications_leverage_parallelism(benchmark):
+    join_times, lsm_times, sort_times = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    print_series(
+        "E11 application run time vs channels",
+        [
+            [c, join, join_times[0] / join, lsm, lsm_times[0] / lsm,
+             sort, sort_times[0] / sort]
+            for c, join, lsm, sort in zip(CHANNELS, join_times, lsm_times, sort_times)
+        ],
+        ["channels", "join (ms)", "speedup", "LSM (ms)", "speedup",
+         "sort (ms)", "speedup"],
+    )
+    # Shape: every algorithm runs faster with more parallelism...
+    assert monotonically_nonincreasing(join_times, tolerance=0.02)
+    assert monotonically_nonincreasing(lsm_times, tolerance=0.02)
+    assert monotonically_nonincreasing(sort_times, tolerance=0.02)
+    # ...with a clear win from 1 to 4 channels for the join.
+    assert join_times[0] > 1.8 * join_times[-1]

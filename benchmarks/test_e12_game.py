@@ -1,0 +1,100 @@
+"""E12 -- The demonstration game (paper Section 3, Figure 3).
+
+"The user will have to guess the optimal combination of scheduling
+policies given a subset of the SSD scheduling design space.  The
+attendee's objective will be to maximize throughput for a given workload
+while balancing mean latency and latency variability between different
+types of IOs."
+
+This bench plays the game exhaustively: a grid over the scheduling
+design space (SSD policy x read/write preference x OS queue depth) is
+scored with the game's objective (throughput x latency balance x
+variability balance) and the ranking printed.  The demo's teaser is that
+"interesting solutions are sometimes counter-intuitive": the assertions
+check that the intuitive pick -- strict read-priority with the deepest
+queue -- is NOT the winner.
+"""
+
+from repro import SsdSchedulerPolicy
+from repro.analysis.metrics import game_score, latency_balance, variability_balance
+from repro.workloads import MixedWorkloadThread
+
+from benchmarks.common import bench_config, print_series, run_threads
+
+#: (label, ssd policy, type priorities, queue depth)
+_COMBOS = []
+for qd in (8, 64):
+    _COMBOS.extend(
+        [
+            (f"fifo qd{qd}", SsdSchedulerPolicy.FIFO, None, qd),
+            (
+                f"read-first qd{qd}",
+                SsdSchedulerPolicy.PRIORITY,
+                {"READ": 0, "PROGRAM": 1, "COPYBACK": 2, "ERASE": 3},
+                qd,
+            ),
+            (
+                f"write-first qd{qd}",
+                SsdSchedulerPolicy.PRIORITY,
+                {"PROGRAM": 0, "READ": 1, "COPYBACK": 2, "ERASE": 3},
+                qd,
+            ),
+            (f"deadline qd{qd}", SsdSchedulerPolicy.DEADLINE, None, qd),
+            (f"fair qd{qd}", SsdSchedulerPolicy.FAIR, None, qd),
+        ]
+    )
+
+
+def _play(label, policy, type_priorities, queue_depth):
+    config = bench_config()
+    config.controller.scheduler.policy = policy
+    if type_priorities is not None:
+        config.controller.scheduler.type_priorities = type_priorities
+    config.host.max_outstanding = queue_depth
+    result = run_threads(
+        config,
+        [MixedWorkloadThread("mix", count=5000, read_fraction=0.5, depth=64)],
+    )
+    stats = result.thread_stats["mix"]
+    return {
+        "label": label,
+        "score": game_score(stats),
+        "throughput": stats.throughput_iops(),
+        "latency_balance": latency_balance(stats),
+        "variability_balance": variability_balance(stats),
+    }
+
+
+def run_experiment():
+    rows = [_play(*combo) for combo in _COMBOS]
+    rows.sort(key=lambda row: row["score"], reverse=True)
+    return rows
+
+
+def test_e12_scheduling_game(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_series(
+        "E12 the scheduling game (sorted by score)",
+        [
+            [
+                row["label"],
+                row["score"],
+                row["throughput"],
+                row["latency_balance"],
+                row["variability_balance"],
+            ]
+            for row in rows
+        ],
+        ["configuration", "game score", "IOPS", "lat balance", "var balance"],
+    )
+    winner = rows[0]["label"]
+    scores = {row["label"]: row["score"] for row in rows}
+    # The game has a real spread: choices matter.
+    assert rows[0]["score"] > 1.2 * rows[-1]["score"]
+    # Counter-intuitive: the "obvious" aggressive pick (read-first at
+    # the deepest queue) does not win the balanced objective.
+    assert winner != "read-first qd64"
+    # And raw throughput alone does not decide the game either: the
+    # throughput champion and the score champion can differ.
+    throughput_champion = max(rows, key=lambda row: row["throughput"])["label"]
+    assert rows[0]["score"] >= scores[throughput_champion]

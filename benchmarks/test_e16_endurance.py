@@ -1,0 +1,118 @@
+"""E16 -- Endurance, bad blocks and wear leveling (paper §1, §2.2 WL).
+
+"The FTL relies on wear leveling (WL) to distribute the erase count
+across flash blocks and mask bad blocks."
+
+With a finite program/erase endurance and a write hotspot, blocks start
+wearing out.  This bench measures the writes completed before the first
+block retires ("first-failure TBW") and the wear spread at that point,
+with wear leveling on vs off.  Expected shape: WL postpones the first
+failure (more total bytes written) because it keeps any single block
+from racing ahead in erase count.
+"""
+
+from repro.core.events import IoType
+from repro.workloads.threads import GeneratorThread
+
+from benchmarks.common import bench_config, print_series, run_threads
+
+
+class HotSpotWriter(GeneratorThread):
+    """90% of writes on 5% of the space, bounded by an op budget."""
+
+    def __init__(self, name, count):
+        super().__init__(name, depth=16)
+        self.count = count
+        self._step = 0
+
+    def next_io(self, ctx):
+        if self._step >= self.count:
+            return None
+        self._step += 1
+        rng = ctx.rng("hotspot")
+        pages = ctx.logical_pages
+        hot = max(1, pages // 20)
+        if rng.random() < 0.9:
+            lpn = rng.randrange(hot)
+        else:
+            lpn = hot + rng.randrange(pages - hot)
+        return (IoType.WRITE, lpn, None)
+
+
+class _FirstFailureProbe:
+    """Runs write chunks until the first block retires."""
+
+    CHUNK = 2000
+    MAX_CHUNKS = 60
+
+    def __init__(self, wl_enabled: bool):
+        config = bench_config()
+        config.timings.endurance_cycles = 40
+        config.controller.overprovisioning = 0.25
+        wl = config.controller.wear_leveling
+        wl.enabled = wl_enabled
+        wl.dynamic = wl_enabled
+        wl.check_interval_erases = 16
+        wl.erase_count_threshold = 1
+        wl.idle_factor = 0.25
+        self.config = config
+
+    def run(self):
+        from repro import Simulation
+        from tests.controller.conftest import ControllerHarness  # reuse harness
+
+        harness = ControllerHarness(self.config)
+        pages = self.config.logical_pages
+        for lpn in range(pages):
+            harness.write(lpn)
+        harness.run()
+        writes = 0
+        for _ in range(self.MAX_CHUNKS):
+            if harness.controller.array.retired_blocks > 0:
+                break
+            rng_base = writes
+            for step in range(self.CHUNK):
+                lpn = self._hotspot_lpn(rng_base + step, pages)
+                harness.write(lpn)
+            harness.run()
+            writes += self.CHUNK
+        wear = harness.controller.wear_leveler.wear_statistics()
+        return {
+            "writes_before_first_failure": writes,
+            "retired": harness.controller.array.retired_blocks,
+            "wear_stddev": wear["stddev"],
+        }
+
+    @staticmethod
+    def _hotspot_lpn(step: int, pages: int) -> int:
+        hot = max(1, pages // 20)
+        draw = (step * 1103515245 + 12345) % 1000
+        if draw < 900:
+            return (step * 2654435761) % hot
+        return hot + (step * 40503) % (pages - hot)
+
+
+def run_experiment():
+    return {
+        "wl off": _FirstFailureProbe(False).run(),
+        "wl on": _FirstFailureProbe(True).run(),
+    }
+
+
+def test_e16_endurance_and_wear_leveling(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_series(
+        "E16 writes until first block failure (endurance = 40 cycles)",
+        [
+            [mode, row["writes_before_first_failure"], row["retired"],
+             row["wear_stddev"]]
+            for mode, row in results.items()
+        ],
+        ["mode", "writes before 1st failure", "retired blocks", "wear sd"],
+    )
+    on, off = results["wl on"], results["wl off"]
+    # Shape: without WL the hotspot kills a block within the budget...
+    assert off["retired"] > 0
+    # ...and WL postpones (or fully avoids within budget) that failure.
+    assert on["writes_before_first_failure"] >= off["writes_before_first_failure"]
+    assert on["wear_stddev"] <= off["wear_stddev"]

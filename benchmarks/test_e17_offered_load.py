@@ -1,0 +1,66 @@
+"""E17 -- Latency vs offered load (open-loop; paper §2.2 OS questions).
+
+The queue-depth sweep (E9) is closed-loop: the workload waits for
+completions.  Real systems also face *open-loop* load -- requests arrive
+on their own clock.  This bench replays Poisson-arrival traces at
+increasing offered IOPS and reports mean and tail latency: the classic
+hockey-stick that tells an operator where the device saturates.
+
+Expected shape: latency is flat and near the service time at low load,
+then blows up super-linearly as the offered rate approaches the device's
+closed-loop capacity.
+"""
+
+from repro.core import units
+from repro.workloads import TraceReplayThread, generate_poisson_trace
+
+from benchmarks.common import bench_config, monotonically_nondecreasing, print_series, run_threads
+
+RATES_IOPS = [1_000, 2_000, 8_000, 16_000]
+DURATION_NS = units.milliseconds(300)
+
+
+def _run(rate_iops: int):
+    config = bench_config()
+    trace = generate_poisson_trace(
+        rate_iops,
+        DURATION_NS,
+        config.logical_pages,
+        read_fraction=0.5,
+        seed=config.seed,
+    )
+    thread = TraceReplayThread("load", trace, timed=True)
+    result = run_threads(config, [thread])
+    stats = result.thread_stats["load"]
+    from repro.core.events import IoType
+
+    latencies = [stats.latency[t] for t in (IoType.READ, IoType.WRITE)]
+    samples = latencies[0].samples() + latencies[1].samples()
+    import numpy as np
+
+    return float(np.mean(samples)), float(np.percentile(samples, 99))
+
+
+def run_experiment():
+    return [_run(rate) for rate in RATES_IOPS]
+
+
+def test_e17_offered_load_curve(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    means = [mean for mean, _ in results]
+    p99s = [p99 for _, p99 in results]
+    print_series(
+        "E17 latency vs offered load (Poisson arrivals)",
+        [
+            [rate, mean / 1e3, p99 / 1e6]
+            for rate, (mean, p99) in zip(RATES_IOPS, results)
+        ],
+        ["offered IOPS", "mean latency (us)", "p99 latency (ms)"],
+    )
+    # Shape: latency grows with load...
+    assert monotonically_nondecreasing(means, tolerance=0.10)
+    # ...gently while under capacity (doubling 1k -> 2k costs < 30%)...
+    assert means[1] < 1.3 * means[0]
+    # ...then the hockey-stick once the offered rate crosses saturation.
+    assert means[-1] > 20 * means[0]
+    assert p99s[-1] > 20 * p99s[0]

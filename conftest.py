@@ -1,0 +1,13 @@
+"""Repo-root pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been
+installed (some offline environments lack the ``wheel`` package needed
+by ``pip install -e .``; ``python setup.py develop`` works there).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

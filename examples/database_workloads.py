@@ -1,0 +1,76 @@
+"""Database algorithms on different FTLs: the cross-layer view.
+
+The paper's motivating question: how do database algorithms -- hash
+joins, LSM-tree insertions, external sorts -- interact with what is
+hidden behind the block interface?  This example runs all three on the
+same simulated hardware under the three mapping schemes (page map, DFTL,
+FAST-style hybrid) and prints run time and write amplification for each
+combination: a 3x3 design-space slice in a few seconds of virtual time.
+
+Run with::
+
+    python examples/database_workloads.py
+"""
+
+from repro import FtlKind, Simulation, demo_config
+from repro.analysis.reporting import format_table
+from repro.core import units
+from repro.workloads import (
+    ExternalSortThread,
+    GraceHashJoinThread,
+    LsmInsertThread,
+)
+
+
+def make_workload(kind: str):
+    if kind == "hash join":
+        return GraceHashJoinThread("app", r_pages=400, s_pages=600, partitions=8, depth=16)
+    if kind == "lsm inserts":
+        return LsmInsertThread("app", inserts=2000, memtable_pages=8, fanout=4, levels=3, depth=16)
+    if kind == "external sort":
+        return ExternalSortThread("app", input_pages=512, memory_pages=32, fanin=4, depth=16)
+    raise ValueError(kind)
+
+
+def run(workload_kind: str, ftl: FtlKind):
+    config = demo_config()
+    config.controller.ftl = ftl
+    if ftl is FtlKind.DFTL:
+        config.controller.dftl.cmt_entries = 512
+    if ftl is FtlKind.HYBRID:
+        config.controller.hybrid.log_blocks = 16
+    simulation = Simulation(config)
+    simulation.add_thread(make_workload(workload_kind))
+    result = simulation.run()
+    return (
+        units.to_milliseconds(result.elapsed_ns),
+        result.stats.write_amplification(),
+    )
+
+
+def main() -> None:
+    rows = []
+    for workload_kind in ("hash join", "lsm inserts", "external sort"):
+        for ftl in (FtlKind.PAGE, FtlKind.DFTL, FtlKind.HYBRID):
+            elapsed_ms, waf = run(workload_kind, ftl)
+            rows.append([workload_kind, ftl.value, elapsed_ms, waf])
+            print(f"  {workload_kind:<14} on {ftl.value:<6}: "
+                  f"{elapsed_ms:8.1f} ms, WAF {waf:.2f}")
+    print()
+    print(format_table(
+        ["workload", "ftl", "run time (ms)", "write amp."],
+        rows,
+        title="database algorithms x mapping schemes",
+    ))
+    print(
+        "\nNote how the algorithm's IO pattern decides which FTL artefact"
+        "\nbites: the scattered partition writes of the hash join force the"
+        "\nhybrid FTL into full merges (9x slower); DFTL costs each workload"
+        "\na few mapping IOs (its CMT holds the working sets here); and the"
+        "\nsequential runs of the external sort switch-merge for free even"
+        "\non the hybrid -- only its single log append point slows it down."
+    )
+
+
+if __name__ == "__main__":
+    main()

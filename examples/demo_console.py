@@ -1,0 +1,135 @@
+"""The demonstration console: the terminal version of the demo GUI
+(paper Figure 2, "Layered Tour").
+
+Pick configuration parameters on the command line, run the simulator,
+and observe the numeric metrics, the throughput/latency/GC graphs over
+time, and an excerpt of the per-IO trace.
+
+Examples::
+
+    python examples/demo_console.py
+    python examples/demo_console.py --channels 8 --ssd-scheduler priority
+    python examples/demo_console.py --ftl dftl --gc-greediness 4 --trace
+    python examples/demo_console.py --open-interface --workload hotcold
+"""
+
+import argparse
+
+from repro import (
+    FtlKind,
+    OsSchedulerPolicy,
+    Simulation,
+    SsdSchedulerPolicy,
+    demo_config,
+)
+from repro.analysis.reporting import ascii_histogram, ascii_timeline
+from repro.core import units
+from repro.core.events import IoType
+from repro.host.interface import temperature_hint
+from repro.workloads import MixedWorkloadThread, RandomWriterThread, precondition_sequential
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--channels", type=int, default=4)
+    parser.add_argument("--luns-per-channel", type=int, default=2)
+    parser.add_argument("--queue-depth", type=int, default=32)
+    parser.add_argument("--gc-greediness", type=int, default=2)
+    parser.add_argument(
+        "--ftl", choices=[kind.value for kind in FtlKind], default="page"
+    )
+    parser.add_argument(
+        "--ssd-scheduler",
+        choices=[policy.value for policy in SsdSchedulerPolicy],
+        default="fifo",
+    )
+    parser.add_argument(
+        "--os-scheduler",
+        choices=[policy.value for policy in OsSchedulerPolicy],
+        default="fifo",
+    )
+    parser.add_argument("--open-interface", action="store_true")
+    parser.add_argument(
+        "--workload", choices=["mixed", "writes", "hotcold"], default="mixed"
+    )
+    parser.add_argument("--ops", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--trace", action="store_true", help="show an IO trace excerpt")
+    return parser
+
+
+def configure(args) -> Simulation:
+    config = demo_config(seed=args.seed)
+    config.geometry.channels = args.channels
+    config.geometry.luns_per_channel = args.luns_per_channel
+    config.host.max_outstanding = args.queue_depth
+    config.host.os_scheduler = OsSchedulerPolicy(args.os_scheduler)
+    config.host.open_interface = args.open_interface
+    config.controller.gc_greediness = args.gc_greediness
+    config.controller.ftl = FtlKind(args.ftl)
+    config.controller.scheduler.policy = SsdSchedulerPolicy(args.ssd_scheduler)
+    config.trace_enabled = args.trace
+    config.validate()
+    print(config.describe())
+    return Simulation(config)
+
+
+def add_workload(simulation: Simulation, args) -> str:
+    config = simulation.config
+    prep = precondition_sequential(config.logical_pages)
+    simulation.add_thread(prep)
+    if args.workload == "mixed":
+        thread = MixedWorkloadThread("app", count=args.ops, read_fraction=0.5, depth=16)
+    elif args.workload == "writes":
+        thread = RandomWriterThread("app", count=args.ops, depth=16)
+    else:  # hotcold: 90% of writes to 10% of the space, hinted when open
+        hot_span = config.logical_pages // 10
+
+        def hint_fn(io_type, lpn):
+            return temperature_hint(lpn < hot_span)
+
+        thread = RandomWriterThread(
+            "app", count=args.ops, depth=16, zipf_theta=0.9, hint_fn=hint_fn
+        )
+    simulation.add_thread(thread, depends_on=[prep.name])
+    return thread.name
+
+
+def main() -> None:
+    args = build_parser().parse_args()
+    simulation = configure(args)
+    thread_name = add_workload(simulation, args)
+    print("\nrunning in virtual time ...")
+    result = simulation.run()
+
+    print()
+    print(result.report())
+
+    app = result.thread_stats[thread_name]
+    print()
+    print(app.report())
+
+    print()
+    print(
+        ascii_timeline(
+            app.completions_over_time[IoType.WRITE].rate_per_second(),
+            title="write completions over time (IOPS)",
+        )
+    )
+    write_samples = app.latency[IoType.WRITE].samples()
+    if write_samples:
+        print()
+        print(ascii_histogram(write_samples, title="write latency distribution"))
+
+    gc_series = result.stats.gc_activity_over_time.series()
+    if any(value for _, value in gc_series):
+        print()
+        print(ascii_timeline(gc_series, title="GC pages relocated over time"))
+
+    if args.trace:
+        print()
+        print(result.tracer.render(limit=40))
+
+
+if __name__ == "__main__":
+    main()

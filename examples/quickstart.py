@@ -1,0 +1,43 @@
+"""Quickstart: simulate an SSD, run a workload, read the numbers.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Simulation, demo_config
+from repro.workloads import MixedWorkloadThread, precondition_sequential
+
+
+def main() -> None:
+    # 1. Configure the simulated system.  Every knob of every layer is a
+    #    field on this object -- geometry, chip timings, FTL, GC, wear
+    #    leveling, schedulers, queue depth, open interface.
+    config = demo_config(seed=7)
+    print(config.describe())
+    print()
+
+    # 2. Build the simulation and attach workload threads.  The
+    #    preparation thread writes the whole logical space first (the
+    #    paper's well-defined-state methodology); the measured thread
+    #    only starts once it finishes.
+    simulation = Simulation(config)
+    prep = precondition_sequential(config.logical_pages)
+    simulation.add_thread(prep)
+    simulation.add_thread(
+        MixedWorkloadThread("app", count=20_000, read_fraction=0.5, depth=16),
+        depends_on=[prep.name],
+    )
+
+    # 3. Run to completion (virtual time) and inspect the results.
+    result = simulation.run()
+    print(result.report())
+    print()
+
+    # Per-thread statistics exclude the preparation phase:
+    app = result.thread_stats["app"]
+    print(app.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""The EagleTree scheduling game (paper Section 3, Figure 3).
+
+"The user will have to guess the optimal combination of scheduling
+policies [...] to maximize throughput for a given workload while
+balancing mean latency and latency variability between different types
+of IOs."
+
+Pick your configuration on the command line and see how close you get to
+the optimum found by exhaustive search.  (No T-shirt, sorry.)
+
+Examples::
+
+    python examples/scheduling_game.py --ssd-scheduler priority \
+        --prefer reads --queue-depth 64
+    python examples/scheduling_game.py --search     # show the full board
+"""
+
+import argparse
+import itertools
+
+from repro import Simulation, SsdSchedulerPolicy, demo_config
+from repro.analysis.metrics import game_score, latency_balance, variability_balance
+from repro.analysis.reporting import format_table
+from repro.workloads import MixedWorkloadThread, precondition_sequential
+
+PREFERENCES = {
+    "none": None,
+    "reads": {"READ": 0, "PROGRAM": 1, "COPYBACK": 2, "ERASE": 3},
+    "writes": {"PROGRAM": 0, "READ": 1, "COPYBACK": 2, "ERASE": 3},
+}
+
+
+def play(ssd_scheduler: str, prefer: str, queue_depth: int):
+    """One round of the game; returns the score row."""
+    config = demo_config()
+    config.controller.scheduler.policy = SsdSchedulerPolicy(ssd_scheduler)
+    if PREFERENCES[prefer] is not None:
+        config.controller.scheduler.type_priorities = dict(PREFERENCES[prefer])
+    config.host.max_outstanding = queue_depth
+
+    simulation = Simulation(config)
+    prep = precondition_sequential(config.logical_pages)
+    simulation.add_thread(prep)
+    simulation.add_thread(
+        MixedWorkloadThread("mix", count=8000, read_fraction=0.5, depth=64),
+        depends_on=[prep.name],
+    )
+    result = simulation.run()
+    stats = result.thread_stats["mix"]
+    return {
+        "config": f"{ssd_scheduler}/{prefer}/qd{queue_depth}",
+        "score": game_score(stats),
+        "iops": stats.throughput_iops(),
+        "latency balance": latency_balance(stats),
+        "variability balance": variability_balance(stats),
+    }
+
+
+def search_board():
+    """Every combination on the game board."""
+    combos = itertools.product(
+        ["fifo", "priority", "deadline", "fair"],
+        ["none", "reads", "writes"],
+        [8, 64],
+    )
+    rows = []
+    for ssd_scheduler, prefer, queue_depth in combos:
+        if ssd_scheduler != "priority" and prefer != "none":
+            continue  # preference only applies to the priority policy
+        rows.append(play(ssd_scheduler, prefer, queue_depth))
+    rows.sort(key=lambda row: row["score"], reverse=True)
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--ssd-scheduler",
+        choices=["fifo", "priority", "deadline", "fair"],
+        default="fifo",
+    )
+    parser.add_argument("--prefer", choices=list(PREFERENCES), default="none")
+    parser.add_argument("--queue-depth", type=int, choices=[8, 64], default=8)
+    parser.add_argument(
+        "--search", action="store_true", help="reveal the whole game board"
+    )
+    args = parser.parse_args()
+
+    if args.search:
+        rows = search_board()
+        print(format_table(
+            ["configuration", "score", "IOPS", "lat balance", "var balance"],
+            [[r["config"], r["score"], r["iops"], r["latency balance"],
+              r["variability balance"]] for r in rows],
+            title="the full game board (sorted by score)",
+        ))
+        print(f"\noptimal configuration: {rows[0]['config']}")
+        return
+
+    print("scoring your pick ...")
+    yours = play(args.ssd_scheduler, args.prefer, args.queue_depth)
+    print("searching for the optimum ...")
+    board = search_board()
+    best = board[0]
+    rank = 1 + next(
+        i for i, row in enumerate(board) if row["config"] == yours["config"]
+    )
+    print()
+    print(format_table(
+        ["", "configuration", "score", "IOPS", "lat balance", "var balance"],
+        [
+            ["you", yours["config"], yours["score"], yours["iops"],
+             yours["latency balance"], yours["variability balance"]],
+            ["best", best["config"], best["score"], best["iops"],
+             best["latency balance"], best["variability balance"]],
+        ],
+        title="the scheduling game",
+    ))
+    print(f"\nyour rank: {rank} of {len(board)}")
+    if yours["config"] == best["config"]:
+        print("optimal! you win the (virtual) EagleTree T-shirt.")
+    else:
+        print(f"score gap to optimum: {yours['score'] / best['score']:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: keeps ``pip install -e .`` working on offline
+environments without the ``wheel`` package (legacy editable install)."""
+
+from setuptools import setup
+
+setup()

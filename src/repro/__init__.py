@@ -1,0 +1,77 @@
+"""repro: a Python reproduction of EagleTree (Dayan et al., VLDB 2013).
+
+EagleTree is a simulation framework for SSD-based algorithms covering
+the complete IO stack -- application threads, operating system, SSD
+controller and flash array -- running entirely in virtual time.  This
+package reimplements it with the same four-layer architecture:
+
+* :mod:`repro.hardware`   -- channels, LUNs, blocks, pages, timings.
+* :mod:`repro.controller` -- FTLs, GC, wear leveling, SSD scheduling.
+* :mod:`repro.host`       -- the OS layer and the open OS<->SSD interface.
+* :mod:`repro.workloads`  -- the thread framework and canned workloads.
+* :mod:`repro.core`       -- event engine, configuration, statistics,
+  tracing, and the experiment-template suite.
+* :mod:`repro.analysis`   -- metrics and terminal reporting.
+
+Quickstart::
+
+    from repro import Simulation, small_config
+    from repro.workloads import RandomWriterThread
+
+    sim = Simulation(small_config())
+    sim.add_thread(RandomWriterThread("writer", count=2000))
+    result = sim.run()
+    print(result.report())
+"""
+
+from repro.core.config import (
+    AllocationPolicy,
+    ChipTimings,
+    ControllerConfig,
+    FtlKind,
+    GcVictimPolicy,
+    HostConfig,
+    OsSchedulerPolicy,
+    SimulationConfig,
+    SsdGeometry,
+    SsdSchedulerPolicy,
+    TemperatureDetector,
+    demo_config,
+    small_config,
+)
+from repro.core.events import IoRequest, IoType
+from repro.core.experiments import (
+    ExperimentResult,
+    ExperimentTemplate,
+    GridExperiment,
+    GridResult,
+    Parameter,
+)
+from repro.core.simulation import Simulation, SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationPolicy",
+    "ChipTimings",
+    "ControllerConfig",
+    "ExperimentResult",
+    "GridExperiment",
+    "GridResult",
+    "ExperimentTemplate",
+    "FtlKind",
+    "GcVictimPolicy",
+    "HostConfig",
+    "IoRequest",
+    "IoType",
+    "OsSchedulerPolicy",
+    "Parameter",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "SsdGeometry",
+    "SsdSchedulerPolicy",
+    "TemperatureDetector",
+    "demo_config",
+    "small_config",
+]

@@ -1,0 +1,45 @@
+"""``python -m repro``: a one-command tour of the simulator.
+
+Runs a preconditioned mixed workload on the demo configuration and
+prints the metrics panel -- the quickest way to see the simulator move.
+Pass ``--help`` for the few supported knobs; the fuller interactive
+console lives in ``examples/demo_console.py``.
+"""
+
+import argparse
+
+from repro import FtlKind, Simulation, demo_config
+from repro.workloads import MixedWorkloadThread, precondition_sequential
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument("--channels", type=int, default=4)
+    parser.add_argument("--ops", type=int, default=10_000)
+    parser.add_argument(
+        "--ftl", choices=[kind.value for kind in FtlKind], default="page"
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    config = demo_config(seed=args.seed)
+    config.geometry.channels = args.channels
+    config.controller.ftl = FtlKind(args.ftl)
+    config.validate()
+    print(config.describe())
+    print()
+
+    simulation = Simulation(config)
+    prep = precondition_sequential(config.logical_pages)
+    simulation.add_thread(prep)
+    simulation.add_thread(
+        MixedWorkloadThread("app", count=args.ops, read_fraction=0.5, depth=16),
+        depends_on=[prep.name],
+    )
+    result = simulation.run()
+    print(result.report())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Analysis and reporting: tables, ASCII charts and derived metrics.
+
+The terminal counterpart of the demo GUI's "numerical performance
+metrics, traces, and graphical outputs" panel.
+"""
+
+from repro.analysis.metrics import fairness_index, latency_balance
+from repro.analysis.reporting import (
+    ascii_chart,
+    ascii_histogram,
+    ascii_timeline,
+    format_table,
+)
+
+__all__ = [
+    "ascii_chart",
+    "ascii_histogram",
+    "ascii_timeline",
+    "fairness_index",
+    "format_table",
+    "latency_balance",
+]

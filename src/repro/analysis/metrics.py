@@ -1,0 +1,73 @@
+"""Derived metrics used by the experiments.
+
+The demo game (paper Section 3) scores configurations by "throughput
+[...] while balancing mean latency and latency variability between
+different types of IOs"; the helpers here quantify that balance, plus
+the fairness question raised in the introduction ("application IOs also
+interfere with each other, which raises issues of fairness").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.events import IoType
+from repro.core.statistics import StatisticsGatherer
+
+
+def fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index over per-thread (or per-type) throughputs.
+
+    1.0 means perfectly equal shares; 1/n means one party got all.
+    Empty or all-zero inputs yield 1.0 (vacuously fair).
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def latency_balance(stats: StatisticsGatherer) -> float:
+    """How balanced read and write mean latencies are, in (0, 1].
+
+    1.0 means identical means; the metric is min/max of the two means.
+    Degenerates to 1.0 when a type has no samples (nothing to balance).
+    """
+    read_mean = stats.latency[IoType.READ].mean
+    write_mean = stats.latency[IoType.WRITE].mean
+    if read_mean <= 0.0 or write_mean <= 0.0:
+        return 1.0
+    return min(read_mean, write_mean) / max(read_mean, write_mean)
+
+
+def variability_balance(stats: StatisticsGatherer) -> float:
+    """Like :func:`latency_balance` but over latency standard deviations
+    (the paper's latency-variability metric)."""
+    read_sd = stats.latency[IoType.READ].stddev
+    write_sd = stats.latency[IoType.WRITE].stddev
+    if read_sd <= 0.0 or write_sd <= 0.0:
+        return 1.0
+    return min(read_sd, write_sd) / max(read_sd, write_sd)
+
+
+def game_score(stats: StatisticsGatherer) -> float:
+    """The demonstration-game objective: throughput, discounted by
+    imbalance in mean latency and in latency variability between reads
+    and writes."""
+    return stats.throughput_iops() * latency_balance(stats) * variability_balance(stats)
+
+
+def coefficient_of_variation(values: Iterable[float]) -> float:
+    """Standard deviation / mean; 0.0 for empty or zero-mean inputs."""
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0.0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return variance**0.5 / mean

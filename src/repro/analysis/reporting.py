@@ -1,0 +1,125 @@
+"""Terminal tables and ASCII charts.
+
+The experiment suite "produces a comprehensive amount of visual
+statistical output" (Section 2.3); in this reproduction the output is
+textual: aligned tables for parameter sweeps and horizontal-bar ASCII
+charts for series over a parameter or over time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import units
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:,.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: Optional[str] = None
+) -> str:
+    """Render an aligned text table."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), max((len(row[i]) for row in cells), default=0))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: Sequence[tuple[object, float]],
+    title: Optional[str] = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart of ``(label, value)`` pairs."""
+    if not series:
+        return "(empty series)"
+    peak = max(value for _, value in series)
+    label_width = max(len(str(label)) for label, _ in series)
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    for label, value in series:
+        bar_length = 0 if peak <= 0 else round(value / peak * width)
+        bar = "#" * bar_length
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar} {_format_cell(float(value))}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    samples: Sequence[float],
+    bins: int = 12,
+    title: Optional[str] = None,
+    width: int = 50,
+    label_fn=None,
+) -> str:
+    """A latency-distribution histogram (the demo's per-IO view).
+
+    ``label_fn`` formats the bin's lower edge (defaults to
+    :func:`repro.core.units.format_time` on rounded values, which suits
+    nanosecond latencies).
+    """
+    if not samples:
+        return "(no samples)"
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    low, high = min(samples), max(samples)
+    if label_fn is None:
+        label_fn = lambda edge: units.format_time(round(edge))
+    if high == low:
+        return ascii_chart([(label_fn(low), float(len(samples)))], title=title, width=width)
+    span = (high - low) / bins
+    counts = [0] * bins
+    for sample in samples:
+        index = min(bins - 1, int((sample - low) / span))
+        counts[index] += 1
+    series = [
+        (label_fn(low + index * span), float(count))
+        for index, count in enumerate(counts)
+    ]
+    return ascii_chart(series, title=title, width=width)
+
+
+def ascii_timeline(
+    series: Sequence[tuple[int, float]],
+    title: Optional[str] = None,
+    width: int = 50,
+    max_rows: int = 40,
+) -> str:
+    """A bar chart over virtual time; down-samples long series by
+    averaging adjacent buckets."""
+    if not series:
+        return "(empty series)"
+    if len(series) > max_rows:
+        stride = -(-len(series) // max_rows)
+        compacted = []
+        for start in range(0, len(series), stride):
+            chunk = series[start : start + stride]
+            mean = sum(v for _, v in chunk) / len(chunk)
+            compacted.append((chunk[0][0], mean))
+        series = compacted
+    labelled = [(units.format_time(t), value) for t, value in series]
+    return ascii_chart(labelled, title=title, width=width)

@@ -1,0 +1,25 @@
+"""The SSD controller layer (paper Section 2.2).
+
+"The SSD controller is responsible for orchestrating mapping,
+garbage-collection, wear leveling modules and scheduling."
+
+* :mod:`repro.controller.scheduler` -- the modular IO-scheduling
+  framework: which pending flash command runs next, and where.
+* :mod:`repro.controller.allocation` -- write allocation: which LUN and
+  which open block an incoming write is bound to.
+* :mod:`repro.controller.ftl` -- mapping schemes (page-level map in RAM,
+  and DFTL).
+* :mod:`repro.controller.gc` -- garbage collection with the paper's
+  *GC greediness* free-block watermark.
+* :mod:`repro.controller.wear_leveling` -- static and dynamic wear
+  leveling.
+* :mod:`repro.controller.temperature` -- hot/cold data identification.
+* :mod:`repro.controller.write_buffer` -- the battery-backed-RAM write
+  buffering module mentioned as a controller extension.
+* :mod:`repro.controller.controller` -- :class:`SsdController`, which
+  wires all of the above to the flash array.
+"""
+
+from repro.controller.controller import SsdController
+
+__all__ = ["SsdController"]

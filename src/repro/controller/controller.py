@@ -1,0 +1,256 @@
+"""The SSD controller: orchestration of mapping, GC, WL and scheduling.
+
+:class:`SsdController` is the device-side endpoint of the host link.  It
+receives logical IOs from the operating system layer, routes them through
+the optional write buffer and the FTL, turns them into flash commands,
+and owns the modules that generate internal traffic (garbage collection,
+wear leveling, DFTL mapping IO).  Every flash command funnels through
+:meth:`enqueue_command`, which attaches deadlines, read accounting and
+the statistics/trace/GC bookkeeping that runs at completion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.config import SimulationConfig, TemperatureDetector
+from repro.core.engine import Simulator
+from repro.core.events import IoRequest, IoType
+from repro.core.rng import RandomSource
+from repro.core.statistics import StatisticsGatherer
+from repro.core.tracing import TraceRecorder
+from repro.hardware.array import SsdArray
+from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
+from repro.hardware.memory import MemoryManager
+
+from repro.controller.allocation import WriteAllocator
+from repro.controller.ftl import build_ftl
+from repro.controller.gc import GarbageCollector
+from repro.controller.scheduler import SsdScheduler
+from repro.controller.temperature import build_detector
+from repro.controller.wear_leveling import WearLeveler
+from repro.controller.write_buffer import WriteBuffer
+
+
+class SsdController:
+    """The device: flash array + controller modules behind one interface.
+
+    The OS talks to the controller through :meth:`submit_io` and receives
+    completion interrupts through ``on_io_complete`` (a callable the OS
+    installs).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SimulationConfig,
+        rng: Optional[RandomSource] = None,
+        tracer: Optional[TraceRecorder] = None,
+        stats: Optional[StatisticsGatherer] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.rng = rng or RandomSource(config.seed)
+        self.tracer = tracer if tracer is not None else TraceRecorder(enabled=config.trace_enabled)
+        self.stats = stats or StatisticsGatherer("controller")
+        self.memory = MemoryManager(
+            config.controller.ram_bytes, config.controller.battery_ram_bytes
+        )
+        self.array = SsdArray(
+            sim,
+            config.geometry,
+            config.timings,
+            interleaving=config.controller.enable_interleaving,
+            pipelining=config.controller.enable_pipelining,
+            tracer=self.tracer,
+            bad_blocks=self._draw_bad_blocks(config),
+        )
+        self.temperature = build_detector(config.controller.temperature)
+        self.allocator = WriteAllocator(
+            self.array,
+            config,
+            classify=self.temperature.classify,
+            queue_depth=self._queue_depth,
+        )
+        self.scheduler = SsdScheduler(
+            sim, self.array, config.controller.scheduler, can_bind=self.allocator.can_bind
+        )
+        self.array.bind_program = self.allocator.bind_program
+        self.array.on_resource_free = self.scheduler.pump
+        self.ftl = build_ftl(config.controller.ftl, self)
+        self.gc = GarbageCollector(self)
+        self.wear_leveler = WearLeveler(self)
+        self.allocator.on_free_block_taken = self.gc.maybe_trigger
+        self.write_buffer: Optional[WriteBuffer] = None
+        if config.controller.write_buffer_pages > 0:
+            self.write_buffer = WriteBuffer(self, config.controller.write_buffer_pages)
+        #: Completion interrupt handler, installed by the OS layer.
+        self.on_io_complete: Callable[[IoRequest], None] = lambda io: None
+        self._open_interface = config.host.open_interface
+        self.submitted_ios = 0
+
+    def _draw_bad_blocks(self, config: SimulationConfig):
+        """Factory bad-block map: each block bad with the configured
+        probability, drawn from the experiment seed."""
+        rate = config.geometry.bad_block_rate
+        if rate <= 0.0:
+            return None
+        from repro.hardware.addresses import iter_luns
+
+        stream = self.rng.stream("bad-blocks")
+        bad: dict[tuple[int, int], set[int]] = {}
+        for lun_key in iter_luns(config.geometry):
+            bad[lun_key] = {
+                block_id
+                for block_id in range(config.geometry.blocks_per_lun)
+                if stream.random() < rate
+            }
+        return bad
+
+    # ------------------------------------------------------------------
+    # Host link (device side)
+    # ------------------------------------------------------------------
+    def submit_io(self, io: IoRequest) -> None:
+        """Accept a logical IO dispatched by the OS."""
+        self.submitted_ios += 1
+        hints = self.hints_of(io)
+        self.tracer.record(
+            self.sim.now, "controller", "accept", f"{io.io_type} lpn={io.lpn} #{io.id}"
+        )
+        if io.io_type is IoType.WRITE:
+            self._observe_write(io.lpn, hints)
+            if self.write_buffer is not None:
+                self.write_buffer.write(io, hints)
+            else:
+                self.ftl.write(io, io.lpn, hints)
+            return
+        if io.io_type is IoType.READ:
+            if self.write_buffer is not None and self.write_buffer.serve_read(io):
+                return
+            self.ftl.read(io)
+            return
+        if io.io_type is IoType.TRIM:
+            if self.write_buffer is not None and self.write_buffer.trim(io):
+                return
+            self.ftl.trim(io)
+            return
+        raise ValueError(f"unknown IO type {io.io_type!r}")
+
+    def hints_of(self, io: IoRequest) -> dict:
+        """The hints the device may act on: everything with the open
+        interface, nothing through the plain block interface."""
+        return io.hints if self._open_interface else {}
+
+    def _observe_write(self, lpn: int, hints: dict) -> None:
+        self.temperature.record_write(lpn)
+        if "temperature" in hints and (
+            self.config.controller.temperature.detector is TemperatureDetector.HINT
+        ):
+            self.temperature.hint(lpn, hints["temperature"] == "hot")
+
+    # ------------------------------------------------------------------
+    # Flash command funnel
+    # ------------------------------------------------------------------
+    def enqueue_command(self, cmd: FlashCommand) -> None:
+        """Queue a flash command (used by FTL, GC, WL and tests)."""
+        if cmd.deadline is None:
+            cmd.deadline = self.scheduler.deadline_for(cmd.kind, self.sim.now)
+        if cmd.kind in (CommandKind.READ, CommandKind.COPYBACK):
+            lun = self.array.luns[cmd.lun_key]
+            lun.block(cmd.address.block).inflight_reads += 1
+        original = cmd.on_complete
+        cmd.on_complete = lambda c: self._command_complete(original, c)
+        self.scheduler.enqueue(cmd)
+        if cmd.source is CommandSource.APPLICATION:
+            self.gc.note_app_activity(cmd.lun_key)
+        if cmd.kind is CommandKind.PROGRAM and cmd.source is not CommandSource.GC:
+            # The program may be unbindable on an all-live LUN; give the
+            # collector a chance to start a rebalancing eviction.
+            self.gc.maybe_trigger(cmd.lun_key)
+
+    def _command_complete(self, original, cmd: FlashCommand) -> None:
+        if cmd.kind is CommandKind.ERASE:
+            # Purge stale open-block registrations BEFORE the module
+            # handler runs: the handler may pump the scheduler, and a new
+            # write could legitimately re-open this very block.
+            self.allocator.note_erased(cmd.lun_key, cmd.address.block)
+        if original is not None:
+            original(cmd)
+        self.stats.record_flash_command(cmd.source.name, cmd.kind.name, self.sim.now)
+        if cmd.kind is CommandKind.ERASE:
+            self.wear_leveler.on_erase()
+            self.gc.maybe_trigger(cmd.lun_key)
+
+    # ------------------------------------------------------------------
+    # IO completion paths (called by FTL / write buffer)
+    # ------------------------------------------------------------------
+    def complete_io(self, io: IoRequest) -> None:
+        io.complete_time = self.sim.now
+        self.tracer.record(
+            self.sim.now, "controller", "complete", f"{io.io_type} lpn={io.lpn} #{io.id}"
+        )
+        self.on_io_complete(io)
+
+    def complete_quick(self, io: IoRequest) -> None:
+        """Complete after only the controller/command overhead (buffer
+        hits, trims, metadata-only operations)."""
+        self.sim.schedule(self.config.timings.t_cmd_ns, self.complete_io, io)
+
+    def complete_unmapped_read(self, io: IoRequest) -> None:
+        """A read of a never-written page: no flash access, returns
+        zeroes (data None)."""
+        io.data = None
+        self.complete_quick(io)
+
+    # ------------------------------------------------------------------
+    # Cross-module probes
+    # ------------------------------------------------------------------
+    def _queue_depth(self, lun_key: tuple[int, int]) -> int:
+        return self.scheduler.queue_depth(lun_key)
+
+    def gc_is_collecting(self, lun_key: tuple[int, int], block_id: int) -> bool:
+        return self.gc._being_collected(lun_key, block_id)
+
+    def wl_is_migrating(self, lun_key: tuple[int, int], block_id: int) -> bool:
+        return (lun_key, block_id) in self.wear_leveler.active
+
+    @property
+    def busy(self) -> bool:
+        """True while internal work (queued commands, GC, WL, buffered
+        flushes) is still pending."""
+        if self.scheduler.total_pending() > 0:
+            return True
+        if self.gc.active_jobs or self.wear_leveler.active:
+            return True
+        if any(lun.is_busy for lun in self.array.luns.values()):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used heavily by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify DESIGN.md invariants 3 and 6 at a quiescent point.
+
+        Only meaningful when no command is in flight (e.g. after the
+        simulation drained); raises ``AssertionError`` with a diagnostic
+        message otherwise.
+        """
+        live = self.array.total_live_pages()
+        expected = self.ftl.expected_live_pages()
+        if live != expected:
+            raise AssertionError(
+                f"live-page mismatch: array has {live}, FTL implies {expected}"
+            )
+        for lun_key, lun in self.array.luns.items():
+            for block_id, block in enumerate(lun.blocks):
+                if block.inflight_reads:
+                    raise AssertionError(
+                        f"in-flight reads remain on (c{lun_key[0]},l{lun_key[1]},"
+                        f"b{block_id}) at quiescence"
+                    )
+                in_free_set = block_id in lun.free_block_ids
+                if in_free_set and not block.is_empty:
+                    raise AssertionError(
+                        f"free set contains non-empty block b{block_id} on {lun_key}"
+                    )

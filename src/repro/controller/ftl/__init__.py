@@ -1,0 +1,35 @@
+"""Flash translation layers (paper Section 2.2, Mapping).
+
+"For now, we have considered the most flexible schemes i.e., page-based
+mappings: the well-known DFTL and a page-based mapping scheme where the
+entire mapping is kept in RAM."  Both are implemented, plus the classic
+hybrid scheme as an extension of the mapping design space:
+
+* :class:`repro.controller.ftl.page_ftl.PageMapFtl` -- full page map in
+  controller RAM.
+* :class:`repro.controller.ftl.dftl.DftlFtl` -- demand-paged mapping
+  with a cached mapping table and translation pages on flash.
+* :class:`repro.controller.ftl.hybrid.HybridFtl` -- block mapping with
+  page-mapped log blocks and full/switch merges (FAST-style).
+"""
+
+from repro.controller.ftl.base import BaseFtl
+from repro.controller.ftl.dftl import DftlFtl
+from repro.controller.ftl.hybrid import HybridFtl
+from repro.controller.ftl.page_ftl import PageMapFtl
+
+from repro.core.config import FtlKind
+
+
+def build_ftl(kind: FtlKind, controller) -> BaseFtl:
+    """Factory used by :class:`repro.controller.controller.SsdController`."""
+    if kind is FtlKind.PAGE:
+        return PageMapFtl(controller)
+    if kind is FtlKind.DFTL:
+        return DftlFtl(controller)
+    if kind is FtlKind.HYBRID:
+        return HybridFtl(controller)
+    raise ValueError(f"unknown FTL kind {kind!r}")
+
+
+__all__ = ["BaseFtl", "DftlFtl", "HybridFtl", "PageMapFtl", "build_ftl"]

@@ -1,0 +1,146 @@
+"""Common machinery shared by the mapping schemes.
+
+The FTL owns the logical-to-physical map, assigns write *versions* (the
+``(lpn, version)`` tokens stored in flash pages), invalidates superseded
+pages, and arbitrates races:
+
+* Two in-flight writes to the same LPN may complete out of order across
+  LUNs; only the highest version may win the mapping, the other page is
+  invalidated as an orphan (:meth:`BaseFtl._commit_write`).
+* A GC/WL relocation may land after the application has already
+  rewritten the page; the relocated copy is then an orphan too
+  (:meth:`BaseFtl.on_relocation` in the subclasses).
+
+Subclasses implement the mapping-lookup side: in RAM for
+:class:`~repro.controller.ftl.page_ftl.PageMapFtl`, demand-paged for
+:class:`~repro.controller.ftl.dftl.DftlFtl`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.events import IoRequest
+from repro.hardware.addresses import PhysicalAddress
+from repro.hardware.flash import PageContent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.controller import SsdController
+
+
+class BaseFtl(abc.ABC):
+    """Interface and shared state of the flash translation layers."""
+
+    #: True when the FTL owns physical space reclamation itself (the
+    #: hybrid FTL's merges); the controller's generic GC and wear
+    #: leveling modules stand down in that case.
+    manages_physical_space = False
+
+    def __init__(self, controller: "SsdController"):
+        self.controller = controller
+        #: Highest version number issued per LPN.
+        self._issued_versions: dict[int, int] = {}
+        #: Highest version number that has won the mapping per LPN.
+        self._committed_versions: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Logical IO entry points (called by the controller)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def read(self, io: IoRequest) -> None:
+        """Serve a logical read; ends with ``controller.complete_io``."""
+
+    @abc.abstractmethod
+    def write(self, io, lpn: int, hints: dict, on_done=None, version=None) -> None:
+        """Serve a logical write.
+
+        ``io`` may be ``None`` for internal writes (write-buffer
+        flushes).  ``on_done``, when given, is called once the program
+        completed and the mapping decision was made.  ``version`` lets a
+        caller that already reserved a version (the write buffer, at
+        admission time) pass it through; by default a fresh version is
+        drawn here.
+        """
+
+    @abc.abstractmethod
+    def trim(self, io: IoRequest) -> None:
+        """Drop the mapping for a page (the paper's trim IO type)."""
+
+    # ------------------------------------------------------------------
+    # GC / WL cooperation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_relocation(
+        self,
+        content: PageContent,
+        old_address: PhysicalAddress,
+        new_address: PhysicalAddress,
+    ) -> bool:
+        """A GC or WL relocation finished: the data at ``old_address``
+        now also exists at ``new_address``.
+
+        Updates the authoritative mapping if it still referenced
+        ``old_address`` and invalidates whichever copy is stale.
+        Returns True when the new copy became live.
+        """
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, invariants, reporting)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def mapped_address(self, lpn: int) -> Optional[PhysicalAddress]:
+        """Current physical location of a logical page, if mapped."""
+
+    @abc.abstractmethod
+    def mapped_page_count(self) -> int:
+        """Number of logical pages currently mapped."""
+
+    def metadata_page_count(self) -> int:
+        """Flash pages holding FTL metadata (translation pages)."""
+        return 0
+
+    def expected_live_pages(self) -> int:
+        """Live flash pages implied by the mapping state; equals the
+        array's live-page count at quiescence (DESIGN.md invariant 3)."""
+        return self.mapped_page_count() + self.metadata_page_count()
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def next_version(self, lpn: int) -> int:
+        version = self._issued_versions.get(lpn, 0) + 1
+        self._issued_versions[lpn] = version
+        return version
+
+    def _invalidate(self, address: PhysicalAddress) -> None:
+        lun = self.controller.array.luns[(address.channel, address.lun)]
+        lun.block(address.block).invalidate(address.page)
+        # A LUN stalled at its free-block watermark may have been waiting
+        # for its first reclaimable page: re-check the GC trigger.
+        self.controller.gc.maybe_trigger((address.channel, address.lun))
+
+    def _commit_write(
+        self,
+        lpn: int,
+        version: int,
+        new_address: PhysicalAddress,
+        old_address: Optional[PhysicalAddress],
+    ) -> bool:
+        """Decide whether a completed program wins the mapping.
+
+        Returns True (caller updates its map to ``new_address`` after the
+        previous location was invalidated here) or False (the program was
+        superseded while in flight; its page was invalidated as orphan).
+        """
+        if version > self._committed_versions.get(lpn, 0):
+            self._committed_versions[lpn] = version
+            if old_address is not None:
+                self._invalidate(old_address)
+            return True
+        self._invalidate(new_address)
+        return False
+
+    def _supersede(self, lpn: int) -> None:
+        """Trim support: mark every in-flight write of ``lpn`` stale."""
+        self._committed_versions[lpn] = self._issued_versions.get(lpn, 0)

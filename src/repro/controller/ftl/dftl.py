@@ -1,0 +1,335 @@
+"""DFTL: demand-based page mapping (Gupta et al., ASPLOS 2009).
+
+Only a *cached mapping table* (CMT) of recently used logical-to-physical
+entries is kept in RAM; the full map lives in *translation pages* on
+flash, indexed by an in-RAM global translation directory (GTD).
+
+Behaviour reproduced here:
+
+* CMT miss -> a MAPPING read of the translation page, coalesced across
+  concurrent misses for the same translation page.
+* Dirty CMT eviction -> read-modify-write of the translation page
+  (a MAPPING read + MAPPING program); with *batch eviction* all dirty
+  entries of the same translation page are persisted together.
+* Translation pages are ordinary flash pages: they are written through
+  the allocator (stream ``map``), are garbage-collected like data, and
+  relocations update the GTD.
+
+Bookkeeping note: the authoritative mapping content is tracked in shadow
+dictionaries updated synchronously, while the MAPPING flash commands
+model the *timing and traffic* of the scheme.  No crash recovery is
+simulated, so this loses no fidelity for the performance questions the
+paper studies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from repro.core.events import IoRequest
+from repro.hardware.addresses import PhysicalAddress
+from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
+from repro.hardware.flash import PageContent
+
+from repro.controller.ftl.base import BaseFtl
+
+
+class _CmtEntry:
+    __slots__ = ("ppn", "dirty")
+
+    def __init__(self, ppn: Optional[PhysicalAddress], dirty: bool):
+        self.ppn = ppn
+        self.dirty = dirty
+
+
+class DftlFtl(BaseFtl):
+    """Demand-paged page mapping with translation pages on flash."""
+
+    def __init__(self, controller):
+        super().__init__(controller)
+        config = controller.config
+        dftl = config.controller.dftl
+        self.entry_bytes = dftl.entry_bytes
+        self.entries_per_tp = max(1, config.geometry.page_size_bytes // self.entry_bytes)
+        self.num_tps = -(-config.logical_pages // self.entries_per_tp)
+        self.batch_eviction = dftl.batch_eviction
+
+        gtd_bytes = self.num_tps * self.entry_bytes
+        controller.memory.allocate_ram("dftl gtd", gtd_bytes)
+        if dftl.cmt_entries is not None:
+            self.cmt_capacity = dftl.cmt_entries
+        else:
+            self.cmt_capacity = max(
+                1, controller.memory.ram_available // self.entry_bytes
+            )
+        self.cmt_capacity = min(self.cmt_capacity, config.logical_pages)
+        if self.cmt_capacity < 1:
+            raise ValueError("DFTL CMT capacity must be at least 1 entry")
+        controller.memory.allocate_ram("dftl cmt", self.cmt_capacity * self.entry_bytes)
+
+        #: LRU-ordered cached mapping table (MRU at the end).
+        self.cmt: OrderedDict[int, _CmtEntry] = OrderedDict()
+        #: Mapping content persisted in on-flash translation pages.
+        self.persisted: dict[int, PhysicalAddress] = {}
+        #: GTD: current flash location of each translation page.
+        self.tp_locations: dict[int, PhysicalAddress] = {}
+        #: Coalesced outstanding fetches: tp -> [(lpn, continuation)].
+        self._pending_fetches: dict[int, list[tuple[int, Callable[[], None]]]] = {}
+
+        self.cmt_hits = 0
+        self.cmt_misses = 0
+        self.evictions = 0
+        self.batched_flush_entries = 0
+        #: Translation-page reads issued for CMT misses (excludes the
+        #: read half of eviction read-modify-writes).
+        self.tp_fetch_reads = 0
+
+    # ------------------------------------------------------------------
+    # Logical IO
+    # ------------------------------------------------------------------
+    def read(self, io: IoRequest) -> None:
+        self._with_entry(io.lpn, lambda: self._do_read(io))
+
+    def _do_read(self, io: IoRequest) -> None:
+        entry = self.cmt.get(io.lpn)
+        address = entry.ppn if entry is not None else self.persisted.get(io.lpn)
+        if address is None:
+            self.controller.complete_unmapped_read(io)
+            return
+        cmd = FlashCommand(
+            CommandKind.READ,
+            CommandSource.APPLICATION,
+            address,
+            lpn=io.lpn,
+            io=io,
+            on_complete=self._read_done,
+        )
+        self.controller.enqueue_command(cmd)
+
+    def _read_done(self, cmd: FlashCommand) -> None:
+        cmd.io.data = cmd.content
+        self.controller.complete_io(cmd.io)
+
+    def write(
+        self, io: Optional[IoRequest], lpn: int, hints: dict, on_done=None, version=None
+    ) -> None:
+        self._with_entry(lpn, lambda: self._do_write(io, lpn, hints, on_done, version))
+
+    def _do_write(
+        self, io: Optional[IoRequest], lpn: int, hints: dict, on_done, version=None
+    ) -> None:
+        if version is None:
+            version = self.next_version(lpn)
+        lun_key, stream = self.controller.allocator.place_write(lpn, hints)
+        cmd = FlashCommand(
+            CommandKind.PROGRAM,
+            CommandSource.APPLICATION,
+            PhysicalAddress(lun_key[0], lun_key[1], -1, -1),
+            lpn=lpn,
+            content=(lpn, version),
+            stream=stream,
+            io=io,
+            context=on_done,
+            on_complete=self._write_done,
+        )
+        self.controller.enqueue_command(cmd)
+
+    def _write_done(self, cmd: FlashCommand) -> None:
+        lpn, version = cmd.content
+        old_address = self._authoritative(lpn)
+        if self._commit_write(lpn, version, cmd.address, old_address):
+            self._update_mapping(lpn, cmd.address)
+        if cmd.io is not None:
+            self.controller.complete_io(cmd.io)
+        if cmd.context is not None:
+            cmd.context()
+
+    def trim(self, io: IoRequest) -> None:
+        self._with_entry(io.lpn, lambda: self._do_trim(io))
+
+    def _do_trim(self, io: IoRequest) -> None:
+        old_address = self._authoritative(io.lpn)
+        if old_address is not None:
+            self._invalidate(old_address)
+            self._update_mapping(io.lpn, None)
+        self._supersede(io.lpn)
+        self.controller.complete_quick(io)
+
+    # ------------------------------------------------------------------
+    # CMT management
+    # ------------------------------------------------------------------
+    def _with_entry(self, lpn: int, continuation: Callable[[], None]) -> None:
+        """Run ``continuation`` once the mapping entry for ``lpn`` is in
+        the CMT, fetching its translation page first if needed."""
+        if lpn in self.cmt:
+            self.cmt.move_to_end(lpn)
+            self.cmt_hits += 1
+            continuation()
+            return
+        self.cmt_misses += 1
+        tp = lpn // self.entries_per_tp
+        waiters = self._pending_fetches.get(tp)
+        if waiters is not None:
+            waiters.append((lpn, continuation))
+            return
+        self._pending_fetches[tp] = [(lpn, continuation)]
+        tp_address = self.tp_locations.get(tp)
+        if tp_address is None:
+            # Translation page never written: resolve without flash IO,
+            # but still asynchronously so callers see uniform ordering.
+            self.controller.sim.schedule(0, self._fetch_done, tp)
+            return
+        self.tp_fetch_reads += 1
+        cmd = FlashCommand(
+            CommandKind.READ,
+            CommandSource.MAPPING,
+            tp_address,
+            lpn=self._tp_pseudo_lpn(tp),
+            on_complete=lambda c, tp=tp: self._fetch_done(tp),
+        )
+        self.controller.enqueue_command(cmd)
+
+    def _fetch_done(self, tp: int) -> None:
+        waiters = self._pending_fetches.pop(tp, [])
+        for lpn, continuation in waiters:
+            if lpn not in self.cmt:
+                self._ensure_capacity()
+                self.cmt[lpn] = _CmtEntry(self.persisted.get(lpn), dirty=False)
+            else:
+                self.cmt.move_to_end(lpn)
+            continuation()
+
+    def _update_mapping(self, lpn: int, ppn: Optional[PhysicalAddress]) -> None:
+        """Point ``lpn`` at ``ppn`` in the authoritative map, dirtying
+        (and if needed re-inserting) its CMT entry."""
+        entry = self.cmt.get(lpn)
+        if entry is not None:
+            entry.ppn = ppn
+            entry.dirty = True
+            self.cmt.move_to_end(lpn)
+            return
+        self._ensure_capacity()
+        self.cmt[lpn] = _CmtEntry(ppn, dirty=True)
+
+    def _ensure_capacity(self) -> None:
+        while len(self.cmt) >= self.cmt_capacity:
+            victim_lpn, entry = self.cmt.popitem(last=False)
+            self.evictions += 1
+            if entry.dirty:
+                self._flush(victim_lpn, entry)
+
+    def _flush(self, lpn: int, entry: _CmtEntry) -> None:
+        """Persist a dirty entry (plus, with batch eviction, every dirty
+        sibling of the same translation page) and charge the RMW cost."""
+        tp = lpn // self.entries_per_tp
+        self._persist(lpn, entry.ppn)
+        if self.batch_eviction:
+            low = tp * self.entries_per_tp
+            high = low + self.entries_per_tp
+            for sibling, sibling_entry in self.cmt.items():
+                if low <= sibling < high and sibling_entry.dirty:
+                    self._persist(sibling, sibling_entry.ppn)
+                    sibling_entry.dirty = False
+                    self.batched_flush_entries += 1
+        old_tp_address = self.tp_locations.get(tp)
+        if old_tp_address is not None:
+            read_cmd = FlashCommand(
+                CommandKind.READ,
+                CommandSource.MAPPING,
+                old_tp_address,
+                lpn=self._tp_pseudo_lpn(tp),
+                on_complete=lambda c, tp=tp: self._write_tp(tp),
+            )
+            self.controller.enqueue_command(read_cmd)
+        else:
+            self._write_tp(tp)
+
+    def _persist(self, lpn: int, ppn: Optional[PhysicalAddress]) -> None:
+        if ppn is None:
+            self.persisted.pop(lpn, None)
+        else:
+            self.persisted[lpn] = ppn
+
+    def _write_tp(self, tp: int) -> None:
+        pseudo = self._tp_pseudo_lpn(tp)
+        version = self.next_version(pseudo)
+        lun_key = self.controller.allocator.place_internal("map")
+        cmd = FlashCommand(
+            CommandKind.PROGRAM,
+            CommandSource.MAPPING,
+            PhysicalAddress(lun_key[0], lun_key[1], -1, -1),
+            lpn=pseudo,
+            content=(pseudo, version),
+            stream="map",
+            on_complete=self._tp_write_done,
+        )
+        self.controller.enqueue_command(cmd)
+
+    def _tp_write_done(self, cmd: FlashCommand) -> None:
+        pseudo, version = cmd.content
+        tp = self._tp_from_pseudo(pseudo)
+        old_address = self.tp_locations.get(tp)
+        if self._commit_write(pseudo, version, cmd.address, old_address):
+            self.tp_locations[tp] = cmd.address
+
+    # ------------------------------------------------------------------
+    # GC / WL cooperation
+    # ------------------------------------------------------------------
+    def on_relocation(
+        self,
+        content: PageContent,
+        old_address: PhysicalAddress,
+        new_address: PhysicalAddress,
+    ) -> bool:
+        lpn, _version = content
+        if lpn < 0:
+            tp = self._tp_from_pseudo(lpn)
+            if self.tp_locations.get(tp) == old_address:
+                self._invalidate(old_address)
+                self.tp_locations[tp] = new_address
+                return True
+            self._invalidate(new_address)
+            return False
+        if self._authoritative(lpn) == old_address:
+            self._invalidate(old_address)
+            self._update_mapping(lpn, new_address)
+            return True
+        self._invalidate(new_address)
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _authoritative(self, lpn: int) -> Optional[PhysicalAddress]:
+        entry = self.cmt.get(lpn)
+        if entry is not None:
+            return entry.ppn
+        return self.persisted.get(lpn)
+
+    def mapped_address(self, lpn: int) -> Optional[PhysicalAddress]:
+        return self._authoritative(lpn)
+
+    def mapped_page_count(self) -> int:
+        count = sum(
+            1 for lpn, entry in self.cmt.items() if entry.ppn is not None
+        )
+        count += sum(1 for lpn in self.persisted if lpn not in self.cmt)
+        return count
+
+    def metadata_page_count(self) -> int:
+        return len(self.tp_locations)
+
+    def hit_ratio(self) -> float:
+        total = self.cmt_hits + self.cmt_misses
+        if total == 0:
+            return 0.0
+        return self.cmt_hits / total
+
+    @staticmethod
+    def _tp_pseudo_lpn(tp: int) -> int:
+        return -(tp + 1)
+
+    @staticmethod
+    def _tp_from_pseudo(pseudo: int) -> int:
+        return -pseudo - 1

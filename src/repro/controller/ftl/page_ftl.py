@@ -1,0 +1,115 @@
+"""Page-level mapping kept entirely in controller RAM.
+
+The simplest and most flexible scheme the paper considers: every logical
+page maps directly to a physical page, lookup is free (RAM), and writes
+can be bound to any LUN.  The cost is RAM: 8 bytes per logical page,
+accounted against the controller RAM budget through the memory manager.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import IoRequest
+from repro.hardware.addresses import PhysicalAddress
+from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
+from repro.hardware.flash import PageContent
+
+from repro.controller.ftl.base import BaseFtl
+
+
+class PageMapFtl(BaseFtl):
+    """Full page-level map in RAM."""
+
+    ENTRY_BYTES = 8
+
+    def __init__(self, controller):
+        super().__init__(controller)
+        self._map: dict[int, PhysicalAddress] = {}
+        controller.memory.allocate_ram(
+            "page map", controller.config.logical_pages * self.ENTRY_BYTES
+        )
+
+    # ------------------------------------------------------------------
+    # Logical IO
+    # ------------------------------------------------------------------
+    def read(self, io: IoRequest) -> None:
+        address = self._map.get(io.lpn)
+        if address is None:
+            self.controller.complete_unmapped_read(io)
+            return
+        cmd = FlashCommand(
+            CommandKind.READ,
+            CommandSource.APPLICATION,
+            address,
+            lpn=io.lpn,
+            io=io,
+            on_complete=self._read_done,
+        )
+        self.controller.enqueue_command(cmd)
+
+    def _read_done(self, cmd: FlashCommand) -> None:
+        cmd.io.data = cmd.content
+        self.controller.complete_io(cmd.io)
+
+    def write(
+        self, io: Optional[IoRequest], lpn: int, hints: dict, on_done=None, version=None
+    ) -> None:
+        if version is None:
+            version = self.next_version(lpn)
+        lun_key, stream = self.controller.allocator.place_write(lpn, hints)
+        cmd = FlashCommand(
+            CommandKind.PROGRAM,
+            CommandSource.APPLICATION,
+            PhysicalAddress(lun_key[0], lun_key[1], -1, -1),
+            lpn=lpn,
+            content=(lpn, version),
+            stream=stream,
+            io=io,
+            context=on_done,
+            on_complete=self._write_done,
+        )
+        self.controller.enqueue_command(cmd)
+
+    def _write_done(self, cmd: FlashCommand) -> None:
+        lpn, version = cmd.content
+        old_address = self._map.get(lpn)
+        if self._commit_write(lpn, version, cmd.address, old_address):
+            self._map[lpn] = cmd.address
+        if cmd.io is not None:
+            self.controller.complete_io(cmd.io)
+        if cmd.context is not None:
+            cmd.context()
+
+    def trim(self, io: IoRequest) -> None:
+        old_address = self._map.pop(io.lpn, None)
+        if old_address is not None:
+            self._invalidate(old_address)
+        self._supersede(io.lpn)
+        self.controller.complete_quick(io)
+
+    # ------------------------------------------------------------------
+    # GC / WL cooperation
+    # ------------------------------------------------------------------
+    def on_relocation(
+        self,
+        content: PageContent,
+        old_address: PhysicalAddress,
+        new_address: PhysicalAddress,
+    ) -> bool:
+        lpn, _version = content
+        if self._map.get(lpn) == old_address:
+            self._invalidate(old_address)
+            self._map[lpn] = new_address
+            return True
+        self._invalidate(new_address)
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def mapped_address(self, lpn: int) -> Optional[PhysicalAddress]:
+        return self._map.get(lpn)
+
+    def mapped_page_count(self) -> int:
+        return len(self._map)

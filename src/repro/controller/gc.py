@@ -1,0 +1,395 @@
+"""Garbage collection (paper Section 2.2).
+
+"The default GC module strives to fulfill these goals by triggering GC
+so that a given number of blocks (GC Greediness parameter) are always
+free on each LUN."
+
+The collector keeps at most one job per LUN.  A job:
+
+1. picks a victim block according to the configured policy (greedy /
+   cost-benefit / random / oldest);
+2. relocates every page that was live at job start -- with the copyback
+   command when the chip supports it and relocation stays within the
+   LUN, otherwise with a read followed by a program (stream ``gc``);
+3. erases the victim once all relocations completed (the scheduler
+   additionally holds the erase until no in-flight read targets the
+   block).
+
+Races with the application are resolved by the FTL: a page overwritten
+while its relocation was in flight yields an orphan copy, which
+``ftl.on_relocation`` invalidates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.config import GcVictimPolicy
+from repro.hardware.addresses import PhysicalAddress
+from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
+from repro.hardware.flash import Block, Lun
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.controller import SsdController
+
+
+class _GcJob:
+    """One in-progress collection of one victim block."""
+
+    __slots__ = ("lun_key", "block_id", "pending_relocations", "erase_issued", "cross_lun")
+
+    def __init__(self, lun_key: tuple[int, int], block_id: int, cross_lun: bool = False):
+        self.lun_key = lun_key
+        self.block_id = block_id
+        self.pending_relocations = 0
+        self.erase_issued = False
+        #: Balancing job: relocations leave the LUN (see maybe_trigger).
+        self.cross_lun = cross_lun
+
+
+class GarbageCollector:
+    """Per-LUN greedy space reclamation with a free-block watermark."""
+
+    def __init__(self, controller: "SsdController"):
+        self.controller = controller
+        config = controller.config.controller
+        self.greediness = config.gc_greediness
+        self.policy = config.gc_victim_policy
+        self.same_lun = config.gc_same_lun
+        self.use_copyback = (
+            config.enable_copyback
+            and controller.config.timings.supports_copyback
+            and config.gc_same_lun
+        )
+        self._rng = controller.rng.stream("gc")
+        #: Proactive idle-time collection (0 disables).
+        self.idle_target = config.gc_idle_target
+        self.idle_threshold_ns = config.gc_idle_threshold_ns
+        self._idle_timers: dict[tuple[int, int], object] = {}
+        self._last_app_activity: dict[tuple[int, int], int] = {}
+        self.active_jobs: dict[tuple[int, int], _GcJob] = {}
+        #: Erase-only reclaims in flight (fully-dead blocks need no
+        #: relocation space, so they bypass the one-job-per-LUN slot).
+        self._erase_only: set[tuple[tuple[int, int], int]] = set()
+        self.collected_blocks = 0
+        self.relocated_pages = 0
+        self.copyback_relocations = 0
+        self.balancing_jobs = 0
+        self.erase_only_reclaims = 0
+        self.idle_jobs = 0
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def maybe_trigger(self, lun_key: tuple[int, int]) -> None:
+        """Start a job on ``lun_key`` if it fell below the watermark.
+
+        The watermark counts *usable* free blocks: the greediness target
+        sits on top of the allocator's GC-reserve block, otherwise a
+        greediness of 1 could never fire (the reserve keeps one block
+        free at all times) and writers would stall.
+        """
+        if self.controller.ftl.manages_physical_space:
+            return  # the FTL's own merges reclaim space
+        lun = self.controller.array.luns[lun_key]
+        watermark = self.greediness + self.controller.allocator.gc_reserve
+        if len(lun.free_block_ids) >= watermark:
+            return
+        # Fully-dead blocks cost nothing to reclaim and must never wait
+        # behind a relocation job (whose own space needs they may unblock).
+        self._reclaim_fully_dead(lun_key, lun)
+        if lun_key in self.active_jobs:
+            return
+        victim = self._select_victim(lun_key, lun)
+        if victim is not None:
+            self._start_job(lun_key, lun, victim, cross_lun=False)
+            return
+        # No block holds a single dead page: the LUN is overcommitted
+        # with live data (possible under skewed allocation, since GC
+        # relocations stay local).  Rebalance by evicting the block with
+        # the fewest live pages to other LUNs, so this LUN regains free
+        # blocks.  Two guards keep this safe and rare:
+        #
+        # * only rebalance when a queued program is actually blocked here
+        #   (a merely-full-but-unwritten LUN is fine as it is);
+        # * at most ONE rebalancing job device-wide -- concurrent
+        #   cross-LUN jobs can block on each other's target space.
+        if self._cross_lun_job_active():
+            return
+        if not self._has_blocked_program(lun_key, lun):
+            return
+        victim = self._select_balancing_victim(lun_key, lun)
+        if victim is not None:
+            self.balancing_jobs += 1
+            self._start_job(lun_key, lun, victim, cross_lun=True)
+
+    def _cross_lun_job_active(self) -> bool:
+        return any(job.cross_lun for job in self.active_jobs.values())
+
+    def _has_blocked_program(self, lun_key: tuple[int, int], lun: Lun) -> bool:
+        allocator = self.controller.allocator
+        if len(lun.free_block_ids) > allocator.gc_reserve:
+            return False  # new blocks are still openable; nothing stuck
+        return any(
+            cmd.kind is CommandKind.PROGRAM and not allocator.can_bind(cmd)
+            for cmd in self.controller.scheduler.queues[lun_key]
+        )
+
+    def _select_victim(self, lun_key: tuple[int, int], lun: Lun) -> Optional[int]:
+        open_blocks = self.controller.allocator.open_block_ids(lun_key)
+        candidates = [
+            block_id
+            for block_id, block in enumerate(lun.blocks)
+            if block_id not in lun.free_block_ids
+            and block_id not in open_blocks
+            and block.write_pointer > 0
+            and block.dead_count > 0
+            and not self._being_collected(lun_key, block_id)
+            and not self.controller.wl_is_migrating(lun_key, block_id)
+        ]
+        if not candidates:
+            return None
+        now = self.controller.sim.now
+        if self.policy is GcVictimPolicy.GREEDY:
+            return min(candidates, key=lambda b: (lun.block(b).live_count, b))
+        if self.policy is GcVictimPolicy.COST_BENEFIT:
+            return max(candidates, key=lambda b: (self._cost_benefit(lun.block(b), now), -b))
+        if self.policy is GcVictimPolicy.RANDOM:
+            return self._rng.choice(sorted(candidates))
+        if self.policy is GcVictimPolicy.OLDEST:
+            return min(candidates, key=lambda b: (lun.block(b).last_write_ns, b))
+        raise ValueError(f"unknown GC victim policy {self.policy!r}")
+
+    # ------------------------------------------------------------------
+    # Proactive (idle-time) collection
+    # ------------------------------------------------------------------
+    def note_app_activity(self, lun_key: tuple[int, int]) -> None:
+        """Controller hook: an application command was queued for this
+        LUN.  (Re)arms the idle timer when proactive GC is enabled."""
+        if self.idle_target <= 0 or self.controller.ftl.manages_physical_space:
+            return
+        self._last_app_activity[lun_key] = self.controller.sim.now
+        timer = self._idle_timers.get(lun_key)
+        if timer is not None and timer.pending:
+            timer.cancel()
+        self._idle_timers[lun_key] = self.controller.sim.schedule(
+            self.idle_threshold_ns, self._idle_check, lun_key
+        )
+
+    def _idle_check(self, lun_key: tuple[int, int]) -> None:
+        if self.idle_target <= 0:
+            return
+        now = self.controller.sim.now
+        last = self._last_app_activity.get(lun_key, 0)
+        if now - last < self.idle_threshold_ns:
+            return  # a fresher timer exists
+        lun = self.controller.array.luns[lun_key]
+        if lun.is_busy or self._has_pending_app_work(lun_key):
+            # Not actually idle: the backlog keeps the LUN occupied.
+            # Try again one threshold later.
+            self._idle_timers[lun_key] = self.controller.sim.schedule(
+                self.idle_threshold_ns, self._idle_check, lun_key
+            )
+            return
+        if len(lun.free_block_ids) >= self.idle_target:
+            return
+        if lun_key in self.active_jobs:
+            return
+        victim = self._select_victim(lun_key, lun)
+        if victim is None:
+            return
+        self.idle_jobs += 1
+        self._start_job(lun_key, lun, victim, cross_lun=False)
+
+    def _has_pending_app_work(self, lun_key: tuple[int, int]) -> bool:
+        return any(
+            cmd.source is CommandSource.APPLICATION
+            for cmd in self.controller.scheduler.queues[lun_key]
+        )
+
+    def _reclaim_fully_dead(self, lun_key: tuple[int, int], lun: Lun) -> None:
+        open_blocks = self.controller.allocator.open_block_ids(lun_key)
+        for block_id, block in enumerate(lun.blocks):
+            if block.write_pointer == 0 or block.live_count > 0:
+                continue
+            if block_id in open_blocks or block_id in lun.free_block_ids:
+                continue
+            if (lun_key, block_id) in self._erase_only:
+                continue
+            if self._being_collected(lun_key, block_id):
+                continue
+            if self.controller.wl_is_migrating(lun_key, block_id):
+                continue
+            self._erase_only.add((lun_key, block_id))
+            cmd = FlashCommand(
+                CommandKind.ERASE,
+                CommandSource.GC,
+                PhysicalAddress(lun_key[0], lun_key[1], block_id, 0),
+                context=(lun_key, block_id),
+                on_complete=self._erase_only_done,
+            )
+            self.controller.enqueue_command(cmd)
+
+    def _erase_only_done(self, cmd: FlashCommand) -> None:
+        self._erase_only.discard(cmd.context)
+        self.collected_blocks += 1
+        self.erase_only_reclaims += 1
+
+    def _select_balancing_victim(self, lun_key: tuple[int, int], lun: Lun) -> Optional[int]:
+        open_blocks = self.controller.allocator.open_block_ids(lun_key)
+        candidates = [
+            block_id
+            for block_id, block in enumerate(lun.blocks)
+            if block_id not in lun.free_block_ids
+            and block_id not in open_blocks
+            and block.write_pointer > 0
+            and not self._being_collected(lun_key, block_id)
+            and not self.controller.wl_is_migrating(lun_key, block_id)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda b: (lun.block(b).live_count, b))
+
+    @staticmethod
+    def _cost_benefit(block: Block, now: int) -> float:
+        utilisation = block.live_count / block.num_pages
+        age = max(1, now - block.last_write_ns)
+        return (1.0 - utilisation) / (1.0 + utilisation) * age
+
+    def _being_collected(self, lun_key: tuple[int, int], block_id: int) -> bool:
+        if (lun_key, block_id) in self._erase_only:
+            return True
+        job = self.active_jobs.get(lun_key)
+        return job is not None and job.block_id == block_id
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def _start_job(
+        self, lun_key: tuple[int, int], lun: Lun, victim_id: int, cross_lun: bool
+    ) -> None:
+        job = _GcJob(lun_key, victim_id, cross_lun=cross_lun)
+        self.active_jobs[lun_key] = job
+        block = lun.block(victim_id)
+        live_pages = block.live_page_indexes()
+        self.controller.tracer.record(
+            self.controller.sim.now,
+            "controller",
+            "gc-start",
+            f"victim (c{lun_key[0]},l{lun_key[1]},b{victim_id}) "
+            f"live={len(live_pages)}{' rebalance' if cross_lun else ''}",
+        )
+        if not live_pages:
+            self._issue_erase(job)
+            return
+        job.pending_relocations = len(live_pages)
+        for page_index in live_pages:
+            source = PhysicalAddress(lun_key[0], lun_key[1], victim_id, page_index)
+            if self.use_copyback and not cross_lun:
+                self._relocate_by_copyback(job, source)
+            else:
+                self._relocate_by_read_program(job, source)
+
+    def _relocate_by_copyback(self, job: _GcJob, source: PhysicalAddress) -> None:
+        cmd = FlashCommand(
+            CommandKind.COPYBACK,
+            CommandSource.GC,
+            source,
+            stream="gc",
+            context=job,
+            on_complete=self._copyback_done,
+        )
+        self.controller.enqueue_command(cmd)
+
+    def _copyback_done(self, cmd: FlashCommand) -> None:
+        assert cmd.target_address is not None and cmd.content is not None
+        self.copyback_relocations += 1
+        self._relocation_done(cmd.context, cmd.content, cmd.address, cmd.target_address)
+
+    def _relocate_by_read_program(self, job: _GcJob, source: PhysicalAddress) -> None:
+        cmd = FlashCommand(
+            CommandKind.READ,
+            CommandSource.GC,
+            source,
+            context=job,
+            on_complete=self._relocation_read_done,
+        )
+        self.controller.enqueue_command(cmd)
+
+    def _relocation_read_done(self, cmd: FlashCommand) -> None:
+        assert cmd.content is not None
+        job = cmd.context
+        if job.cross_lun:
+            # Balancing eviction: the data must leave this LUN.  Stream
+            # "rebalance" is not reserve-exempt, so other LUNs keep their
+            # GC headroom.
+            lun_key = self.controller.allocator.place_internal(
+                "rebalance", exclude=job.lun_key
+            )
+            stream = "rebalance"
+        elif self.same_lun:
+            lun_key = cmd.lun_key
+            stream = self.controller.allocator.gc_stream_for(cmd.content[0])
+        else:
+            lun_key, stream = self.controller.allocator.place_internal("gc"), "gc"
+        program = FlashCommand(
+            CommandKind.PROGRAM,
+            CommandSource.GC,
+            PhysicalAddress(lun_key[0], lun_key[1], -1, -1),
+            lpn=cmd.content[0],
+            content=cmd.content,
+            stream=stream,
+            context=(cmd.context, cmd.address),
+            on_complete=self._relocation_program_done,
+        )
+        self.controller.enqueue_command(program)
+
+    def _relocation_program_done(self, cmd: FlashCommand) -> None:
+        job, source = cmd.context
+        assert cmd.content is not None
+        self._relocation_done(job, cmd.content, source, cmd.address)
+
+    def _relocation_done(
+        self,
+        job: _GcJob,
+        content: tuple[int, int],
+        old_address: PhysicalAddress,
+        new_address: PhysicalAddress,
+    ) -> None:
+        self.controller.ftl.on_relocation(content, old_address, new_address)
+        self.relocated_pages += 1
+        job.pending_relocations -= 1
+        if job.pending_relocations == 0:
+            self._issue_erase(job)
+
+    def _issue_erase(self, job: _GcJob) -> None:
+        job.erase_issued = True
+        cmd = FlashCommand(
+            CommandKind.ERASE,
+            CommandSource.GC,
+            PhysicalAddress(job.lun_key[0], job.lun_key[1], job.block_id, 0),
+            context=job,
+            on_complete=self._erase_done,
+        )
+        self.controller.enqueue_command(cmd)
+
+    def _erase_done(self, cmd: FlashCommand) -> None:
+        job = cmd.context
+        self.active_jobs.pop(job.lun_key, None)
+        self.collected_blocks += 1
+        self.controller.tracer.record(
+            self.controller.sim.now,
+            "controller",
+            "gc-done",
+            f"erased (c{job.lun_key[0]},l{job.lun_key[1]},b{job.block_id})",
+        )
+        # The LUN may still be below the watermark: chain the next job.
+        self.maybe_trigger(job.lun_key)
+        if job.cross_lun:
+            # The device-wide rebalancing slot is free again: other LUNs
+            # may have been waiting for it.
+            for lun_key in self.controller.array.luns:
+                self.maybe_trigger(lun_key)
+        if self.idle_target > 0:
+            # Chain proactive collection while the LUN stays idle.
+            self.controller.sim.schedule(0, self._idle_check, job.lun_key)

@@ -1,0 +1,218 @@
+"""The SSD-internal IO scheduling framework.
+
+Paper Section 2.2: "Given the state of the flash chip array and a queue
+of pending IOs from various sources [...], of various types [...], and
+that have been waiting in the queue for different lengths of time, which
+IO should be executed next and where?"
+
+The *where* for writes is delegated to the allocator (late page binding);
+this module answers the *which* and *when*.  It maintains one pending
+queue per LUN and, every time a channel or LUN frees, dispatches the
+best eligible command according to the configured policy:
+
+* ``FIFO``     -- oldest first.
+* ``PRIORITY`` -- static (source, type) priorities with optional
+  open-interface priority hints and an anti-starvation age threshold.
+* ``DEADLINE`` -- earliest deadline first, overdue commands ahead.
+* ``FAIR``     -- round-robin over command sources.
+
+Eligibility rules keep the scheduler safe regardless of policy: an erase
+only runs once its block holds no live data and no in-flight reads, and a
+program only runs when the allocator can bind a page for it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.config import SchedulerConfig, SsdSchedulerPolicy
+from repro.core.engine import Simulator
+from repro.hardware.array import SsdArray
+from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
+
+#: Sources rotation order used by the FAIR policy.
+_FAIR_ORDER = [
+    CommandSource.APPLICATION,
+    CommandSource.MAPPING,
+    CommandSource.GC,
+    CommandSource.WEAR_LEVELING,
+]
+
+
+class SsdScheduler:
+    """Per-LUN pending queues plus the dispatch loop ("pump")."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        array: SsdArray,
+        config: SchedulerConfig,
+        can_bind: Callable[[FlashCommand], bool],
+    ):
+        self.sim = sim
+        self.array = array
+        self.config = config
+        #: Allocator predicate: can a PROGRAM/COPYBACK bind a page now?
+        self.can_bind = can_bind
+        self.queues: dict[tuple[int, int], deque[FlashCommand]] = {
+            key: deque() for key in array.luns
+        }
+        #: Per-channel rotation pointer for LUN tie-breaking.
+        self._lun_rotation: dict[int, int] = {c.channel_id: 0 for c in array.channels}
+        #: Per-LUN rotation pointer over sources, for the FAIR policy.
+        self._fair_rotation: dict[tuple[int, int], int] = {key: 0 for key in array.luns}
+        self._pumping = False
+        self.enqueued_commands = 0
+
+    # ------------------------------------------------------------------
+    # Queue interface
+    # ------------------------------------------------------------------
+    def enqueue(self, cmd: FlashCommand) -> None:
+        """Add a command to its LUN's pending queue and try to dispatch."""
+        cmd.enqueue_time = self.sim.now
+        self.queues[cmd.lun_key].append(cmd)
+        self.enqueued_commands += 1
+        self.pump()
+
+    def queue_depth(self, lun_key: tuple[int, int]) -> int:
+        """Pending commands bound to a LUN (used by LEAST_QUEUED
+        allocation and by fairness metrics)."""
+        return len(self.queues[lun_key])
+
+    def total_pending(self) -> int:
+        return sum(len(queue) for queue in self.queues.values())
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Dispatch eligible commands until no more progress is possible.
+
+        Called on every enqueue and on every resource-free notification
+        from the array.  Re-entrant calls collapse into the outer loop.
+        """
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            progress = True
+            while progress:
+                progress = False
+                for channel in self.array.channels:
+                    if not channel.is_free(self.sim.now) or channel.has_continuations:
+                        continue
+                    started = self._dispatch_on_channel(channel.channel_id)
+                    progress = progress or started
+        finally:
+            self._pumping = False
+
+    def _dispatch_on_channel(self, channel_id: int) -> bool:
+        """Start the best eligible command on one free channel."""
+        luns_per_channel = self.array.geometry.luns_per_channel
+        rotation = self._lun_rotation[channel_id]
+        best: Optional[tuple[tuple, FlashCommand]] = None
+        best_lun_offset = 0
+        for offset in range(luns_per_channel):
+            lun_id = (rotation + offset) % luns_per_channel
+            lun = self.array.lun(channel_id, lun_id)
+            if lun.is_busy:
+                continue
+            candidate = self._select(lun.key)
+            if candidate is None:
+                continue
+            key = self._sort_key(candidate)
+            if best is None or key < best[0]:
+                best = (key, candidate)
+                best_lun_offset = offset
+        if best is None:
+            return False
+        cmd = best[1]
+        self.queues[cmd.lun_key].remove(cmd)
+        if self.config.policy is SsdSchedulerPolicy.FAIR:
+            self._advance_fair(cmd)
+        self._lun_rotation[channel_id] = (rotation + best_lun_offset + 1) % luns_per_channel
+        self.array.start(cmd)
+        return True
+
+    # ------------------------------------------------------------------
+    # Policy: candidate selection within one LUN queue
+    # ------------------------------------------------------------------
+    def _select(self, lun_key: tuple[int, int]) -> Optional[FlashCommand]:
+        queue = self.queues[lun_key]
+        if not queue:
+            return None
+        if self.config.policy is SsdSchedulerPolicy.FAIR:
+            return self._select_fair(lun_key, queue)
+        best: Optional[FlashCommand] = None
+        best_key: Optional[tuple] = None
+        for cmd in queue:
+            if not self._eligible(cmd):
+                continue
+            key = self._sort_key(cmd)
+            if best_key is None or key < best_key:
+                best, best_key = cmd, key
+        return best
+
+    def _select_fair(
+        self, lun_key: tuple[int, int], queue: deque[FlashCommand]
+    ) -> Optional[FlashCommand]:
+        start = self._fair_rotation[lun_key]
+        for offset in range(len(_FAIR_ORDER)):
+            source = _FAIR_ORDER[(start + offset) % len(_FAIR_ORDER)]
+            for cmd in queue:
+                if cmd.source is source and self._eligible(cmd):
+                    return cmd
+        return None
+
+    def _advance_fair(self, cmd: FlashCommand) -> None:
+        index = _FAIR_ORDER.index(cmd.source)
+        self._fair_rotation[cmd.lun_key] = (index + 1) % len(_FAIR_ORDER)
+
+    def _eligible(self, cmd: FlashCommand) -> bool:
+        if cmd.kind is CommandKind.ERASE:
+            lun = self.array.lun_of(cmd)
+            return lun.block(cmd.address.block).erasable
+        if cmd.kind in (CommandKind.PROGRAM, CommandKind.COPYBACK):
+            return self.can_bind(cmd)
+        return True
+
+    # ------------------------------------------------------------------
+    # Policy: ordering
+    # ------------------------------------------------------------------
+    def _sort_key(self, cmd: FlashCommand) -> tuple:
+        """Smaller sorts first.  All keys end with (enqueue_time, id) so
+        ordering is total and deterministic."""
+        now = self.sim.now
+        tail = (cmd.enqueue_time or 0, cmd.id)
+        policy = self.config.policy
+        if policy is SsdSchedulerPolicy.FIFO:
+            return tail
+        if policy is SsdSchedulerPolicy.PRIORITY:
+            starved = cmd.age(now) >= self.config.starvation_age_ns
+            if starved:
+                return (0, 0, 0) + tail
+            source_prio = self.config.source_priorities.get(cmd.source.name, 9)
+            type_prio = self.config.type_priorities.get(cmd.kind.name, 9)
+            hint_prio = 0
+            if self.config.use_priority_hints and cmd.io is not None:
+                hint_prio = cmd.io.hints.get("priority", 0)
+            return (1, hint_prio, source_prio * 10 + type_prio) + tail
+        if policy is SsdSchedulerPolicy.DEADLINE:
+            deadline = cmd.deadline if cmd.deadline is not None else float("inf")
+            overdue = 0 if cmd.overdue(now) else 1
+            return (overdue, deadline) + tail
+        if policy is SsdSchedulerPolicy.FAIR:
+            return tail
+        raise ValueError(f"unknown scheduler policy {policy!r}")
+
+    def deadline_for(self, kind: CommandKind, now: int) -> Optional[int]:
+        """Absolute deadline a new command of ``kind`` should carry under
+        the DEADLINE policy (None otherwise)."""
+        if self.config.policy is not SsdSchedulerPolicy.DEADLINE:
+            return None
+        if kind is CommandKind.READ:
+            return now + self.config.read_deadline_ns
+        if kind is CommandKind.ERASE:
+            return now + self.config.erase_deadline_ns
+        return now + self.config.write_deadline_ns

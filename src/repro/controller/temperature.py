@@ -1,0 +1,198 @@
+"""Hot/cold data identification (paper Section 2.2, wear leveling).
+
+The paper lists three temperature sources, all implemented here:
+
+1. "assuming the pages migrated in static wear-leveling are cold, and
+   everything else is hot" -- :class:`StaticWlDetector`;
+2. "a temperature detection mechanism for each page such as the one
+   described in [Park & Du, MSST 2011]", i.e. multiple bloom filters
+   with decaying weights -- :class:`BloomFilterDetector`;
+3. "information about the temperature of data coming through an open
+   interface from the application" -- :class:`HintDetector`.
+
+All detectors share one small interface so the allocator and wear
+leveler do not care where temperature knowledge comes from.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.config import TemperatureConfig, TemperatureDetector
+
+
+class TemperatureModule(abc.ABC):
+    """Common interface of all temperature sources."""
+
+    @abc.abstractmethod
+    def record_write(self, lpn: int) -> None:
+        """Observe a logical write (called on every application write)."""
+
+    @abc.abstractmethod
+    def is_hot(self, lpn: int) -> bool:
+        """Current hot/cold classification of a page."""
+
+    def mark_cold(self, lpn: int) -> None:
+        """Wear-leveling hook: the page was migrated by static WL."""
+
+    def hint(self, lpn: int, hot: bool) -> None:
+        """Open-interface hook: the OS communicated a temperature."""
+
+    def classify(self, lpn: int, hints: dict) -> str:
+        """Allocation stream for a write: ``app_hot`` or ``app_cold``."""
+        return "app_hot" if self.is_hot(lpn) else "app_cold"
+
+
+class NullDetector(TemperatureModule):
+    """No temperature knowledge; every page is treated alike."""
+
+    def record_write(self, lpn: int) -> None:
+        pass
+
+    def is_hot(self, lpn: int) -> bool:
+        return False
+
+    def classify(self, lpn: int, hints: dict) -> str:
+        return "app"
+
+
+class _BloomFilter:
+    """A tiny bloom filter over integers, backed by one Python int."""
+
+    __slots__ = ("bits", "num_bits", "num_hashes", "inserted")
+
+    def __init__(self, num_bits: int, num_hashes: int):
+        self.bits = 0
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self.inserted = 0
+
+    def _positions(self, value: int):
+        # Double hashing with two cheap mixes of the value.
+        h1 = (value * 2654435761) & 0xFFFFFFFF
+        h2 = (value * 40503 + 0x9E3779B9) & 0xFFFFFFFF
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, value: int) -> None:
+        for position in self._positions(value):
+            self.bits |= 1 << position
+        self.inserted += 1
+
+    def __contains__(self, value: int) -> bool:
+        return all(self.bits >> position & 1 for position in self._positions(value))
+
+    def clear(self) -> None:
+        self.bits = 0
+        self.inserted = 0
+
+
+class BloomFilterDetector(TemperatureModule):
+    """Multiple bloom filters with exponentially decaying weights.
+
+    Writes are recorded into the *current* filter; every
+    ``decay_writes`` recorded writes the oldest filter is cleared and
+    becomes current (rotation).  A page's hotness is the weighted count
+    of filters containing it, newest filter weighing most; it is *hot*
+    when the weighted count reaches ``hot_threshold``.
+    """
+
+    #: Per-generation weight decay (newest = 1.0, then x this per step).
+    DECAY = 0.5
+
+    def __init__(self, config: TemperatureConfig):
+        if config.num_filters < 2:
+            raise ValueError("BloomFilterDetector needs at least 2 filters")
+        self.config = config
+        self._filters = [
+            _BloomFilter(config.filter_bits, config.num_hashes)
+            for _ in range(config.num_filters)
+        ]
+        #: Index of the filter currently recording writes.
+        self._current = 0
+        self._writes_in_period = 0
+
+    def record_write(self, lpn: int) -> None:
+        # Lazy rotation: the filter holding the most recent writes stays
+        # "current" (full weight) until the next period actually begins.
+        if self._writes_in_period >= self.config.decay_writes:
+            self._rotate()
+        self._filters[self._current].add(lpn)
+        self._writes_in_period += 1
+
+    def _rotate(self) -> None:
+        self._current = (self._current + 1) % len(self._filters)
+        self._filters[self._current].clear()
+        self._writes_in_period = 0
+
+    def weighted_count(self, lpn: int) -> float:
+        """Decayed number of recent periods in which ``lpn`` was written."""
+        total = 0.0
+        weight = 1.0
+        for age in range(len(self._filters)):
+            index = (self._current - age) % len(self._filters)
+            if lpn in self._filters[index]:
+                total += weight
+            weight *= self.DECAY
+        return total
+
+    def is_hot(self, lpn: int) -> bool:
+        return self.weighted_count(lpn) >= self.config.hot_threshold
+
+
+class StaticWlDetector(TemperatureModule):
+    """Pages migrated by static wear leveling are cold; the rest hot."""
+
+    def __init__(self) -> None:
+        self._cold: set[int] = set()
+
+    def record_write(self, lpn: int) -> None:
+        # A rewritten page is evidently not cold any more.
+        self._cold.discard(lpn)
+
+    def mark_cold(self, lpn: int) -> None:
+        self._cold.add(lpn)
+
+    def is_hot(self, lpn: int) -> bool:
+        return lpn not in self._cold
+
+
+class HintDetector(TemperatureModule):
+    """Temperatures communicated by the OS through the open interface.
+
+    Falls back to "cold" for pages without hints; per-IO hints (the
+    ``temperature`` key) take precedence in :meth:`classify`.
+    """
+
+    def __init__(self) -> None:
+        self._hot: set[int] = set()
+
+    def record_write(self, lpn: int) -> None:
+        pass
+
+    def hint(self, lpn: int, hot: bool) -> None:
+        if hot:
+            self._hot.add(lpn)
+        else:
+            self._hot.discard(lpn)
+
+    def is_hot(self, lpn: int) -> bool:
+        return lpn in self._hot
+
+    def classify(self, lpn: int, hints: dict) -> str:
+        if "temperature" in hints:
+            return "app_hot" if hints["temperature"] == "hot" else "app_cold"
+        return super().classify(lpn, hints)
+
+
+def build_detector(config: TemperatureConfig) -> TemperatureModule:
+    """Factory used by the controller."""
+    if config.detector is TemperatureDetector.NONE:
+        return NullDetector()
+    if config.detector is TemperatureDetector.BLOOM:
+        return BloomFilterDetector(config)
+    if config.detector is TemperatureDetector.STATIC_WL:
+        return StaticWlDetector()
+    if config.detector is TemperatureDetector.HINT:
+        return HintDetector()
+    raise ValueError(f"unknown temperature detector {config.detector!r}")

@@ -1,0 +1,194 @@
+"""Write buffering in battery-backed RAM.
+
+Paper Section 2.2: "other modules can be added to the SSD controller,
+e.g., a write-buffering module that uses battery-backed RAM to
+temporarily store data before it is written on flash pages."
+
+Semantics:
+
+* An admitted write completes as soon as its page sits in the buffer
+  (battery-backed RAM is durable), after a small controller overhead.
+* A write to an already-buffered page is absorbed in place -- this is
+  where the module wins: rewrite-heavy workloads never touch flash.
+* Reads are served from the buffer when the page is buffered.
+* Above the high watermark the buffer flushes least-recently-written
+  pages through the FTL; a page stays readable in the buffer until its
+  flash program completes.
+* When the buffer is full, incoming writes wait for a free slot
+  (back-pressure), preserving durability semantics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.events import IoRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.controller import SsdController
+
+class _BufferedPage:
+    """One buffered page: its hints plus the write version it carries.
+
+    The version is reserved from the FTL at admission, so content tokens
+    stay one-to-one with logical writes even when rewrites are absorbed
+    in RAM and only the newest version ever reaches flash.
+    """
+
+    __slots__ = ("hints", "version")
+
+    def __init__(self, hints: dict, version: int):
+        self.hints = hints
+        self.version = version
+
+
+class WriteBuffer:
+    """An LRU write-back buffer of whole pages in battery-backed RAM."""
+
+    #: Start flushing above this occupancy...
+    HIGH_WATERMARK = 0.75
+    #: ...and stop once back at or below this occupancy.
+    LOW_WATERMARK = 0.50
+
+    def __init__(self, controller: "SsdController", capacity_pages: int):
+        if capacity_pages < 1:
+            raise ValueError("write buffer needs at least one page")
+        self.controller = controller
+        self.capacity = capacity_pages
+        page_bytes = controller.config.geometry.page_size_bytes
+        controller.memory.allocate_battery_ram(
+            "write buffer", capacity_pages * page_bytes
+        )
+        #: lpn -> _BufferedPage, in least-recently-written-first order.
+        self._entries: OrderedDict[int, _BufferedPage] = OrderedDict()
+        #: Pages whose flush program is in flight (still readable).
+        self._flushing: set[int] = set()
+        #: Pages rewritten while their flush was in flight; their entry
+        #: must survive the flush completion.
+        self._rewritten_during_flush: set[int] = set()
+        #: Trims deferred until an in-flight flush of the page completes.
+        self._pending_trims: dict[int, list[IoRequest]] = {}
+        #: Writes waiting for a free slot: (io, hints, version).
+        self._waiting: deque[tuple[IoRequest, dict, int]] = deque()
+        self.hits = 0
+        self.absorbed_rewrites = 0
+        self.flushed_pages = 0
+
+    # ------------------------------------------------------------------
+    # IO paths (called by the controller)
+    # ------------------------------------------------------------------
+    def write(self, io: IoRequest, hints: dict) -> None:
+        version = self.controller.ftl.next_version(io.lpn)
+        if io.lpn in self._entries:
+            # Absorb the rewrite in place.  If a flush of the old content
+            # is in flight, remember that the entry must survive it.
+            self._entries.move_to_end(io.lpn)
+            self._entries[io.lpn] = _BufferedPage(hints, version)
+            if io.lpn in self._flushing:
+                self._rewritten_during_flush.add(io.lpn)
+            self.absorbed_rewrites += 1
+            self.controller.complete_quick(io)
+            return
+        if len(self._entries) >= self.capacity:
+            self._waiting.append((io, hints, version))
+            self._maybe_flush(force=True)
+            return
+        self._admit(io, hints, version)
+
+    def _admit(self, io: IoRequest, hints: dict, version: int) -> None:
+        self._entries[io.lpn] = _BufferedPage(hints, version)
+        self._entries.move_to_end(io.lpn)
+        self.controller.complete_quick(io)
+        self._maybe_flush()
+
+    def serve_read(self, io: IoRequest) -> bool:
+        """Complete ``io`` from the buffer if the page is buffered."""
+        if io.lpn not in self._entries:
+            return False
+        self.hits += 1
+        io.data = (io.lpn, self._entries[io.lpn].version)
+        self.controller.complete_quick(io)
+        return True
+
+    def trim(self, io: IoRequest) -> bool:
+        """Trim support.  Returns True when the buffer took ownership of
+        the trim; the FTL trim is then issued by the buffer itself (after
+        any in-flight flush of the page, to preserve ordering)."""
+        if io.lpn not in self._entries:
+            return False
+        if io.lpn in self._flushing:
+            self._pending_trims.setdefault(io.lpn, []).append(io)
+            return True
+        del self._entries[io.lpn]
+        self._rewritten_during_flush.discard(io.lpn)
+        # An older version of the page may still be mapped on flash.
+        self.controller.ftl.trim(io)
+        self._admit_waiters()
+        return True
+
+    @property
+    def buffered_pages(self) -> int:
+        return len(self._entries)
+
+    def contains(self, lpn: int) -> bool:
+        return lpn in self._entries
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    def _maybe_flush(self, force: bool = False) -> None:
+        high = int(self.capacity * self.HIGH_WATERMARK)
+        low = int(self.capacity * self.LOW_WATERMARK)
+        if not force and len(self._entries) <= high:
+            return
+        target = low if len(self._entries) > high else len(self._entries) - 1
+        for lpn in list(self._entries):
+            if len(self._entries) - len(self._flushing) <= target:
+                break
+            if lpn in self._flushing:
+                continue
+            self._flush_page(lpn)
+
+    def _flush_page(self, lpn: int) -> None:
+        page = self._entries[lpn]
+        self._flushing.add(lpn)
+        self.controller.ftl.write(
+            None,
+            lpn,
+            page.hints,
+            on_done=lambda lpn=lpn: self._flush_done(lpn),
+            version=page.version,
+        )
+
+    def _flush_done(self, lpn: int) -> None:
+        self._flushing.discard(lpn)
+        self.flushed_pages += 1
+        if lpn in self._rewritten_during_flush:
+            # Newer content arrived mid-flush: the flash copy is already
+            # stale, keep the buffered page.
+            self._rewritten_during_flush.discard(lpn)
+        else:
+            self._entries.pop(lpn, None)
+        for trim_io in self._pending_trims.pop(lpn, []):
+            self._entries.pop(lpn, None)
+            self._rewritten_during_flush.discard(lpn)
+            self.controller.ftl.trim(trim_io)
+        self._admit_waiters()
+
+    def _admit_waiters(self) -> None:
+        while self._waiting and len(self._entries) < self.capacity:
+            io, hints, version = self._waiting.popleft()
+            if io.lpn in self._entries:
+                # The page re-entered the buffer while this write waited.
+                # Absorb in place unless a newer write already superseded
+                # this one (never regress the buffered version).
+                if version > self._entries[io.lpn].version:
+                    self._entries.move_to_end(io.lpn)
+                    self._entries[io.lpn] = _BufferedPage(hints, version)
+                    if io.lpn in self._flushing:
+                        self._rewritten_during_flush.add(io.lpn)
+                self.absorbed_rewrites += 1
+                self.controller.complete_quick(io)
+            else:
+                self._admit(io, hints, version)

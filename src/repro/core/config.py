@@ -1,0 +1,562 @@
+"""Configuration surface of the simulator.
+
+Paper Section 2.2: "EagleTree allows users to set up every hardware
+parameter of the simulated SSD [...] All these parameters are variables
+that can be set, viewed and updated with ease.  Predefined configurations
+are provided based on existing SSDs and flash chip datasheets."
+
+Everything configurable in this reproduction lives here, as plain
+dataclasses that experiments can copy and mutate (see
+:mod:`repro.core.experiments`).  Policies are expressed as enums so that
+configurations are printable, comparable and hashable for sweep keys.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import units
+
+
+class ChipKind(enum.Enum):
+    """Flash cell technology; determines the default timing preset."""
+
+    SLC = "slc"
+    MLC = "mlc"
+
+
+class FtlKind(enum.Enum):
+    """Mapping scheme run by the controller (paper Section 2.2 Mapping).
+
+    The paper evaluates the two page-based schemes; HYBRID extends the
+    design space with the classic block-mapped + log-block scheme the
+    page-based FTL literature compares against.
+    """
+
+    #: Full page-level map kept entirely in controller RAM.
+    PAGE = "page"
+    #: DFTL: demand-paged mapping with a cached mapping table (CMT) in RAM
+    #: and translation pages on flash (Gupta et al., ASPLOS 2009).
+    DFTL = "dftl"
+    #: FAST-style hybrid: block-level map plus page-mapped log blocks,
+    #: reclaimed by full/switch merges.
+    HYBRID = "hybrid"
+
+
+class GcVictimPolicy(enum.Enum):
+    """How the garbage collector picks victim blocks."""
+
+    #: Fewest valid pages first (classic greedy).
+    GREEDY = "greedy"
+    #: Cost-benefit: weigh reclaimable space against block age.
+    COST_BENEFIT = "cost_benefit"
+    #: Uniform random among full blocks (baseline for comparisons).
+    RANDOM = "random"
+    #: Oldest written block first (FIFO / LRU-block).
+    OLDEST = "oldest"
+
+
+class SsdSchedulerPolicy(enum.Enum):
+    """SSD-internal IO scheduling policy (paper Section 2.2 Scheduling)."""
+
+    FIFO = "fifo"
+    #: Static priorities over (source, type) with ageing.
+    PRIORITY = "priority"
+    #: Earliest-deadline-first with per-type deadlines.
+    DEADLINE = "deadline"
+    #: Round-robin fairness across sources.
+    FAIR = "fair"
+
+
+class OsSchedulerPolicy(enum.Enum):
+    """OS IO scheduling strategy (paper: "e.g., FIFO, CFQ, priorities")."""
+
+    FIFO = "fifo"
+    PRIORITY = "priority"
+    #: CFQ-like fair queueing: round-robin across threads.
+    FAIR = "fair"
+    DEADLINE = "deadline"
+
+
+class AllocationPolicy(enum.Enum):
+    """Which LUN an incoming write is bound to (the "where" decision)."""
+
+    #: Rotate across LUNs globally.
+    ROUND_ROBIN = "round_robin"
+    #: LUN with the fewest queued flash commands.
+    LEAST_QUEUED = "least_queued"
+    #: Static striping by logical page number.
+    STRIPE = "stripe"
+    #: Like ROUND_ROBIN but hot and cold pages go to separate open blocks
+    #: (requires a temperature source: detector or hints).
+    TEMPERATURE = "temperature"
+    #: Pages of the same locality group go to the same open block
+    #: (requires update-locality hints through the open interface).
+    LOCALITY = "locality"
+
+
+class TemperatureDetector(enum.Enum):
+    """Where page temperature information comes from (Section 2.2 WL)."""
+
+    NONE = "none"
+    #: Multiple bloom filters (Park & Du, MSST 2011).
+    BLOOM = "bloom"
+    #: Pages migrated by static wear leveling are cold, the rest hot.
+    STATIC_WL = "static_wl"
+    #: Temperatures communicated by the OS through the open interface.
+    HINT = "hint"
+
+
+@dataclass
+class ChipTimings:
+    """Basic flash chip timings (paper: "to send a command, transfer data
+    on a channel, read, write or erase").
+
+    All times in integer nanoseconds; the channel is modelled by a
+    per-byte transfer cost so page size changes propagate automatically.
+    """
+
+    #: Command-and-address handshake occupying the channel.
+    t_cmd_ns: int = units.microseconds(1)
+    #: Array read (page -> chip register).
+    t_read_ns: int = units.microseconds(25)
+    #: Array program (chip register -> page).
+    t_prog_ns: int = units.microseconds(200)
+    #: Block erase.
+    t_erase_ns: int = units.milliseconds(1.5)
+    #: Channel transfer cost per byte (e.g. 10ns/B == 100 MB/s bus).
+    bus_ns_per_byte: int = 10
+    #: Cell technology, for documentation and preset selection.
+    kind: ChipKind = ChipKind.SLC
+    #: Chip implements the copyback (internal data move) command.
+    supports_copyback: bool = True
+    #: Chip has a cache register enabling pipelining: a read's data-out
+    #: may overlap the next array operation on the same LUN.
+    supports_pipelining: bool = False
+    #: Program/erase cycles a block endures before being retired as bad.
+    #: ``None`` models an unlimited-endurance device (the default, so
+    #: long experiments do not silently lose capacity).  Datasheet-like
+    #: values: ~100k for SLC, ~3-10k for MLC.
+    endurance_cycles: Optional[int] = None
+
+    @classmethod
+    def slc(cls) -> "ChipTimings":
+        """SLC preset, modelled on large-block SLC datasheets
+        (e.g. Samsung K9XXG08UXM family)."""
+        return cls(
+            t_cmd_ns=units.microseconds(1),
+            t_read_ns=units.microseconds(25),
+            t_prog_ns=units.microseconds(200),
+            t_erase_ns=units.milliseconds(1.5),
+            bus_ns_per_byte=10,
+            kind=ChipKind.SLC,
+            supports_copyback=True,
+            supports_pipelining=True,
+        )
+
+    @classmethod
+    def mlc(cls) -> "ChipTimings":
+        """MLC preset: slower reads, much slower programs and erases."""
+        return cls(
+            t_cmd_ns=units.microseconds(1),
+            t_read_ns=units.microseconds(50),
+            t_prog_ns=units.microseconds(800),
+            t_erase_ns=units.milliseconds(3),
+            bus_ns_per_byte=10,
+            kind=ChipKind.MLC,
+        )
+
+    def transfer_ns(self, num_bytes: int) -> int:
+        """Channel occupancy to move ``num_bytes`` of data."""
+        return num_bytes * self.bus_ns_per_byte
+
+    def validate(self) -> None:
+        for name in ("t_cmd_ns", "t_read_ns", "t_prog_ns", "t_erase_ns", "bus_ns_per_byte"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"ChipTimings.{name} must be positive")
+
+
+@dataclass
+class SsdGeometry:
+    """Physical shape of the SSD: channels x LUNs x blocks x pages.
+
+    Following the paper (footnote 1), the LUN -- the ONFI minimum
+    granularity of parallelism -- abstracts away packages, chips and dies.
+    """
+
+    channels: int = 4
+    luns_per_channel: int = 2
+    blocks_per_lun: int = 64
+    pages_per_block: int = 64
+    page_size_bytes: int = 4096
+    #: Fraction of blocks that are factory-bad (masked from use, never
+    #: allocated; paper: WL "mask[s] bad blocks").  Chosen per LUN from
+    #: the experiment seed, so runs stay reproducible.
+    bad_block_rate: float = 0.0
+
+    @property
+    def total_luns(self) -> int:
+        return self.channels * self.luns_per_channel
+
+    @property
+    def pages_per_lun(self) -> int:
+        return self.blocks_per_lun * self.pages_per_block
+
+    @property
+    def total_blocks(self) -> int:
+        return self.total_luns * self.blocks_per_lun
+
+    @property
+    def total_pages(self) -> int:
+        return self.total_luns * self.pages_per_lun
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_pages * self.page_size_bytes
+
+    def validate(self) -> None:
+        for name in (
+            "channels",
+            "luns_per_channel",
+            "blocks_per_lun",
+            "pages_per_block",
+            "page_size_bytes",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ValueError(f"SsdGeometry.{name} must be a positive integer")
+        if self.blocks_per_lun < 4:
+            raise ValueError("blocks_per_lun must be at least 4 (GC headroom)")
+        if not 0.0 <= self.bad_block_rate < 0.5:
+            raise ValueError("bad_block_rate must be in [0, 0.5)")
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of the SSD-internal scheduler framework.
+
+    The framework (paper Section 2.2) supports priorities by source and
+    type, deadlines with configurable overdue handling, and ageing to
+    avoid starvation.  Individual policies consume the subset they need.
+    """
+
+    policy: SsdSchedulerPolicy = SsdSchedulerPolicy.FIFO
+    #: Lower number = higher priority.  Keys are CommandSource names.
+    source_priorities: dict[str, int] = field(
+        default_factory=lambda: {
+            "APPLICATION": 0,
+            "MAPPING": 0,
+            "GC": 1,
+            "WEAR_LEVELING": 2,
+        }
+    )
+    #: Lower number = higher priority.  Keys are flash command kind names.
+    type_priorities: dict[str, int] = field(
+        default_factory=lambda: {"READ": 0, "PROGRAM": 0, "COPYBACK": 1, "ERASE": 2}
+    )
+    #: Deadline per command kind for the DEADLINE policy.
+    read_deadline_ns: int = units.microseconds(500)
+    write_deadline_ns: int = units.milliseconds(5)
+    erase_deadline_ns: int = units.milliseconds(50)
+    #: PRIORITY policy: a command waiting longer than this beats priority.
+    starvation_age_ns: int = units.milliseconds(20)
+    #: Honour open-interface priority hints carried on application IOs.
+    use_priority_hints: bool = False
+
+    def copy(self) -> "SchedulerConfig":
+        return copy.deepcopy(self)
+
+
+@dataclass
+class WearLevelingConfig:
+    """Static and dynamic wear-leveling knobs (paper Section 2.2 WL)."""
+
+    enabled: bool = True
+    #: Run the static-WL scan every N block erases.
+    check_interval_erases: int = 32
+    #: A block is "young and cold" when its erase count is below
+    #: (average - threshold) and it has not been erased for longer than
+    #: ``idle_factor`` times the average erase interval.
+    erase_count_threshold: int = 8
+    idle_factor: float = 4.0
+    #: Cap concurrent static-WL migrations to bound interference.
+    max_concurrent_migrations: int = 1
+    #: Dynamic WL: hand young free blocks to hot streams and old free
+    #: blocks to cold streams when the allocator asks for an open block.
+    dynamic: bool = True
+
+
+@dataclass
+class TemperatureConfig:
+    """Hot/cold page classification (paper Section 2.2 WL, option 2)."""
+
+    detector: TemperatureDetector = TemperatureDetector.NONE
+    #: Number of bloom filters in the Park & Du multi-filter scheme.
+    num_filters: int = 4
+    #: Bits per bloom filter.
+    filter_bits: int = 4096
+    #: Hash functions per filter.
+    num_hashes: int = 2
+    #: Rotate (decay) the oldest filter every N recorded writes.
+    decay_writes: int = 4096
+    #: A page whose weighted appearance count reaches this is "hot".
+    hot_threshold: float = 1.5
+
+
+@dataclass
+class DftlConfig:
+    """DFTL-specific parameters (only used when ``ftl == DFTL``)."""
+
+    #: Cached-mapping-table capacity in entries.  ``None`` derives the
+    #: capacity from the controller RAM budget.
+    cmt_entries: Optional[int] = None
+    #: Bytes per mapping entry used for RAM accounting.
+    entry_bytes: int = 8
+    #: Write back a batch of dirty entries belonging to the same
+    #: translation page on eviction ("batch eviction" of the DFTL paper).
+    batch_eviction: bool = True
+
+
+@dataclass
+class HybridConfig:
+    """Hybrid-FTL parameters (only used when ``ftl == HYBRID``)."""
+
+    #: Number of page-mapped log blocks (the update area).
+    log_blocks: int = 8
+    #: Recognise single-lbn, in-order log blocks and promote them to data
+    #: blocks without copying (the classic switch merge).
+    switch_merge: bool = True
+
+
+@dataclass
+class ControllerConfig:
+    """Everything the SSD controller layer does (paper Section 2.2)."""
+
+    ftl: FtlKind = FtlKind.PAGE
+    #: Fraction of physical pages hidden from the logical address space.
+    overprovisioning: float = 0.12
+    #: GC Greediness (paper's own term): GC keeps at least this many
+    #: *usable* free blocks on each LUN at all times, on top of the one
+    #: block the allocator permanently reserves for GC relocations.
+    gc_greediness: int = 2
+    gc_victim_policy: GcVictimPolicy = GcVictimPolicy.GREEDY
+    #: Relocate GC'd pages within the victim's LUN (preserves per-LUN free
+    #: space and enables copyback) rather than anywhere.
+    gc_same_lun: bool = True
+    #: Proactive (idle-time) garbage collection: when a LUN has been idle
+    #: for ``gc_idle_threshold_ns`` and holds reclaimable space, collect
+    #: ahead of demand up to ``gc_idle_target`` free blocks per LUN --
+    #: the demo's "scheduling internal operations as non-obtrusively as
+    #: possible".  0 disables the feature.
+    gc_idle_target: int = 0
+    gc_idle_threshold_ns: int = units.milliseconds(1)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    allocation: AllocationPolicy = AllocationPolicy.ROUND_ROBIN
+    #: Advanced commands (paper Section 2.2 Hardware).
+    enable_copyback: bool = True
+    enable_interleaving: bool = True
+    #: Use the chips' cache registers (if present) to overlap a read's
+    #: data-out with the next array operation on the same LUN.
+    enable_pipelining: bool = False
+    wear_leveling: WearLevelingConfig = field(default_factory=WearLevelingConfig)
+    temperature: TemperatureConfig = field(default_factory=TemperatureConfig)
+    dftl: DftlConfig = field(default_factory=DftlConfig)
+    hybrid: HybridConfig = field(default_factory=HybridConfig)
+    #: Pages of battery-backed RAM used by the write-buffer module
+    #: (0 disables the module).
+    write_buffer_pages: int = 0
+    #: Controller RAM budget (mapping structures), bytes.
+    ram_bytes: int = 32 * units.MIB
+    #: Battery-backed RAM budget (write buffer), bytes.
+    battery_ram_bytes: int = 1 * units.MIB
+
+    def validate(self, geometry: SsdGeometry) -> None:
+        if not 0.0 < self.overprovisioning < 0.9:
+            raise ValueError("overprovisioning must be in (0, 0.9)")
+        if self.gc_greediness < 1:
+            raise ValueError("gc_greediness must be >= 1")
+        if self.gc_greediness >= geometry.blocks_per_lun // 2:
+            raise ValueError(
+                "gc_greediness must leave at least half of each LUN usable"
+            )
+        if self.gc_idle_target < 0:
+            raise ValueError("gc_idle_target must be >= 0")
+        if self.gc_idle_target >= geometry.blocks_per_lun // 2:
+            raise ValueError(
+                "gc_idle_target must leave at least half of each LUN usable"
+            )
+        if self.gc_idle_target > 0 and self.gc_idle_threshold_ns <= 0:
+            raise ValueError("gc_idle_threshold_ns must be positive")
+        if self.write_buffer_pages < 0:
+            raise ValueError("write_buffer_pages must be >= 0")
+        buffer_bytes = self.write_buffer_pages * geometry.page_size_bytes
+        if buffer_bytes > self.battery_ram_bytes:
+            raise ValueError(
+                "write buffer does not fit in battery-backed RAM "
+                f"({buffer_bytes}B > {self.battery_ram_bytes}B)"
+            )
+
+
+@dataclass
+class HostConfig:
+    """Operating-system layer configuration (paper Section 2.2 OS)."""
+
+    os_scheduler: OsSchedulerPolicy = OsSchedulerPolicy.FIFO
+    #: Maximum IOs outstanding at the SSD at any moment (queue depth).
+    max_outstanding: int = 32
+    #: Enable the open interface: hint messages attached to IOs are
+    #: forwarded to the SSD instead of being stripped at the block layer.
+    open_interface: bool = False
+    #: Deadlines used by the DEADLINE OS scheduler.
+    read_deadline_ns: int = units.milliseconds(1)
+    write_deadline_ns: int = units.milliseconds(10)
+    #: Keep every completed IoRequest object on the result (memory-heavy
+    #: for long runs; meant for tests and fine-grained analysis).
+    retain_completed_ios: bool = False
+
+    def validate(self) -> None:
+        if self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+
+
+@dataclass
+class SimulationConfig:
+    """Top-level configuration: one object describes one simulated system."""
+
+    geometry: SsdGeometry = field(default_factory=SsdGeometry)
+    timings: ChipTimings = field(default_factory=ChipTimings.slc)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    host: HostConfig = field(default_factory=HostConfig)
+    seed: int = 42
+    #: Hard stop for the virtual clock; ``None`` runs until workloads end.
+    max_time_ns: Optional[int] = None
+    #: Record per-command trace events (memory-heavy; off by default).
+    trace_enabled: bool = False
+
+    @property
+    def logical_pages(self) -> int:
+        """Size of the logical address space exposed to the host."""
+        return int(self.geometry.total_pages * (1.0 - self.controller.overprovisioning))
+
+    def copy(self) -> "SimulationConfig":
+        """Deep copy, for experiment sweeps mutating one parameter."""
+        return copy.deepcopy(self)
+
+    def validate(self) -> None:
+        """Check cross-field consistency; raises ``ValueError`` on issues."""
+        self.geometry.validate()
+        self.timings.validate()
+        self.controller.validate(self.geometry)
+        self.host.validate()
+        if self.logical_pages < 1:
+            raise ValueError("overprovisioning leaves no logical space")
+        # Feasibility: every LUN must be able to hold its share of live
+        # data while keeping the GC watermark plus the GC reserve block
+        # free, otherwise steady state deadlocks on an all-live device.
+        slack_blocks = self.controller.gc_greediness + 1
+        expected_good = int(
+            self.geometry.total_pages * (1.0 - self.geometry.bad_block_rate)
+        )
+        usable_pages = (
+            expected_good
+            - self.geometry.total_luns * slack_blocks * self.geometry.pages_per_block
+        )
+        if self.logical_pages > usable_pages:
+            raise ValueError(
+                f"infeasible configuration: logical space {self.logical_pages} pages "
+                f"exceeds {usable_pages} usable pages once every LUN reserves "
+                f"gc_greediness+1 = {slack_blocks} blocks; raise overprovisioning, "
+                "lower gc_greediness, or add blocks"
+            )
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary of the configuration."""
+        g = self.geometry
+        return (
+            f"SSD {g.channels}ch x {g.luns_per_channel} LUN, "
+            f"{g.blocks_per_lun} blk/LUN x {g.pages_per_block} pg/blk x "
+            f"{units.format_bytes(g.page_size_bytes)} "
+            f"({units.format_bytes(g.capacity_bytes)} raw, "
+            f"OP {self.controller.overprovisioning:.0%}), "
+            f"{self.timings.kind.value.upper()} chips, "
+            f"FTL {self.controller.ftl.value}, "
+            f"GC greediness {self.controller.gc_greediness}, "
+            f"SSD sched {self.controller.scheduler.policy.value}, "
+            f"OS sched {self.host.os_scheduler.value}, "
+            f"QD {self.host.max_outstanding}, "
+            f"open interface {'on' if self.host.open_interface else 'off'}"
+        )
+
+
+def small_config(**overrides) -> SimulationConfig:
+    """A tiny SSD for unit tests: fast to simulate, still parallel.
+
+    Tiny LUNs make per-LUN slack proportionally expensive, so the
+    overprovisioning is higher than the demo configuration's.
+    """
+    config = SimulationConfig(
+        geometry=SsdGeometry(
+            channels=2,
+            luns_per_channel=2,
+            blocks_per_lun=32,
+            pages_per_block=16,
+            page_size_bytes=2048,
+        ),
+    )
+    config.controller.overprovisioning = 0.18
+    return _apply_overrides(config, overrides)
+
+
+def demo_config(**overrides) -> SimulationConfig:
+    """The configuration used by the demonstration experiments."""
+    config = SimulationConfig(
+        geometry=SsdGeometry(
+            channels=4,
+            luns_per_channel=2,
+            blocks_per_lun=64,
+            pages_per_block=32,
+            page_size_bytes=4096,
+        ),
+    )
+    return _apply_overrides(config, overrides)
+
+
+def _apply_overrides(config: SimulationConfig, overrides: dict) -> SimulationConfig:
+    for key, value in overrides.items():
+        if not hasattr(config, key):
+            raise TypeError(f"unknown SimulationConfig field {key!r}")
+        setattr(config, key, value)
+    return config
+
+
+def set_by_path(config: SimulationConfig, path: str, value) -> None:
+    """Set a (possibly nested) configuration field by dotted path.
+
+    Used by experiment templates: ``set_by_path(cfg,
+    "controller.gc_greediness", 4)``.  Raises ``AttributeError`` for
+    unknown paths so typos in sweeps fail fast.
+    """
+    parts = path.split(".")
+    target = config
+    for part in parts[:-1]:
+        target = getattr(target, part)
+    leaf = parts[-1]
+    if dataclasses.is_dataclass(target) and leaf not in {
+        f.name for f in dataclasses.fields(target)
+    }:
+        raise AttributeError(f"{type(target).__name__} has no field {leaf!r}")
+    if not hasattr(target, leaf):
+        raise AttributeError(f"{type(target).__name__} has no field {leaf!r}")
+    setattr(target, leaf, value)
+
+
+def get_by_path(config: SimulationConfig, path: str):
+    """Read a (possibly nested) configuration field by dotted path."""
+    target = config
+    for part in path.split("."):
+        target = getattr(target, part)
+    return target

@@ -1,0 +1,181 @@
+"""The discrete-event simulation engine.
+
+EagleTree's defining trait (paper Section 2.1) is that the *entire* IO
+stack -- application threads, operating system, SSD controller and flash
+array -- runs in virtual time, so that design-space explorations with
+hundreds of experiments remain tractable.  This module provides that
+virtual clock.
+
+The engine is a classic calendar queue built on :mod:`heapq`:
+
+* Events are scheduled at an absolute virtual time (integer nanoseconds).
+* Events scheduled for the same instant fire in FIFO order of scheduling,
+  which makes every simulation fully deterministic.
+* Events may be cancelled; cancelled events are dropped lazily when they
+  reach the head of the queue.
+
+The engine knows nothing about SSDs; the layers above register plain
+callables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class EventHandle:
+    """A scheduled event, returned by :meth:`Simulator.schedule`.
+
+    Holding on to the handle allows the caller to :meth:`cancel` the event
+    before it fires.  Handles are single-use: once fired or cancelled they
+    stay inert.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and may still fire."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"EventHandle(t={self.time}, seq={self.seq}, {state}, fn={self.fn!r})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with an integer clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(100, lambda: print("fires at t=100"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: list[EventHandle] = []
+        self._processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events that have fired so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now.
+
+        ``delay`` must be non-negative; a zero delay fires after all
+        callbacks already queued for the current instant.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the absolute virtual ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        event = EventHandle(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def peek_time(self) -> Optional[int]:
+        """Virtual time of the next pending event, or None if none remain."""
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if none remain."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        event.fired = True
+        self._processed += 1
+        event.fn(*event.args)
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        ``until`` is an absolute virtual time; events scheduled exactly at
+        ``until`` still fire, later ones do not (and the clock is advanced
+        to ``until``).  Returns the number of events fired by this call.
+        """
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            self.step()
+            fired += 1
+        if until is not None and self._now < until and self.peek_time() is None:
+            self._now = until
+        return fired
+
+    def advance_to(self, time: int) -> None:
+        """Advance the clock to ``time`` without firing events.
+
+        Only valid when no pending event lies at or before ``time``; used
+        by components that account for idle periods.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot move clock backwards (time={time}, now={self._now})")
+        next_time = self.peek_time()
+        if next_time is not None and next_time <= time:
+            raise SimulationError(
+                f"advance_to({time}) would skip a pending event at t={next_time}"
+            )
+        self._now = time
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self._now}, pending={self.pending_events})"

@@ -1,0 +1,118 @@
+"""Logical IO requests exchanged between the stack layers.
+
+A thread (application layer) issues :class:`IoRequest` objects to the
+operating system; the OS scheduler dispatches them to the SSD controller;
+the controller translates them to flash commands and, once the hardware
+completes, the OS interrupts the issuing thread's ``on_io_completed``.
+
+The request carries timestamps stamped by each layer so that statistics
+can attribute latency to queueing at the OS, queueing inside the SSD, and
+flash service time, and it carries the open-interface *hints* of paper
+Section 2.2 when the extended interface is enabled.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+
+class IoType(enum.Enum):
+    """The logical operation requested by a thread."""
+
+    READ = "read"
+    WRITE = "write"
+    TRIM = "trim"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Monotonically increasing request ids, unique within a process.
+_io_ids = itertools.count(1)
+
+
+class IoRequest:
+    """A single-page logical IO request.
+
+    EagleTree operates at flash-page granularity; multi-page application
+    operations are expressed as several requests (helpers on the thread
+    base class do this).  ``lpn`` is the logical page number.
+
+    Timestamps (all virtual nanoseconds, ``None`` until stamped):
+
+    * ``issue_time``    -- the thread handed the request to the OS.
+    * ``dispatch_time`` -- the OS submitted it to the SSD.
+    * ``complete_time`` -- the SSD signalled completion.
+
+    ``hints`` holds open-interface metadata (priority, temperature,
+    locality group, deadline); the SSD only reads it when the open
+    interface is enabled in the configuration.
+    """
+
+    __slots__ = (
+        "id",
+        "io_type",
+        "lpn",
+        "thread_name",
+        "issue_time",
+        "dispatch_time",
+        "complete_time",
+        "hints",
+        "data",
+    )
+
+    def __init__(
+        self,
+        io_type: IoType,
+        lpn: int,
+        thread_name: str = "?",
+        hints: Optional[dict[str, Any]] = None,
+    ):
+        self.id = next(_io_ids)
+        self.io_type = io_type
+        self.lpn = lpn
+        self.thread_name = thread_name
+        self.issue_time: Optional[int] = None
+        self.dispatch_time: Optional[int] = None
+        self.complete_time: Optional[int] = None
+        self.hints: dict[str, Any] = hints or {}
+        #: Payload returned by reads: the (lpn, version) token last written.
+        #: Used by integrity checks; the simulator stores tokens, not bytes.
+        self.data: Optional[tuple[int, int]] = None
+
+    @property
+    def is_read(self) -> bool:
+        return self.io_type is IoType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.io_type is IoType.WRITE
+
+    @property
+    def latency(self) -> Optional[int]:
+        """End-to-end latency (issue to completion), if completed."""
+        if self.complete_time is None or self.issue_time is None:
+            return None
+        return self.complete_time - self.issue_time
+
+    @property
+    def device_latency(self) -> Optional[int]:
+        """Latency inside the SSD (dispatch to completion), if completed."""
+        if self.complete_time is None or self.dispatch_time is None:
+            return None
+        return self.complete_time - self.dispatch_time
+
+    @property
+    def os_wait(self) -> Optional[int]:
+        """Time spent queued in the OS before dispatch, if dispatched."""
+        if self.dispatch_time is None or self.issue_time is None:
+            return None
+        return self.dispatch_time - self.issue_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IoRequest(#{self.id} {self.io_type} lpn={self.lpn}"
+            f" thread={self.thread_name!r})"
+        )

@@ -1,0 +1,278 @@
+"""The experimental-suite API (paper Section 2.3).
+
+"EagleTree contains an experimental suite API, which consists of
+experiment templates.  An experiment template takes (1) an SSD parameter
+or policy (2) a strategy for how to vary it in an experiment, and (3) a
+workload definition.  It runs an experiment and produces a comprehensive
+amount of visual statistical output."
+
+:class:`ExperimentTemplate` is exactly that: a base configuration, a
+:class:`Parameter` (a dotted configuration path or a custom setter), the
+values to sweep, and a workload factory.  It runs one simulation per
+value and returns an :class:`ExperimentResult` that yields metric series
+over the parameter, per-run metric-over-time series, and formatted
+tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.config import SimulationConfig, set_by_path
+from repro.core.simulation import Simulation, SimulationResult
+
+#: Builds the threads of the workload for one run.  Receives the run's
+#: configuration so it can size itself to the logical space; returns
+#: either threads or (thread, depends_on) pairs.
+WorkloadFactory = Callable[[SimulationConfig], Iterable]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """The swept parameter: a name plus how to apply a value.
+
+    ``path`` is a dotted configuration path (e.g.
+    ``"controller.gc_greediness"``); alternatively ``setter`` receives
+    the config and the value for parameters that are not a single field
+    (e.g. "channels, keeping total LUNs constant").
+    """
+
+    name: str
+    path: Optional[str] = None
+    setter: Optional[Callable[[SimulationConfig, object], None]] = None
+
+    def apply(self, config: SimulationConfig, value) -> None:
+        if self.setter is not None:
+            self.setter(config, value)
+        elif self.path is not None:
+            set_by_path(config, self.path, value)
+        else:
+            raise ValueError(f"parameter {self.name!r} has neither path nor setter")
+
+
+class ExperimentRun:
+    """One point of the sweep: the value and its simulation result."""
+
+    def __init__(self, value, config: SimulationConfig, result: SimulationResult):
+        self.value = value
+        self.config = config
+        self.result = result
+
+    def metric(self, name: str) -> float:
+        summary = self.result.summary()
+        if name not in summary:
+            raise KeyError(
+                f"unknown metric {name!r}; available: {sorted(summary)}"
+            )
+        return summary[name]
+
+
+class ExperimentResult:
+    """The collected sweep, with series/table accessors."""
+
+    def __init__(self, name: str, parameter: Parameter, runs: list[ExperimentRun]):
+        self.name = name
+        self.parameter = parameter
+        self.runs = runs
+
+    def values(self) -> list:
+        return [run.value for run in self.runs]
+
+    def series(self, metric: str) -> list[tuple[object, float]]:
+        """``(parameter value, metric)`` pairs across the sweep."""
+        return [(run.value, run.metric(metric)) for run in self.runs]
+
+    def metrics(self, metric: str) -> list[float]:
+        return [run.metric(metric) for run in self.runs]
+
+    def best(self, metric: str, maximize: bool = True) -> ExperimentRun:
+        chooser = max if maximize else min
+        return chooser(self.runs, key=lambda run: run.metric(metric))
+
+    def table(self, metrics: Sequence[str]) -> str:
+        """A formatted table: one row per parameter value."""
+        from repro.analysis.reporting import format_table
+
+        headers = [self.parameter.name] + list(metrics)
+        rows = [
+            [run.value] + [run.metric(metric) for metric in metrics]
+            for run in self.runs
+        ]
+        return format_table(headers, rows, title=self.name)
+
+    def to_csv(self, path: str, metrics: Optional[Sequence[str]] = None) -> None:
+        """Export the sweep to CSV (all summary metrics by default)."""
+        import csv
+
+        if metrics is None:
+            metrics = sorted(self.runs[0].result.summary()) if self.runs else []
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([self.parameter.name] + list(metrics))
+            for run in self.runs:
+                writer.writerow(
+                    [run.value] + [run.metric(metric) for metric in metrics]
+                )
+
+
+class GridRun:
+    """One cell of a multi-parameter grid."""
+
+    def __init__(self, values: tuple, config: SimulationConfig, result: SimulationResult):
+        self.values = values
+        self.config = config
+        self.result = result
+
+    def metric(self, name: str) -> float:
+        summary = self.result.summary()
+        if name not in summary:
+            raise KeyError(f"unknown metric {name!r}; available: {sorted(summary)}")
+        return summary[name]
+
+
+class GridResult:
+    """A full factorial sweep over several parameters."""
+
+    def __init__(self, name: str, parameters: Sequence[Parameter], runs: list[GridRun]):
+        self.name = name
+        self.parameters = list(parameters)
+        self.runs = runs
+
+    def best(self, metric: str, maximize: bool = True) -> GridRun:
+        chooser = max if maximize else min
+        return chooser(self.runs, key=lambda run: run.metric(metric))
+
+    def slice(self, parameter_name: str, value) -> list[GridRun]:
+        """Runs where the named parameter took ``value``."""
+        index = self._index_of(parameter_name)
+        return [run for run in self.runs if run.values[index] == value]
+
+    def series(self, metric: str) -> list[tuple[tuple, float]]:
+        return [(run.values, run.metric(metric)) for run in self.runs]
+
+    def table(self, metrics: Sequence[str]) -> str:
+        from repro.analysis.reporting import format_table
+
+        headers = [p.name for p in self.parameters] + list(metrics)
+        rows = [
+            list(run.values) + [run.metric(metric) for metric in metrics]
+            for run in self.runs
+        ]
+        return format_table(headers, rows, title=self.name)
+
+    def _index_of(self, parameter_name: str) -> int:
+        for index, parameter in enumerate(self.parameters):
+            if parameter.name == parameter_name:
+                return index
+        raise KeyError(f"no parameter named {parameter_name!r}")
+
+    def to_csv(self, path: str, metrics: Optional[Sequence[str]] = None) -> None:
+        """Export the grid to CSV (all summary metrics by default)."""
+        import csv
+
+        if metrics is None:
+            metrics = sorted(self.runs[0].result.summary()) if self.runs else []
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([p.name for p in self.parameters] + list(metrics))
+            for run in self.runs:
+                writer.writerow(
+                    list(run.values) + [run.metric(metric) for metric in metrics]
+                )
+
+
+class GridExperiment:
+    """Full factorial sweep over several parameters -- the exhaustive
+    design-space exploration mode ("hundreds of experiments, in a
+    tractable way", paper Section 2.1)."""
+
+    def __init__(
+        self,
+        name: str,
+        base_config: SimulationConfig,
+        parameters: Sequence[Parameter],
+        values: Sequence[Sequence],
+        workload: WorkloadFactory,
+        max_time_ns: Optional[int] = None,
+    ):
+        if len(parameters) != len(values):
+            raise ValueError("one value list per parameter required")
+        if not parameters:
+            raise ValueError("at least one parameter required")
+        self.name = name
+        self.base_config = base_config
+        self.parameters = list(parameters)
+        self.values = [list(axis) for axis in values]
+        self.workload = workload
+        self.max_time_ns = max_time_ns
+
+    def combinations(self) -> list[tuple]:
+        import itertools
+
+        return list(itertools.product(*self.values))
+
+    def run(self, progress: Optional[Callable[[tuple, SimulationResult], None]] = None) -> GridResult:
+        runs = []
+        for combination in self.combinations():
+            config = self.base_config.copy()
+            for parameter, value in zip(self.parameters, combination):
+                parameter.apply(config, value)
+            simulation = Simulation(config)
+            for entry in self.workload(config):
+                if isinstance(entry, tuple):
+                    thread, depends_on = entry
+                    simulation.add_thread(thread, depends_on=depends_on)
+                else:
+                    simulation.add_thread(entry)
+            result = simulation.run(max_time_ns=self.max_time_ns)
+            runs.append(GridRun(combination, config, result))
+            if progress is not None:
+                progress(combination, result)
+        return GridResult(self.name, self.parameters, runs)
+
+
+class ExperimentTemplate:
+    """Vary one parameter or policy over a workload; collect metrics."""
+
+    def __init__(
+        self,
+        name: str,
+        base_config: SimulationConfig,
+        parameter: Parameter,
+        values: Sequence,
+        workload: WorkloadFactory,
+        max_time_ns: Optional[int] = None,
+    ):
+        self.name = name
+        self.base_config = base_config
+        self.parameter = parameter
+        self.values = list(values)
+        self.workload = workload
+        self.max_time_ns = max_time_ns
+
+    def run(self, progress: Optional[Callable[[object, SimulationResult], None]] = None) -> ExperimentResult:
+        """Run one simulation per parameter value.
+
+        ``progress``, if given, is called after each run (live output in
+        the demo spirit).
+        """
+        runs = []
+        for value in self.values:
+            config = self.base_config.copy()
+            self.parameter.apply(config, value)
+            result = self._run_one(config)
+            runs.append(ExperimentRun(value, config, result))
+            if progress is not None:
+                progress(value, result)
+        return ExperimentResult(self.name, self.parameter, runs)
+
+    def _run_one(self, config: SimulationConfig) -> SimulationResult:
+        simulation = Simulation(config)
+        for entry in self.workload(config):
+            if isinstance(entry, tuple):
+                thread, depends_on = entry
+                simulation.add_thread(thread, depends_on=depends_on)
+            else:
+                simulation.add_thread(entry)
+        return simulation.run(max_time_ns=self.max_time_ns)

@@ -1,0 +1,138 @@
+"""The simulation facade: wire the four layers together and run.
+
+:class:`Simulation` is the main entry point of the library::
+
+    from repro import Simulation, small_config
+    from repro.workloads import RandomWriterThread
+
+    sim = Simulation(small_config())
+    sim.add_thread(RandomWriterThread("writer", count=2000))
+    result = sim.run()
+    print(result.stats.report())
+
+The simulation ends when the event queue drains (all threads finished
+and every internal operation completed) or when ``max_time_ns`` is hit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.controller import SsdController
+from repro.core import units
+from repro.core.config import SimulationConfig
+from repro.core.engine import Simulator
+from repro.core.rng import RandomSource
+from repro.core.statistics import StatisticsGatherer
+from repro.core.tracing import TraceRecorder
+from repro.host.operating_system import OperatingSystem
+
+
+class SimulationResult:
+    """Everything measured in one run."""
+
+    def __init__(self, simulation: "Simulation"):
+        self.config = simulation.config
+        self.stats = simulation.stats
+        self.tracer = simulation.tracer
+        self.elapsed_ns = simulation.sim.now
+        self.processed_events = simulation.sim.processed_events
+        controller = simulation.controller
+        self.thread_stats: dict[str, StatisticsGatherer] = {
+            name: record.stats
+            for name, record in simulation.os._records.items()
+            if record.stats is not None
+        }
+        self.gc_collected_blocks = controller.gc.collected_blocks
+        self.gc_relocated_pages = controller.gc.relocated_pages
+        self.gc_copybacks = controller.gc.copyback_relocations
+        self.wl_migrations = controller.wear_leveler.migrations_started
+        self.wl_migrated_pages = controller.wear_leveler.migrated_pages
+        self.wear = controller.wear_leveler.wear_statistics()
+        self.retired_blocks = controller.array.retired_blocks
+        self.channel_utilisation = controller.array.channel_utilisation()
+        self.lun_utilisation = controller.array.lun_utilisation()
+        self.flash_commands = dict(controller.stats.flash_commands)
+        #: True when the run ended with IOs still outstanding: either the
+        #: time limit cut the workload short, or the system stalled.
+        self.incomplete = simulation.os.outstanding > 0
+        self.outstanding_at_end = simulation.os.outstanding
+        #: Filled only when ``host.retain_completed_ios`` is set.
+        self.completed_ios = simulation.os.completed_ios
+
+    def summary(self) -> dict[str, float]:
+        """Flat metrics dictionary: statistics plus internal activity."""
+        summary = self.stats.summary()
+        summary.update(
+            {
+                "elapsed_ms": units.to_milliseconds(self.elapsed_ns),
+                "gc_collected_blocks": float(self.gc_collected_blocks),
+                "gc_relocated_pages": float(self.gc_relocated_pages),
+                "wl_migrations": float(self.wl_migrations),
+                "wear_spread": self.wear["spread"],
+                "retired_blocks": float(self.retired_blocks),
+                "mean_channel_utilisation": (
+                    sum(self.channel_utilisation) / len(self.channel_utilisation)
+                ),
+            }
+        )
+        return summary
+
+    def report(self) -> str:
+        lines = [self.stats.report()]
+        lines.append(
+            f"virtual time  : {units.format_time(self.elapsed_ns)}"
+            f" ({self.processed_events} events)"
+        )
+        lines.append(
+            f"GC            : {self.gc_collected_blocks} blocks, "
+            f"{self.gc_relocated_pages} pages relocated "
+            f"({self.gc_copybacks} by copyback)"
+        )
+        lines.append(
+            f"WL            : {self.wl_migrations} migrations, "
+            f"wear spread {self.wear['spread']:.0f} "
+            f"(sd {self.wear['stddev']:.2f})"
+        )
+        lines.append(
+            "channel util  : "
+            + " ".join(f"{u:.0%}" for u in self.channel_utilisation)
+        )
+        return "\n".join(lines)
+
+
+class Simulation:
+    """One configured system: engine + array + controller + OS + threads."""
+
+    def __init__(self, config: SimulationConfig):
+        config.validate()
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RandomSource(config.seed)
+        self.tracer = TraceRecorder(enabled=config.trace_enabled)
+        self.stats = StatisticsGatherer("global")
+        self.controller = SsdController(
+            self.sim, config, rng=self.rng, tracer=self.tracer, stats=self.stats
+        )
+        self.os = OperatingSystem(
+            self.sim, config, self.controller, self.stats, self.tracer, self.rng
+        )
+        self._ran = False
+
+    def add_thread(self, thread, depends_on: Iterable[str] = (), collect_stats: bool = True) -> None:
+        """Register a workload thread (see ``OperatingSystem.add_thread``)."""
+        self.os.add_thread(thread, depends_on=depends_on, collect_stats=collect_stats)
+
+    def add_threads(self, threads: Iterable) -> None:
+        for thread in threads:
+            self.add_thread(thread)
+
+    def run(self, max_time_ns: Optional[int] = None) -> SimulationResult:
+        """Run to completion (or to the time limit) and collect results."""
+        if self._ran:
+            raise RuntimeError("a Simulation instance runs once; build a new one")
+        self._ran = True
+        limit = max_time_ns if max_time_ns is not None else self.config.max_time_ns
+        self.os.start()
+        self.sim.run(until=limit)
+        return SimulationResult(self)

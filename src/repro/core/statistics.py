@@ -1,0 +1,292 @@
+"""Statistics gathering (paper Section 2.3).
+
+EagleTree produces "graphs showing how performance metrics (e.g.,
+throughput, latency, latency variability) evolved with respect to the
+given parameter or policy, as well as graphs showing how various metrics
+evolved across time".  It also allows attaching "statistics gathering
+objects to an individual thread to measure its performance".
+
+This module provides both:
+
+* :class:`LatencyRecorder` -- streaming latency statistics with exact
+  percentiles computed on demand.
+* :class:`TimeSeries` -- counts bucketed over virtual time, for the
+  metrics-over-time graphs.
+* :class:`StatisticsGatherer` -- the aggregate attached to the whole
+  simulation and, separately, to individual threads.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Optional
+
+import numpy as np
+
+from repro.core import units
+from repro.core.events import IoRequest, IoType
+
+
+class LatencyRecorder:
+    """Streaming collection of latency samples (integer nanoseconds)."""
+
+    def __init__(self) -> None:
+        self._samples: list[int] = []
+        self._sum = 0
+        self._min: Optional[int] = None
+        self._max: Optional[int] = None
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        self._samples.append(latency_ns)
+        self._sum += latency_ns
+        if self._min is None or latency_ns < self._min:
+            self._min = latency_ns
+        if self._max is None or latency_ns > self._max:
+            self._max = latency_ns
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self._sum / len(self._samples)
+
+    @property
+    def minimum(self) -> int:
+        return self._min or 0
+
+    @property
+    def maximum(self) -> int:
+        return self._max or 0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation -- the paper's "latency
+        variability" metric."""
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((s - mean) ** 2 for s in self._samples) / n)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of recorded samples."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples, dtype=np.int64), q))
+
+    def samples(self) -> list[int]:
+        """A copy of the raw samples (for histograms and plots)."""
+        return list(self._samples)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold ``other``'s samples into this recorder."""
+        for sample in other._samples:
+            self.record(sample)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ns": self.mean,
+            "stddev_ns": self.stddev,
+            "min_ns": float(self.minimum),
+            "p50_ns": self.percentile(50),
+            "p95_ns": self.percentile(95),
+            "p99_ns": self.percentile(99),
+            "max_ns": float(self.maximum),
+        }
+
+    def describe(self) -> str:
+        if not self._samples:
+            return "no samples"
+        return (
+            f"n={self.count} mean={units.format_time(round(self.mean))} "
+            f"p50={units.format_time(round(self.percentile(50)))} "
+            f"p99={units.format_time(round(self.percentile(99)))} "
+            f"max={units.format_time(self.maximum)} "
+            f"sd={units.format_time(round(self.stddev))}"
+        )
+
+
+class TimeSeries:
+    """Event counts bucketed over virtual time.
+
+    Used for the "metrics across time" graphs: completions per window,
+    GC activity per window, and so on.
+    """
+
+    def __init__(self, bucket_ns: int = 10 * units.MILLISECOND):
+        if bucket_ns <= 0:
+            raise ValueError("bucket_ns must be positive")
+        self.bucket_ns = bucket_ns
+        self._buckets: Counter[int] = Counter()
+        self._last_time = 0
+
+    def add(self, time_ns: int, amount: float = 1.0) -> None:
+        self._buckets[time_ns // self.bucket_ns] += amount
+        if time_ns > self._last_time:
+            self._last_time = time_ns
+
+    def series(self) -> list[tuple[int, float]]:
+        """Dense ``(bucket_start_ns, count)`` pairs from 0 to the last
+        recorded bucket."""
+        if not self._buckets:
+            return []
+        last_bucket = max(self._buckets)
+        return [
+            (bucket * self.bucket_ns, self._buckets.get(bucket, 0.0))
+            for bucket in range(0, last_bucket + 1)
+        ]
+
+    def rate_per_second(self) -> list[tuple[int, float]]:
+        """Like :meth:`series` but scaled to events per second."""
+        scale = units.SECOND / self.bucket_ns
+        return [(t, v * scale) for t, v in self.series()]
+
+
+class StatisticsGatherer:
+    """Aggregated per-simulation (or per-thread) statistics.
+
+    One gatherer is attached to the whole simulation; additional gatherers
+    may be attached to individual threads (Section 2.3) and receive only
+    that thread's IO completions.
+    """
+
+    def __init__(self, name: str = "global", bucket_ns: int = 10 * units.MILLISECOND):
+        self.name = name
+        #: End-to-end latency by IO type.
+        self.latency: dict[IoType, LatencyRecorder] = {t: LatencyRecorder() for t in IoType}
+        #: Device-internal latency by IO type.
+        self.device_latency: dict[IoType, LatencyRecorder] = {
+            t: LatencyRecorder() for t in IoType
+        }
+        #: OS queueing time by IO type.
+        self.os_wait: dict[IoType, LatencyRecorder] = {t: LatencyRecorder() for t in IoType}
+        #: Completions over time, by IO type.
+        self.completions_over_time: dict[IoType, TimeSeries] = {
+            t: TimeSeries(bucket_ns) for t in IoType
+        }
+        #: Latency-over-time (mean per bucket is recovered by dividing).
+        self.latency_sum_over_time: dict[IoType, TimeSeries] = {
+            t: TimeSeries(bucket_ns) for t in IoType
+        }
+        #: Flash command counts keyed by (source_name, kind_name).
+        self.flash_commands: Counter[tuple[str, str]] = Counter()
+        #: GC activity over time (pages relocated).
+        self.gc_activity_over_time = TimeSeries(bucket_ns)
+        self.first_completion_ns: Optional[int] = None
+        self.last_completion_ns: Optional[int] = None
+        self._completed = 0
+
+    # ------------------------------------------------------------------
+    # Recording hooks
+    # ------------------------------------------------------------------
+    def record_io(self, io: IoRequest) -> None:
+        """Record a completed logical IO."""
+        if io.complete_time is None:
+            raise ValueError(f"{io!r} has not completed")
+        self._completed += 1
+        if self.first_completion_ns is None:
+            self.first_completion_ns = io.complete_time
+        self.last_completion_ns = io.complete_time
+        latency = io.latency
+        if latency is not None:
+            self.latency[io.io_type].record(latency)
+            self.latency_sum_over_time[io.io_type].add(io.complete_time, latency)
+        if io.device_latency is not None:
+            self.device_latency[io.io_type].record(io.device_latency)
+        if io.os_wait is not None:
+            self.os_wait[io.io_type].record(io.os_wait)
+        self.completions_over_time[io.io_type].add(io.complete_time)
+
+    def record_flash_command(self, source_name: str, kind_name: str, time_ns: int) -> None:
+        """Record a completed flash command (controller layer hook)."""
+        self.flash_commands[(source_name, kind_name)] += 1
+        if source_name in ("GC", "WEAR_LEVELING") and kind_name in ("PROGRAM", "COPYBACK"):
+            self.gc_activity_over_time.add(time_ns)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def completed_ios(self) -> int:
+        return self._completed
+
+    def completed(self, io_type: IoType) -> int:
+        return self.latency[io_type].count
+
+    def throughput_iops(self) -> float:
+        """Completed IOs per second of virtual time over the measured span."""
+        if (
+            self.first_completion_ns is None
+            or self.last_completion_ns is None
+            or self.last_completion_ns <= self.first_completion_ns
+        ):
+            return 0.0
+        span = self.last_completion_ns - self.first_completion_ns
+        return self._completed * units.SECOND / span
+
+    def write_amplification(self) -> float:
+        """Total flash programs (incl. copybacks) / application programs."""
+        app = self.flash_commands.get(("APPLICATION", "PROGRAM"), 0)
+        if app == 0:
+            return 0.0
+        total = sum(
+            count
+            for (_, kind), count in self.flash_commands.items()
+            if kind in ("PROGRAM", "COPYBACK")
+        )
+        return total / app
+
+    def summary(self) -> dict[str, float]:
+        """Flat metric dictionary -- the rows experiment tables report."""
+        reads = self.latency[IoType.READ]
+        writes = self.latency[IoType.WRITE]
+        return {
+            "completed_ios": float(self._completed),
+            "completed_reads": float(reads.count),
+            "completed_writes": float(writes.count),
+            "throughput_iops": self.throughput_iops(),
+            "read_mean_ns": reads.mean,
+            "read_p99_ns": reads.percentile(99),
+            "read_stddev_ns": reads.stddev,
+            "write_mean_ns": writes.mean,
+            "write_p99_ns": writes.percentile(99),
+            "write_stddev_ns": writes.stddev,
+            "read_device_mean_ns": self.device_latency[IoType.READ].mean,
+            "write_device_mean_ns": self.device_latency[IoType.WRITE].mean,
+            "write_amplification": self.write_amplification(),
+            "erases": float(
+                sum(c for (_, kind), c in self.flash_commands.items() if kind == "ERASE")
+            ),
+            "gc_programs": float(self.flash_commands.get(("GC", "PROGRAM"), 0))
+            + float(self.flash_commands.get(("GC", "COPYBACK"), 0)),
+            "mapping_ios": float(
+                sum(c for (src, _), c in self.flash_commands.items() if src == "MAPPING")
+            ),
+        }
+
+    def report(self) -> str:
+        """Multi-line human-readable report (the demo's numeric panel)."""
+        lines = [f"== statistics: {self.name} =="]
+        lines.append(f"completed IOs : {self._completed}")
+        lines.append(f"throughput    : {self.throughput_iops():,.0f} IOPS")
+        for io_type in (IoType.READ, IoType.WRITE):
+            recorder = self.latency[io_type]
+            if recorder.count:
+                lines.append(f"{io_type.value:<5} latency : {recorder.describe()}")
+        waf = self.write_amplification()
+        if waf:
+            lines.append(f"write amp.    : {waf:.2f}")
+        if self.flash_commands:
+            per_source: Counter[str] = Counter()
+            for (source, kind), count in sorted(self.flash_commands.items()):
+                per_source[source] += count
+                lines.append(f"flash {source.lower():<14}{kind.lower():<9}: {count}")
+        return "\n".join(lines)

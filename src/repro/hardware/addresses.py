@@ -1,0 +1,61 @@
+"""Physical flash addressing.
+
+A physical address names a page as ``(channel, lun, block, page)``.
+Following the paper (footnote 1), the LUN is the minimum granularity of
+parallelism and abstracts away packages, chips and dies, so no further
+levels appear in the address.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from repro.core.config import SsdGeometry
+
+
+class PhysicalAddress(NamedTuple):
+    """Location of one flash page."""
+
+    channel: int
+    lun: int
+    block: int
+    page: int
+
+    def block_address(self) -> "PhysicalAddress":
+        """The same address with the page component zeroed (block id)."""
+        return PhysicalAddress(self.channel, self.lun, self.block, 0)
+
+    def same_lun(self, other: "PhysicalAddress") -> bool:
+        return self.channel == other.channel and self.lun == other.lun
+
+    def __str__(self) -> str:
+        return f"(c{self.channel},l{self.lun},b{self.block},p{self.page})"
+
+
+def validate_address(address: PhysicalAddress, geometry: SsdGeometry) -> None:
+    """Raise ``ValueError`` unless ``address`` is inside ``geometry``."""
+    if not 0 <= address.channel < geometry.channels:
+        raise ValueError(f"channel out of range: {address}")
+    if not 0 <= address.lun < geometry.luns_per_channel:
+        raise ValueError(f"lun out of range: {address}")
+    if not 0 <= address.block < geometry.blocks_per_lun:
+        raise ValueError(f"block out of range: {address}")
+    if not 0 <= address.page < geometry.pages_per_block:
+        raise ValueError(f"page out of range: {address}")
+
+
+def iter_luns(geometry: SsdGeometry) -> Iterator[tuple[int, int]]:
+    """All ``(channel, lun)`` pairs in channel-major order."""
+    for channel in range(geometry.channels):
+        for lun in range(geometry.luns_per_channel):
+            yield channel, lun
+
+
+def lun_index(geometry: SsdGeometry, channel: int, lun: int) -> int:
+    """Flat index of a LUN in channel-major order."""
+    return channel * geometry.luns_per_channel + lun
+
+
+def lun_from_index(geometry: SsdGeometry, index: int) -> tuple[int, int]:
+    """Inverse of :func:`lun_index`."""
+    return divmod(index, geometry.luns_per_channel)

@@ -1,0 +1,318 @@
+"""The flash array executor.
+
+:class:`SsdArray` owns the channels and LUNs and runs
+:class:`~repro.hardware.commands.FlashCommand` objects through their bus
+and array phases in virtual time:
+
+* ``READ``      bus(cmd) -> array(t_read) -> bus(cmd + data-out)
+* ``PROGRAM``   bus(cmd + data-in) -> array(t_prog)
+* ``ERASE``     bus(cmd) -> array(t_erase)
+* ``COPYBACK``  bus(cmd) -> array(t_read) -> bus(cmd) -> array(t_prog)
+  (the page moves inside the LUN; no data crosses the bus)
+
+With interleaving enabled (paper Section 2.2) the channel is released
+during array phases; otherwise the channel is held for the whole command.
+With pipelining enabled (cache register) a read releases its LUN before
+the data-out transfer, letting the next array operation start underneath.
+
+Late binding of program targets: the array calls the controller-provided
+``bind_program`` callback when a PROGRAM or COPYBACK *starts*, so pages
+within each block are programmed strictly sequentially no matter how the
+scheduler reordered the queue.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.core.config import ChipTimings, SsdGeometry
+from repro.core.engine import Simulator
+from repro.core.tracing import TraceRecorder
+from repro.hardware.addresses import PhysicalAddress, iter_luns, validate_address
+from repro.hardware.channel import Channel
+from repro.hardware.commands import CommandKind, FlashCommand
+from repro.hardware.flash import FlashStateError, Lun
+
+
+class _Phase(enum.Enum):
+    BUS = "bus"
+    ARRAY = "array"
+
+
+class SsdArray:
+    """The simulated flash memory array (channels x LUNs)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: SsdGeometry,
+        timings: ChipTimings,
+        interleaving: bool = True,
+        pipelining: bool = False,
+        tracer: Optional[TraceRecorder] = None,
+        bad_blocks: Optional[dict[tuple[int, int], set[int]]] = None,
+    ):
+        self.sim = sim
+        self.geometry = geometry
+        self.timings = timings
+        self.interleaving = interleaving
+        self.pipelining = pipelining and timings.supports_pipelining
+        self.tracer = tracer if tracer is not None else TraceRecorder(enabled=False)
+        self.channels = [Channel(i) for i in range(geometry.channels)]
+        bad_blocks = bad_blocks or {}
+        self.luns: dict[tuple[int, int], Lun] = {
+            (c, l): Lun(
+                c,
+                l,
+                geometry.blocks_per_lun,
+                geometry.pages_per_block,
+                bad_block_ids=bad_blocks.get((c, l)),
+            )
+            for c, l in iter_luns(geometry)
+        }
+        #: Blocks retired at runtime after reaching endurance_cycles.
+        self.retired_blocks = 0
+        #: Set by the controller: invoked whenever a channel or LUN frees,
+        #: so the scheduler can dispatch more work.
+        self.on_resource_free: Callable[[], None] = lambda: None
+        #: Set by the controller's allocator: binds the physical page of a
+        #: PROGRAM (or a COPYBACK target) at command start.
+        self.bind_program: Optional[Callable[[FlashCommand], PhysicalAddress]] = None
+        self.completed_commands = 0
+
+    # ------------------------------------------------------------------
+    # Topology accessors
+    # ------------------------------------------------------------------
+    def channel(self, channel_id: int) -> Channel:
+        return self.channels[channel_id]
+
+    def lun(self, channel_id: int, lun_id: int) -> Lun:
+        return self.luns[(channel_id, lun_id)]
+
+    def lun_of(self, cmd: FlashCommand) -> Lun:
+        return self.luns[cmd.lun_key]
+
+    # ------------------------------------------------------------------
+    # Dispatch interface (called by the SSD scheduler)
+    # ------------------------------------------------------------------
+    def can_start(self, cmd: FlashCommand) -> bool:
+        """True when the command's LUN and channel are both available and
+        an erase target is actually erasable."""
+        lun = self.lun_of(cmd)
+        if lun.is_busy:
+            return False
+        channel = self.channels[cmd.address.channel]
+        if not channel.is_free(self.sim.now):
+            return False
+        if cmd.kind is CommandKind.ERASE:
+            return lun.block(cmd.address.block).erasable
+        return True
+
+    def start(self, cmd: FlashCommand) -> None:
+        """Begin executing ``cmd``.  The caller must have verified
+        :meth:`can_start`."""
+        now = self.sim.now
+        lun = self.lun_of(cmd)
+        if lun.is_busy:
+            raise FlashStateError(f"LUN {lun.key} busy, cannot start {cmd!r}")
+        cmd.start_time = now
+        lun.current_command = cmd
+        self._apply_start_effects(cmd, lun)
+        phases = self._phases(cmd)
+        if not self.interleaving:
+            total = sum(duration for _, duration in phases)
+            self.channels[cmd.address.channel].occupy(now, total)
+        self.tracer.record(now, "hardware", "start", self._describe(cmd))
+        self._run_phase(cmd, phases, 0)
+
+    # ------------------------------------------------------------------
+    # Phase machinery
+    # ------------------------------------------------------------------
+    def _phases(self, cmd: FlashCommand) -> list[tuple[_Phase, int]]:
+        t = self.timings
+        page_bytes = self.geometry.page_size_bytes
+        if cmd.kind is CommandKind.READ:
+            return [
+                (_Phase.BUS, t.t_cmd_ns),
+                (_Phase.ARRAY, t.t_read_ns),
+                (_Phase.BUS, t.t_cmd_ns + t.transfer_ns(page_bytes)),
+            ]
+        if cmd.kind is CommandKind.PROGRAM:
+            return [
+                (_Phase.BUS, t.t_cmd_ns + t.transfer_ns(page_bytes)),
+                (_Phase.ARRAY, t.t_prog_ns),
+            ]
+        if cmd.kind is CommandKind.ERASE:
+            return [(_Phase.BUS, t.t_cmd_ns), (_Phase.ARRAY, t.t_erase_ns)]
+        if cmd.kind is CommandKind.COPYBACK:
+            return [
+                (_Phase.BUS, t.t_cmd_ns),
+                (_Phase.ARRAY, t.t_read_ns),
+                (_Phase.BUS, t.t_cmd_ns),
+                (_Phase.ARRAY, t.t_prog_ns),
+            ]
+        raise ValueError(f"unknown command kind {cmd.kind!r}")
+
+    def _run_phase(self, cmd: FlashCommand, phases: list, index: int) -> None:
+        if index == len(phases):
+            self._complete(cmd)
+            return
+        kind, duration = phases[index]
+        if kind is _Phase.ARRAY:
+            lun = self.lun_of(cmd)
+            lun.busy_until = self.sim.now + duration
+            lun.busy_ns += duration
+            self.sim.schedule(duration, self._run_phase, cmd, phases, index + 1)
+            return
+        # Bus phase.
+        if not self.interleaving:
+            # Channel was reserved for the whole command at start.
+            self.sim.schedule(duration, self._run_phase, cmd, phases, index + 1)
+            return
+        if self.pipelining and cmd.kind is CommandKind.READ and index == 2:
+            # Cache register: the LUN can accept the next operation while
+            # this read's data waits to drain over the bus.  Let the
+            # scheduler dispatch *before* the data-out claims the channel
+            # -- the next command's short command cycle slips ahead, so
+            # its array time overlaps this transfer (cache-read mode).
+            self._release_lun(cmd)
+            self.on_resource_free()
+        channel = self.channels[cmd.address.channel]
+        if channel.is_free(self.sim.now):
+            self._occupy_bus(cmd, phases, index, duration)
+        else:
+            channel.park_continuation(
+                lambda: self._occupy_bus(cmd, phases, index, duration)
+            )
+
+    def _occupy_bus(self, cmd: FlashCommand, phases: list, index: int, duration: int) -> None:
+        channel = self.channels[cmd.address.channel]
+        channel.occupy(self.sim.now, duration)
+        self.sim.schedule(duration, self._after_bus, cmd, phases, index)
+
+    def _after_bus(self, cmd: FlashCommand, phases: list, index: int) -> None:
+        self._run_phase(cmd, phases, index + 1)
+        if self.interleaving:
+            self._drain_channel(self.channels[cmd.address.channel])
+        self.on_resource_free()
+
+    def _drain_channel(self, channel: Channel) -> None:
+        while channel.is_free(self.sim.now) and channel.has_continuations:
+            resume = channel.pop_continuation()
+            assert resume is not None
+            resume()
+
+    def _release_lun(self, cmd: FlashCommand) -> None:
+        lun = self.lun_of(cmd)
+        if lun.current_command is cmd:
+            lun.current_command = None
+
+    # ------------------------------------------------------------------
+    # State effects
+    # ------------------------------------------------------------------
+    def _apply_start_effects(self, cmd: FlashCommand, lun: Lun) -> None:
+        """Bind program targets and mutate flash state at command start.
+
+        Programs take effect at start (the LUN is held for the duration,
+        so no other operation can observe the intermediate state); reads
+        and erases take effect at completion.
+        """
+        now = self.sim.now
+        if cmd.kind is CommandKind.PROGRAM:
+            if self.bind_program is None:
+                raise FlashStateError("no program binder installed")
+            if cmd.content is None:
+                raise FlashStateError(f"{cmd!r} has no content to program")
+            address = self.bind_program(cmd)
+            validate_address(address, self.geometry)
+            if (address.channel, address.lun) != cmd.lun_key:
+                raise FlashStateError(
+                    f"binder moved {cmd!r} across LUNs: {address}"
+                )
+            cmd.address = address
+        elif cmd.kind is CommandKind.COPYBACK:
+            if self.bind_program is None:
+                raise FlashStateError("no program binder installed")
+            source_block = lun.block(cmd.address.block)
+            cmd.content = source_block.read(cmd.address.page)
+            target = self.bind_program(cmd)
+            validate_address(target, self.geometry)
+            if not target.same_lun(cmd.address):
+                raise FlashStateError(
+                    f"copyback target {target} outside source LUN of {cmd!r}"
+                )
+            cmd.target_address = target
+        if cmd.kind in (CommandKind.PROGRAM, CommandKind.COPYBACK):
+            target_address = cmd.target_address or cmd.address
+            block = lun.block(target_address.block)
+            page_index = block.program_next(cmd.content, now)
+            if page_index != target_address.page:
+                raise FlashStateError(
+                    f"binder returned page {target_address.page}, block wrote {page_index}"
+                )
+
+    def _complete(self, cmd: FlashCommand) -> None:
+        now = self.sim.now
+        lun = self.lun_of(cmd)
+        if cmd.kind is CommandKind.READ:
+            block = lun.block(cmd.address.block)
+            cmd.content = block.read(cmd.address.page)
+            block.inflight_reads -= 1
+            if block.inflight_reads < 0:
+                raise FlashStateError(f"inflight_reads underflow on {cmd!r}")
+        elif cmd.kind is CommandKind.COPYBACK:
+            source_block = lun.block(cmd.address.block)
+            source_block.inflight_reads -= 1
+            if source_block.inflight_reads < 0:
+                raise FlashStateError(f"inflight_reads underflow on {cmd!r}")
+        elif cmd.kind is CommandKind.ERASE:
+            block = lun.block(cmd.address.block)
+            block.erase(now)
+            endurance = self.timings.endurance_cycles
+            if endurance is not None and block.erase_count >= endurance:
+                # Worn out: mask the block instead of freeing it.
+                lun.retire_block(cmd.address.block)
+                self.retired_blocks += 1
+                self.tracer.record(
+                    now, "hardware", "retire",
+                    f"block (c{cmd.address.channel},l{cmd.address.lun},"
+                    f"b{cmd.address.block}) reached endurance",
+                )
+            else:
+                lun.on_block_erased(cmd.address.block)
+        cmd.complete_time = now
+        self._release_lun(cmd)
+        self.completed_commands += 1
+        self.tracer.record(now, "hardware", "complete", self._describe(cmd))
+        if cmd.on_complete is not None:
+            cmd.on_complete(cmd)
+        self.on_resource_free()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_live_pages(self) -> int:
+        return sum(lun.total_live_pages() for lun in self.luns.values())
+
+    def erase_counts(self) -> list[int]:
+        """Erase count of every block (wear histogram input)."""
+        counts: list[int] = []
+        for lun in self.luns.values():
+            counts.extend(lun.erase_counts())
+        return counts
+
+    def channel_utilisation(self) -> list[float]:
+        return [channel.utilisation(self.sim.now) for channel in self.channels]
+
+    def lun_utilisation(self) -> dict[tuple[int, int], float]:
+        now = self.sim.now
+        if now <= 0:
+            return {key: 0.0 for key in self.luns}
+        return {key: min(1.0, lun.busy_ns / now) for key, lun in self.luns.items()}
+
+    @staticmethod
+    def _describe(cmd: FlashCommand) -> str:
+        lpn = f" lpn={cmd.lpn}" if cmd.lpn is not None else ""
+        target = f" -> {cmd.target_address}" if cmd.target_address else ""
+        return f"{cmd.kind} {cmd.source} {cmd.address}{target}{lpn}"

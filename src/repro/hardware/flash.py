@@ -1,0 +1,260 @@
+"""Flash page, block and LUN state machines.
+
+The classes here enforce the NAND ground rules the rest of the simulator
+relies on (DESIGN.md invariant 4):
+
+* pages within a block are programmed strictly sequentially;
+* a page is never programmed twice between erases;
+* a block is only erased when it carries no live data and no in-flight
+  read still targets it.
+
+Validity is split between layers exactly as in a real SSD: the *array*
+knows whether a page holds data (``LIVE``) or is erased (``FREE``); the
+*FTL* decides when data becomes stale and calls :meth:`Block.invalidate`
+(``DEAD``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+PageContent = tuple[int, int]
+"""What a programmed page stores: an ``(lpn, version)`` token.
+
+The simulator does not shuffle real bytes around; the token is sufficient
+for the read-your-writes integrity oracle used by the test suite.
+Translation pages (DFTL) use negative pseudo-LPNs.
+"""
+
+
+class PageState(enum.Enum):
+    FREE = "free"  # erased, programmable
+    LIVE = "live"  # programmed, mapped by the FTL
+    DEAD = "dead"  # programmed, superseded -- reclaimable space
+
+
+class FlashStateError(RuntimeError):
+    """A NAND constraint was violated (always a simulator bug)."""
+
+
+class Page:
+    """One flash page."""
+
+    __slots__ = ("state", "content")
+
+    def __init__(self) -> None:
+        self.state = PageState.FREE
+        self.content: Optional[PageContent] = None
+
+
+class Block:
+    """One erase block: a run of ``num_pages`` pages plus wear metadata.
+
+    The wear-leveling module consumes ``erase_count`` and
+    ``last_erase_ns`` (paper Section 2.2 WL: the default module tracks
+    block ages and last-erase timestamps).
+    """
+
+    __slots__ = (
+        "num_pages",
+        "pages",
+        "write_pointer",
+        "erase_count",
+        "last_erase_ns",
+        "last_write_ns",
+        "inflight_reads",
+        "live_count",
+        "dead_count",
+        "is_bad",
+    )
+
+    def __init__(self, num_pages: int):
+        self.num_pages = num_pages
+        self.pages = [Page() for _ in range(num_pages)]
+        #: Next page index to program (NAND sequential-program rule).
+        self.write_pointer = 0
+        self.erase_count = 0
+        self.last_erase_ns = 0
+        self.last_write_ns = 0
+        #: Reads queued or executing against this block; erases must wait
+        #: until this drops to zero so stale-but-referenced data survives.
+        self.inflight_reads = 0
+        self.live_count = 0
+        self.dead_count = 0
+        #: Factory-bad or worn out; masked from allocation forever.
+        self.is_bad = False
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    @property
+    def free_pages(self) -> int:
+        return self.num_pages - self.write_pointer
+
+    @property
+    def is_empty(self) -> bool:
+        """True when fully erased (allocatable as a fresh open block)."""
+        return self.write_pointer == 0
+
+    @property
+    def is_full(self) -> bool:
+        return self.write_pointer == self.num_pages
+
+    @property
+    def erasable(self) -> bool:
+        """True when erasing would lose no data and break no reader."""
+        return self.live_count == 0 and self.inflight_reads == 0 and not self.is_empty
+
+    # ------------------------------------------------------------------
+    # Mutations (called by the array at command completion, and by the
+    # FTL for invalidation)
+    # ------------------------------------------------------------------
+    def program_next(self, content: PageContent, now_ns: int) -> int:
+        """Program the next sequential page; returns its index."""
+        if self.is_full:
+            raise FlashStateError("program on a full block")
+        index = self.write_pointer
+        page = self.pages[index]
+        if page.state is not PageState.FREE:
+            raise FlashStateError(f"page {index} programmed twice without erase")
+        page.state = PageState.LIVE
+        page.content = content
+        self.write_pointer += 1
+        self.live_count += 1
+        self.last_write_ns = now_ns
+        return index
+
+    def invalidate(self, page_index: int) -> None:
+        """FTL hook: mark a superseded page as reclaimable."""
+        page = self.pages[page_index]
+        if page.state is not PageState.LIVE:
+            raise FlashStateError(f"invalidate on non-live page {page_index}")
+        page.state = PageState.DEAD
+        self.live_count -= 1
+        self.dead_count += 1
+
+    def read(self, page_index: int) -> PageContent:
+        """Content of a programmed page (live or dead -- stale reads of
+        not-yet-erased data are legal, see ``inflight_reads``)."""
+        page = self.pages[page_index]
+        if page.state is PageState.FREE or page.content is None:
+            raise FlashStateError(f"read of unprogrammed page {page_index}")
+        return page.content
+
+    def erase(self, now_ns: int) -> None:
+        if self.live_count:
+            raise FlashStateError(f"erase would destroy {self.live_count} live pages")
+        if self.inflight_reads:
+            raise FlashStateError(f"erase with {self.inflight_reads} in-flight reads")
+        for page in self.pages:
+            page.state = PageState.FREE
+            page.content = None
+        self.write_pointer = 0
+        self.live_count = 0
+        self.dead_count = 0
+        self.erase_count += 1
+        self.last_erase_ns = now_ns
+
+    def live_page_indexes(self) -> list[int]:
+        """Indexes of pages the FTL still maps (GC must relocate these)."""
+        return [
+            index
+            for index, page in enumerate(self.pages)
+            if page.state is PageState.LIVE
+        ]
+
+
+class Lun:
+    """One logical unit: the minimum granularity of parallelism.
+
+    Executes one array operation at a time (``current_command`` /
+    ``busy_until``) and owns its blocks.  Free-block membership is kept
+    incrementally so allocation and GC-trigger checks are O(1).
+    """
+
+    __slots__ = (
+        "channel_id",
+        "lun_id",
+        "blocks",
+        "current_command",
+        "busy_until",
+        "free_block_ids",
+        "busy_ns",
+        "bad_block_ids",
+    )
+
+    def __init__(
+        self,
+        channel_id: int,
+        lun_id: int,
+        blocks_per_lun: int,
+        pages_per_block: int,
+        bad_block_ids: Optional[set[int]] = None,
+    ):
+        self.channel_id = channel_id
+        self.lun_id = lun_id
+        self.blocks = [Block(pages_per_block) for _ in range(blocks_per_lun)]
+        self.current_command = None  # type: Optional[object]
+        self.busy_until = 0
+        #: Blocks that are fully erased and not handed out as open blocks.
+        self.free_block_ids: set[int] = set(range(blocks_per_lun))
+        #: Cumulative array-phase time, for utilisation statistics.
+        self.busy_ns = 0
+        #: Blocks masked as bad (factory defects + wear-outs).
+        self.bad_block_ids: set[int] = set()
+        for block_id in bad_block_ids or ():
+            self.blocks[block_id].is_bad = True
+            self.free_block_ids.discard(block_id)
+            self.bad_block_ids.add(block_id)
+
+    @property
+    def is_busy(self) -> bool:
+        return self.current_command is not None
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.channel_id, self.lun_id)
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+    def take_free_block(self, block_id: int) -> Block:
+        """Remove a block from the free set (it becomes an open block)."""
+        if block_id not in self.free_block_ids:
+            raise FlashStateError(f"block {block_id} is not free")
+        self.free_block_ids.remove(block_id)
+        return self.blocks[block_id]
+
+    def on_block_erased(self, block_id: int) -> None:
+        """Array hook: an erase completed, the block is free again."""
+        self.free_block_ids.add(block_id)
+
+    def retire_block(self, block_id: int) -> None:
+        """Mask a worn-out block: it never returns to the free pool."""
+        block = self.blocks[block_id]
+        block.is_bad = True
+        self.free_block_ids.discard(block_id)
+        self.bad_block_ids.add(block_id)
+
+    @property
+    def usable_blocks(self) -> int:
+        return len(self.blocks) - len(self.bad_block_ids)
+
+    def total_live_pages(self) -> int:
+        return sum(block.live_count for block in self.blocks)
+
+    def total_dead_pages(self) -> int:
+        return sum(block.dead_count for block in self.blocks)
+
+    def total_free_pages(self) -> int:
+        return sum(block.free_pages for block in self.blocks)
+
+    def erase_counts(self) -> list[int]:
+        return [block.erase_count for block in self.blocks]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Lun(c{self.channel_id},l{self.lun_id}, free_blocks="
+            f"{len(self.free_block_ids)}, busy={self.is_busy})"
+        )

@@ -1,0 +1,33 @@
+"""The operating-system layer and the OS<->SSD interface.
+
+* :mod:`repro.host.operating_system` -- manages IO requests from
+  simulated concurrent threads: per-thread pending pools, a pluggable
+  scheduling policy, the outstanding-IO (queue depth) limit, and
+  completion interrupts back to the threads (paper Section 2.2, OS
+  Scheduler).
+* :mod:`repro.host.schedulers` -- the OS scheduling strategies: FIFO
+  (the paper's default), priority, fair (CFQ-like) and deadline.
+* :mod:`repro.host.interface` -- the *open interface*: an extensible
+  messaging framework letting OS and SSD communicate as peers, plus the
+  standard hint vocabulary (priority, update-locality, temperature).
+"""
+
+from repro.host.interface import (
+    InterfaceClosedError,
+    Message,
+    OpenInterface,
+    locality_hint,
+    priority_hint,
+    temperature_hint,
+)
+from repro.host.operating_system import OperatingSystem
+
+__all__ = [
+    "InterfaceClosedError",
+    "Message",
+    "OpenInterface",
+    "OperatingSystem",
+    "locality_hint",
+    "priority_hint",
+    "temperature_hint",
+]

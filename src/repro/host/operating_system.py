@@ -1,0 +1,264 @@
+"""The operating-system layer.
+
+Paper Section 2.2: "The Operating System manages IO requests incoming
+from multiple simulated concurrent threads.  It maintains a pool of
+pending IOs from each thread and decides, based on a customizable
+scheduling policy, which IOs to issue next to the SSD. [...] Once the
+SSD has completed executing an IO, it interrupts and notifies the OS.
+The OS then activates the thread that dispatched the IO."
+
+Also implemented here (Section 2.3):
+
+* per-thread statistics gathering objects;
+* dependencies among threads -- a thread starts only after the threads
+  it depends on have finished, the paper's mechanism for bringing the
+  SSD to a well-defined state before measuring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.core.config import SimulationConfig
+from repro.core.engine import Simulator
+from repro.core.events import IoRequest, IoType
+from repro.core.rng import RandomSource, RandomStream
+from repro.core.statistics import StatisticsGatherer
+from repro.core.tracing import TraceRecorder
+from repro.host.interface import OpenInterface, install_standard_handlers
+from repro.host.schedulers import build_os_scheduler
+
+
+class ThreadContext:
+    """The handle a thread uses to talk to the operating system.
+
+    Passed to ``on_init`` and ``on_io_completed``; provides IO issuing,
+    virtual time, per-thread randomness, timers and completion.
+    """
+
+    def __init__(self, os: "OperatingSystem", record: "_ThreadRecord"):
+        self._os = os
+        self._record = record
+
+    @property
+    def now(self) -> int:
+        """Current virtual time (nanoseconds)."""
+        return self._os.sim.now
+
+    @property
+    def logical_pages(self) -> int:
+        """Size of the device's logical address space, in pages."""
+        return self._os.config.logical_pages
+
+    @property
+    def thread_name(self) -> str:
+        return self._record.name
+
+    def rng(self, purpose: str = "main") -> RandomStream:
+        """A deterministic random stream private to this thread."""
+        return self._os.rng.stream(f"thread:{self._record.name}:{purpose}")
+
+    # ------------------------------------------------------------------
+    # IO issuing
+    # ------------------------------------------------------------------
+    def read(self, lpn: int, hints: Optional[dict] = None) -> IoRequest:
+        return self._issue(IoType.READ, lpn, hints)
+
+    def write(self, lpn: int, hints: Optional[dict] = None) -> IoRequest:
+        return self._issue(IoType.WRITE, lpn, hints)
+
+    def trim(self, lpn: int, hints: Optional[dict] = None) -> IoRequest:
+        return self._issue(IoType.TRIM, lpn, hints)
+
+    def _issue(self, io_type: IoType, lpn: int, hints: Optional[dict]) -> IoRequest:
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(
+                f"lpn {lpn} outside logical space [0, {self.logical_pages})"
+            )
+        io = IoRequest(io_type, lpn, thread_name=self._record.name, hints=hints)
+        self._os.issue(self._record, io)
+        return io
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def schedule(self, delay_ns: int, fn, *args: Any) -> None:
+        """Run ``fn(*args)`` after a virtual delay (think time, timers)."""
+        self._os.sim.schedule(delay_ns, fn, *args)
+
+    def finish(self) -> None:
+        """Declare this thread done; dependent threads may now start."""
+        self._os.finish_thread(self._record)
+
+    def send_message(self, message):
+        """Send an open-interface message to the SSD (see
+        :mod:`repro.host.interface`)."""
+        return self._os.open_interface.send(message)
+
+
+class _ThreadRecord:
+    """OS-side bookkeeping for one registered thread."""
+
+    __slots__ = (
+        "thread",
+        "name",
+        "context",
+        "depends_on",
+        "started",
+        "finished",
+        "stats",
+        "issued",
+        "completed",
+    )
+
+    def __init__(self, thread, depends_on: set[str], stats: Optional[StatisticsGatherer]):
+        self.thread = thread
+        self.name = thread.name
+        self.context: Optional[ThreadContext] = None
+        self.depends_on = depends_on
+        self.started = False
+        self.finished = False
+        self.stats = stats
+        self.issued = 0
+        self.completed = 0
+
+
+class OperatingSystem:
+    """Per-thread IO pools, a pluggable OS scheduler and the queue-depth
+    limit toward the device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SimulationConfig,
+        controller,
+        stats: StatisticsGatherer,
+        tracer: Optional[TraceRecorder] = None,
+        rng: Optional[RandomSource] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.controller = controller
+        self.stats = stats
+        self.tracer = tracer if tracer is not None else TraceRecorder(enabled=False)
+        self.rng = rng or RandomSource(config.seed)
+        self.scheduler = build_os_scheduler(config.host)
+        self.max_outstanding = config.host.max_outstanding
+        self.outstanding = 0
+        self.open_interface = OpenInterface(config.host.open_interface)
+        install_standard_handlers(self.open_interface, controller)
+        controller.on_io_complete = self._interrupt
+        self._records: dict[str, _ThreadRecord] = {}
+        self._started = False
+        #: Completed IoRequest objects, kept only when configured.
+        self.completed_ios: list[IoRequest] = []
+        self._retain_ios = config.host.retain_completed_ios
+
+    # ------------------------------------------------------------------
+    # Thread registration and lifecycle
+    # ------------------------------------------------------------------
+    def add_thread(
+        self,
+        thread,
+        depends_on: Iterable[str] = (),
+        collect_stats: bool = True,
+    ) -> None:
+        """Register a workload thread.
+
+        ``depends_on`` names threads that must *finish* before this one
+        starts -- the preconditioning mechanism of Section 2.3.
+        """
+        if thread.name in self._records:
+            raise ValueError(f"duplicate thread name {thread.name!r}")
+        stats = StatisticsGatherer(thread.name) if collect_stats else None
+        self._records[thread.name] = _ThreadRecord(thread, set(depends_on), stats)
+
+    def start(self) -> None:
+        """Kick off all threads without dependencies (at t = now).
+
+        Dependencies may name threads registered in any order; they are
+        validated here, once the full roster is known.
+        """
+        for record in self._records.values():
+            unknown = record.depends_on - set(self._records)
+            if unknown:
+                raise ValueError(
+                    f"unknown dependencies for {record.name!r}: {sorted(unknown)}"
+                )
+        self._started = True
+        for record in self._records.values():
+            if not record.depends_on:
+                self.sim.schedule(0, self._start_thread, record)
+
+    def _start_thread(self, record: _ThreadRecord) -> None:
+        if record.started:
+            return
+        record.started = True
+        record.context = ThreadContext(self, record)
+        self.tracer.record(self.sim.now, "os", "thread-start", record.name)
+        record.thread.on_init(record.context)
+
+    def finish_thread(self, record: _ThreadRecord) -> None:
+        if record.finished:
+            return
+        record.finished = True
+        self.tracer.record(self.sim.now, "os", "thread-finish", record.name)
+        for candidate in self._records.values():
+            if candidate.started or candidate.finished:
+                continue
+            if all(
+                self._records[name].finished for name in candidate.depends_on
+            ):
+                self.sim.schedule(0, self._start_thread, candidate)
+
+    @property
+    def all_finished(self) -> bool:
+        return all(record.finished for record in self._records.values())
+
+    def thread_stats(self, name: str) -> StatisticsGatherer:
+        stats = self._records[name].stats
+        if stats is None:
+            raise LookupError(f"thread {name!r} has no statistics gatherer")
+        return stats
+
+    # ------------------------------------------------------------------
+    # IO path
+    # ------------------------------------------------------------------
+    def issue(self, record: _ThreadRecord, io: IoRequest) -> None:
+        """Accept an IO from a thread into its pending pool."""
+        io.issue_time = self.sim.now
+        record.issued += 1
+        self.tracer.record(
+            self.sim.now, "os", "issue", f"{io.io_type} lpn={io.lpn} by {record.name}"
+        )
+        self.scheduler.add(io)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self.outstanding < self.max_outstanding:
+            io = self.scheduler.pop(self.sim.now)
+            if io is None:
+                return
+            io.dispatch_time = self.sim.now
+            self.outstanding += 1
+            self.tracer.record(
+                self.sim.now, "os", "dispatch", f"{io.io_type} lpn={io.lpn} #{io.id}"
+            )
+            self.controller.submit_io(io)
+
+    def _interrupt(self, io: IoRequest) -> None:
+        """Completion interrupt from the SSD."""
+        self.outstanding -= 1
+        if self.outstanding < 0:
+            raise RuntimeError("completion interrupt without outstanding IO")
+        if self._retain_ios:
+            self.completed_ios.append(io)
+        self.stats.record_io(io)
+        record = self._records.get(io.thread_name)
+        if record is not None:
+            record.completed += 1
+            if record.stats is not None:
+                record.stats.record_io(io)
+            if not record.finished and record.context is not None:
+                record.thread.on_io_completed(record.context, io)
+        self._dispatch()

@@ -1,0 +1,140 @@
+"""OS IO scheduling strategies (paper Section 2.2, OS Scheduler).
+
+"It maintains a pool of pending IOs from each thread and decides, based
+on a customizable scheduling policy, which IOs to issue next to the SSD.
+This policy can take into account the IO type (e.g. read/write/trim),
+its priority, the dispatching thread, etc.  The default scheduling
+strategy is FIFO."
+
+Unlike the *device* scheduler (:mod:`repro.controller.scheduler`), the OS
+always sees thread identities and hint metadata -- the question the open
+interface experiments ask is whether the *device* also gets to see them.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+from collections import OrderedDict, deque
+from typing import Optional
+
+from repro.core.config import HostConfig, OsSchedulerPolicy
+from repro.core.events import IoRequest, IoType
+
+
+class OsScheduler(abc.ABC):
+    """Pool of pending IOs plus a pop policy."""
+
+    @abc.abstractmethod
+    def add(self, io: IoRequest) -> None:
+        """Queue an IO issued by a thread."""
+
+    @abc.abstractmethod
+    def pop(self, now: int) -> Optional[IoRequest]:
+        """The next IO to dispatch to the SSD, or None if empty."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of queued IOs."""
+
+
+class FifoOsScheduler(OsScheduler):
+    """Dispatch in issue order (the paper's default)."""
+
+    def __init__(self) -> None:
+        self._queue: deque[IoRequest] = deque()
+
+    def add(self, io: IoRequest) -> None:
+        self._queue.append(io)
+
+    def pop(self, now: int) -> Optional[IoRequest]:
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PriorityOsScheduler(OsScheduler):
+    """Strict priority order (``priority`` hint, lower first), FIFO
+    within a priority level."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, IoRequest]] = []
+        self._counter = itertools.count()
+
+    def add(self, io: IoRequest) -> None:
+        priority = int(io.hints.get("priority", 0))
+        heapq.heappush(self._heap, (priority, next(self._counter), io))
+
+    def pop(self, now: int) -> Optional[IoRequest]:
+        if self._heap:
+            return heapq.heappop(self._heap)[2]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class FairOsScheduler(OsScheduler):
+    """CFQ-like fair queueing: round-robin across issuing threads."""
+
+    def __init__(self) -> None:
+        self._queues: OrderedDict[str, deque[IoRequest]] = OrderedDict()
+
+    def add(self, io: IoRequest) -> None:
+        self._queues.setdefault(io.thread_name, deque()).append(io)
+
+    def pop(self, now: int) -> Optional[IoRequest]:
+        for thread_name, queue in self._queues.items():
+            if queue:
+                io = queue.popleft()
+                # Rotate the served thread to the back.
+                self._queues.move_to_end(thread_name)
+                return io
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+
+class DeadlineOsScheduler(OsScheduler):
+    """Earliest deadline first, with per-type deadlines from the host
+    configuration (reads tighter than writes, as in Linux deadline)."""
+
+    def __init__(self, config: HostConfig):
+        self._config = config
+        self._heap: list[tuple[int, int, IoRequest]] = []
+        self._counter = itertools.count()
+
+    def add(self, io: IoRequest) -> None:
+        if io.io_type is IoType.READ:
+            horizon = self._config.read_deadline_ns
+        else:
+            horizon = self._config.write_deadline_ns
+        deadline = (io.issue_time or 0) + horizon
+        heapq.heappush(self._heap, (deadline, next(self._counter), io))
+
+    def pop(self, now: int) -> Optional[IoRequest]:
+        if self._heap:
+            return heapq.heappop(self._heap)[2]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def build_os_scheduler(config: HostConfig) -> OsScheduler:
+    """Factory used by the operating system layer."""
+    policy = config.os_scheduler
+    if policy is OsSchedulerPolicy.FIFO:
+        return FifoOsScheduler()
+    if policy is OsSchedulerPolicy.PRIORITY:
+        return PriorityOsScheduler()
+    if policy is OsSchedulerPolicy.FAIR:
+        return FairOsScheduler()
+    if policy is OsSchedulerPolicy.DEADLINE:
+        return DeadlineOsScheduler(config)
+    raise ValueError(f"unknown OS scheduler policy {policy!r}")

@@ -1,0 +1,65 @@
+"""The application layer: the thread programming framework and workloads.
+
+Paper Section 2.2: "The Thread layer is a programming framework that
+gives users absolute control over the workload.  Users are able to
+extend an abstract thread class by providing a definition for two
+methods: init() and call_back()."  Here these are
+:meth:`~repro.workloads.threads.Thread.on_init` and
+:meth:`~repro.workloads.threads.Thread.on_io_completed`.
+
+Provided workloads:
+
+* :mod:`repro.workloads.synthetic` -- sequential/random readers and
+  writers (uniform or zipfian), mixed read/write threads; used both as
+  measured workloads and as the preconditioning threads of Section 2.3.
+* :mod:`repro.workloads.filesystem` -- a thread simulating file-system
+  behaviour (creates, appends, overwrites, deletes with trims).
+* :mod:`repro.workloads.grace_hash_join` -- a thread following the IO
+  pattern of a Grace hash join, as in the paper.
+* :mod:`repro.workloads.lsm` -- LSM-tree insertion workload (flushes
+  and compactions), the database motivation from the introduction.
+* :mod:`repro.workloads.external_sort` -- external merge sort, from the
+  cross-layer application list in Section 2.1.
+* :mod:`repro.workloads.trace_replay` -- replays explicit IO traces.
+"""
+
+from repro.workloads.external_sort import ExternalSortThread
+from repro.workloads.filesystem import FileSystemThread
+from repro.workloads.grace_hash_join import GraceHashJoinThread
+from repro.workloads.lsm import LsmInsertThread
+from repro.workloads.synthetic import (
+    MixedWorkloadThread,
+    RandomReaderThread,
+    RandomWriterThread,
+    SequentialReaderThread,
+    SequentialWriterThread,
+    precondition_sequential,
+    precondition_random,
+)
+from repro.workloads.threads import GeneratorThread, Thread
+from repro.workloads.trace_replay import (
+    TraceRecordOp,
+    TraceReplayThread,
+    generate_poisson_trace,
+    load_trace_csv,
+)
+
+__all__ = [
+    "ExternalSortThread",
+    "FileSystemThread",
+    "GeneratorThread",
+    "GraceHashJoinThread",
+    "LsmInsertThread",
+    "MixedWorkloadThread",
+    "RandomReaderThread",
+    "RandomWriterThread",
+    "SequentialReaderThread",
+    "SequentialWriterThread",
+    "Thread",
+    "TraceRecordOp",
+    "TraceReplayThread",
+    "generate_poisson_trace",
+    "load_trace_csv",
+    "precondition_random",
+    "precondition_sequential",
+]

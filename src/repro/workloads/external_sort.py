@@ -1,0 +1,138 @@
+"""External merge sort IO pattern.
+
+The paper's cross-layer questions (§2.1) name "external sorting
+algorithms" among the applications whose interaction with the SSD stack
+is worth studying.  This thread follows the classic two-level external
+merge sort:
+
+1. **Run generation**: read the input sequentially in memory-sized
+   chunks; write each chunk back as a sorted run (sequential writes).
+2. **Merge passes**: merge ``fanin`` runs at a time -- the reads
+   round-robin across the input runs (a highly parallel, multi-stream
+   read pattern), the merged output is written sequentially.  Passes
+   repeat until one run remains.
+
+As with the other database workloads, tuple comparisons are abstracted
+away; the *addresses and orderings* of the IOs are what exercise the
+device.
+
+Layout inside the region::
+
+    [ input (run area A) | run area B ]
+
+Runs ping-pong between the two areas across passes, so the space needed
+is exactly twice the input.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import IoType
+from repro.host.operating_system import ThreadContext
+from repro.workloads.threads import GeneratorThread, Op
+
+
+class ExternalSortThread(GeneratorThread):
+    """Two-area external merge sort over ``input_pages`` of data."""
+
+    def __init__(
+        self,
+        name: str,
+        input_pages: int,
+        memory_pages: int = 32,
+        fanin: int = 4,
+        region_start: int = 0,
+        depth: int = 8,
+    ):
+        super().__init__(name, depth=depth)
+        if input_pages < 1 or memory_pages < 1 or fanin < 2:
+            raise ValueError("invalid sort shape")
+        self.input_pages = input_pages
+        self.memory_pages = memory_pages
+        self.fanin = fanin
+        self.region_start = region_start
+        self._plan: Optional[list[Op]] = None
+        self._cursor = 0
+        self.run_generation_ops = 0
+        self.merge_passes = 0
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def area_base(self, area: int) -> int:
+        return self.region_start + area * self.input_pages
+
+    def total_pages_needed(self) -> int:
+        return 2 * self.input_pages
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def _build_plan(self, ctx: ThreadContext) -> list[Op]:
+        if self.region_start + self.total_pages_needed() > ctx.logical_pages:
+            raise ValueError(
+                f"{self.name}: sort needs {self.total_pages_needed()} pages, "
+                f"logical space has {ctx.logical_pages - self.region_start}"
+            )
+        plan: list[Op] = []
+        # Pass 0: run generation.  Input is in area 0; sorted runs go to
+        # area 1.  Each chunk: sequential read then sequential write.
+        runs: list[tuple[int, int]] = []  # (start_offset, length)
+        offset = 0
+        while offset < self.input_pages:
+            length = min(self.memory_pages, self.input_pages - offset)
+            for page in range(length):
+                plan.append((IoType.READ, self.area_base(0) + offset + page, None))
+            for page in range(length):
+                plan.append((IoType.WRITE, self.area_base(1) + offset + page, None))
+            runs.append((offset, length))
+            offset += length
+        self.run_generation_ops = len(plan)
+        # Merge passes, ping-ponging between the areas.
+        source_area = 1
+        while len(runs) > 1:
+            self.merge_passes += 1
+            target_area = 1 - source_area
+            next_runs: list[tuple[int, int]] = []
+            for group_start in range(0, len(runs), self.fanin):
+                group = runs[group_start : group_start + self.fanin]
+                merged_offset = group[0][0]
+                # Round-robin reads across the group's runs (merge order),
+                # then the sequential write of the merged output.
+                cursors = [start for start, _ in group]
+                ends = [start + length for start, length in group]
+                out = merged_offset
+                while any(c < e for c, e in zip(cursors, ends)):
+                    for index in range(len(group)):
+                        if cursors[index] < ends[index]:
+                            plan.append(
+                                (IoType.READ,
+                                 self.area_base(source_area) + cursors[index],
+                                 None)
+                            )
+                            cursors[index] += 1
+                            plan.append(
+                                (IoType.WRITE,
+                                 self.area_base(target_area) + out,
+                                 None)
+                            )
+                            out += 1
+                merged_length = sum(length for _, length in group)
+                next_runs.append((merged_offset, merged_length))
+            runs = next_runs
+            source_area = target_area
+        return plan
+
+    # ------------------------------------------------------------------
+    # GeneratorThread interface
+    # ------------------------------------------------------------------
+    def next_io(self, ctx: ThreadContext) -> Optional[Op]:
+        if self._plan is None:
+            self._plan = self._build_plan(ctx)
+            self._cursor = 0
+        if self._cursor >= len(self._plan):
+            return None
+        op = self._plan[self._cursor]
+        self._cursor += 1
+        return op

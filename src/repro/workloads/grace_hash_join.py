@@ -1,0 +1,169 @@
+"""A thread following the IO pattern of a Grace hash join.
+
+The paper implemented "a thread that follows the IO pattern of Grace
+hash Join" as a database-algorithm workload.  Grace hash join runs in
+two passes:
+
+1. **Partition phase**: read relation R sequentially, hash-partition its
+   tuples into K output buckets, writing each bucket page as it fills;
+   then the same for relation S.  The IO pattern is a sequential read
+   stream interleaved with writes scattered across K growing partitions.
+2. **Probe phase**: for each partition i, read R_i (build the hash
+   table), then read S_i (probe).  Reads within a partition can be
+   issued asynchronously, which is exactly where SSD parallelism helps.
+
+Tuple-level work is abstracted away (the simulator moves pages); the
+*addresses and ordering* of IOs are faithful, which is what determines
+how the algorithm exercises the device.
+
+Layout inside the thread's region::
+
+    [ R pages | S pages | partition area: K buckets of capacity
+      (r+s)/K each, R and S sub-areas ]
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import IoType
+from repro.host.operating_system import ThreadContext
+from repro.workloads.threads import GeneratorThread, Op
+
+
+class GraceHashJoinThread(GeneratorThread):
+    """Grace hash join over two relations stored on the device."""
+
+    def __init__(
+        self,
+        name: str,
+        r_pages: int,
+        s_pages: int,
+        partitions: int = 8,
+        region_start: int = 0,
+        depth: int = 8,
+        use_locality_hints: bool = False,
+    ):
+        super().__init__(name, depth=depth)
+        if r_pages < 1 or s_pages < 1:
+            raise ValueError("relations must have at least one page")
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        self.r_pages = r_pages
+        self.s_pages = s_pages
+        self.partitions = partitions
+        self.region_start = region_start
+        #: Attach update-locality hints: one group per partition, so the
+        #: SSD can co-locate each partition's pages in the same blocks.
+        self.use_locality_hints = use_locality_hints
+        # Capacity of each partition's R/S sub-area: partitioning is
+        # hash-based and roughly uniform; +1 page of slack per bucket.
+        self._r_bucket = -(-r_pages // partitions) + 1
+        self._s_bucket = -(-s_pages // partitions) + 1
+        self._plan: Optional[list[Op]] = None
+        self._cursor = 0
+        #: Phase boundaries, exposed for tests: op index where each
+        #: phase begins.
+        self.phase_offsets: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Address layout
+    # ------------------------------------------------------------------
+    def _r_base(self) -> int:
+        return self.region_start
+
+    def _s_base(self) -> int:
+        return self.region_start + self.r_pages
+
+    def _partition_base(self) -> int:
+        return self._s_base() + self.s_pages
+
+    def partition_r_lpn(self, partition: int, offset: int) -> int:
+        base = self._partition_base() + partition * (self._r_bucket + self._s_bucket)
+        return base + offset
+
+    def partition_s_lpn(self, partition: int, offset: int) -> int:
+        return self.partition_r_lpn(partition, self._r_bucket) + offset
+
+    def total_pages_needed(self) -> int:
+        """Region size the thread requires (for sizing experiments)."""
+        return (
+            self.r_pages
+            + self.s_pages
+            + self.partitions * (self._r_bucket + self._s_bucket)
+        )
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def _build_plan(self, ctx: ThreadContext) -> list[Op]:
+        if self.region_start + self.total_pages_needed() > ctx.logical_pages:
+            raise ValueError(
+                f"{self.name}: join needs {self.total_pages_needed()} pages, "
+                f"logical space has {ctx.logical_pages - self.region_start}"
+            )
+        plan: list[Op] = []
+        rng = ctx.rng("partitioning")
+        self.phase_offsets["partition_r"] = len(plan)
+        plan.extend(self._partition_pass(rng, self.r_pages, self._r_base(), is_r=True))
+        self.phase_offsets["partition_s"] = len(plan)
+        plan.extend(self._partition_pass(rng, self.s_pages, self._s_base(), is_r=False))
+        self.phase_offsets["probe"] = len(plan)
+        plan.extend(self._probe_pass())
+        return plan
+
+    def _partition_pass(self, rng, num_pages: int, base: int, is_r: bool) -> list[Op]:
+        """Sequential read of a relation, interleaved with partition
+        writes as output buckets fill."""
+        ops: list[Op] = []
+        fill = [0] * self.partitions
+        capacity = self._r_bucket if is_r else self._s_bucket
+        for page in range(num_pages):
+            ops.append((IoType.READ, base + page, None))
+            # Each input page yields roughly one output page, landing in
+            # a hash-chosen partition (uniform over partitions).
+            partition = rng.randrange(self.partitions)
+            if fill[partition] >= capacity:
+                # Slack exhausted by skew: spill to the least-full bucket.
+                partition = min(range(self.partitions), key=lambda p: fill[p])
+                if fill[partition] >= capacity:
+                    continue
+            offset = fill[partition]
+            fill[partition] += 1
+            if is_r:
+                lpn = self.partition_r_lpn(partition, offset)
+            else:
+                lpn = self.partition_s_lpn(partition, offset)
+            ops.append((IoType.WRITE, lpn, self._write_hints(partition)))
+        if is_r:
+            self._r_fill = list(fill)
+        else:
+            self._s_fill = list(fill)
+        return ops
+
+    def _probe_pass(self) -> list[Op]:
+        ops: list[Op] = []
+        for partition in range(self.partitions):
+            for offset in range(self._r_fill[partition]):
+                ops.append((IoType.READ, self.partition_r_lpn(partition, offset), None))
+            for offset in range(self._s_fill[partition]):
+                ops.append((IoType.READ, self.partition_s_lpn(partition, offset), None))
+        return ops
+
+    def _write_hints(self, partition: int) -> Optional[dict]:
+        if self.use_locality_hints:
+            return {"locality": partition}
+        return None
+
+    # ------------------------------------------------------------------
+    # GeneratorThread interface
+    # ------------------------------------------------------------------
+    def next_io(self, ctx: ThreadContext) -> Optional[Op]:
+        if self._plan is None:
+            self._plan = self._build_plan(ctx)
+            self._cursor = 0
+        if self._cursor >= len(self._plan):
+            return None
+        op = self._plan[self._cursor]
+        self._cursor += 1
+        return op

@@ -1,0 +1,132 @@
+"""LSM-tree insertion workload.
+
+The paper's introduction names "LSM-tree insertions" as a canonical
+SSD-based algorithm whose interaction with device parallelism is poorly
+understood.  This thread models the *IO side* of a leveled LSM tree:
+
+* inserts accumulate in an in-memory memtable (no IO);
+* every ``memtable_pages`` inserts the memtable is flushed as a new
+  sorted run on level 0 -- a burst of sequential writes;
+* when a level holds ``fanout`` runs they are compacted into the next
+  level: every input page is read, and the merged output (same total
+  size) is written sequentially to the next level's area.
+
+Each level owns a fixed address area sized for ``fanout`` runs of that
+level's run size, and runs rotate through slots within the area, so the
+workload steadily overwrites -- exactly the update pattern that makes
+LSM trees interesting for garbage collection studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import IoType
+from repro.host.operating_system import ThreadContext
+from repro.workloads.threads import GeneratorThread, Op
+
+
+class LsmInsertThread(GeneratorThread):
+    """Sustained LSM-tree insertions: flushes plus cascading compactions."""
+
+    def __init__(
+        self,
+        name: str,
+        inserts: int,
+        memtable_pages: int = 8,
+        fanout: int = 4,
+        levels: int = 3,
+        region_start: int = 0,
+        depth: int = 8,
+    ):
+        super().__init__(name, depth=depth)
+        if memtable_pages < 1 or fanout < 2 or levels < 1:
+            raise ValueError("invalid LSM shape")
+        self.inserts = inserts
+        self.memtable_pages = memtable_pages
+        self.fanout = fanout
+        self.levels = levels
+        self.region_start = region_start
+        #: Runs currently present per level (run = slot index).
+        self._runs: list[list[int]] = [[] for _ in range(levels)]
+        #: Next slot to use per level (rotates through fanout+1 slots so
+        #: a compaction can write while its inputs still exist).
+        self._next_slot = [0] * levels
+        self._flushes_done = 0
+        self._queue: list[Op] = []
+        self.flush_count = 0
+        self.compaction_count = 0
+
+    # ------------------------------------------------------------------
+    # Address layout
+    # ------------------------------------------------------------------
+    def run_pages(self, level: int) -> int:
+        """Pages per run at ``level`` (level 0 = one memtable)."""
+        return self.memtable_pages * (self.fanout ** level)
+
+    def _slots_per_level(self) -> int:
+        return self.fanout + 1
+
+    def level_base(self, level: int) -> int:
+        base = self.region_start
+        for lower in range(level):
+            base += self._slots_per_level() * self.run_pages(lower)
+        return base
+
+    def run_base(self, level: int, slot: int) -> int:
+        return self.level_base(level) + slot * self.run_pages(level)
+
+    def total_pages_needed(self) -> int:
+        return self.level_base(self.levels)
+
+    # ------------------------------------------------------------------
+    # LSM mechanics
+    # ------------------------------------------------------------------
+    def _flush_memtable(self) -> None:
+        self.flush_count += 1
+        self._emit_run_write(level=0)
+        self._cascade()
+
+    def _emit_run_write(self, level: int) -> int:
+        """Queue the sequential writes of a new run; returns its slot."""
+        slot = self._next_slot[level]
+        self._next_slot[level] = (slot + 1) % self._slots_per_level()
+        base = self.run_base(level, slot)
+        for offset in range(self.run_pages(level)):
+            self._queue.append((IoType.WRITE, base + offset, None))
+        self._runs[level].append(slot)
+        return slot
+
+    def _cascade(self) -> None:
+        for level in range(self.levels - 1):
+            if len(self._runs[level]) < self.fanout:
+                break
+            self.compaction_count += 1
+            # Read every page of every input run (merge inputs).
+            for slot in self._runs[level]:
+                base = self.run_base(level, slot)
+                for offset in range(self.run_pages(level)):
+                    self._queue.append((IoType.READ, base + offset, None))
+            self._runs[level].clear()
+            self._emit_run_write(level + 1)
+        # The last level absorbs runs without further compaction; cap it
+        # so the address area never overflows.
+        last = self.levels - 1
+        if len(self._runs[last]) > self.fanout:
+            self._runs[last] = self._runs[last][-self.fanout :]
+
+    # ------------------------------------------------------------------
+    # GeneratorThread interface
+    # ------------------------------------------------------------------
+    def next_io(self, ctx: ThreadContext) -> Optional[Op]:
+        if self.region_start + self.total_pages_needed() > ctx.logical_pages:
+            raise ValueError(
+                f"{self.name}: LSM layout needs {self.total_pages_needed()} pages, "
+                f"logical space has {ctx.logical_pages - self.region_start}"
+            )
+        while not self._queue:
+            if self._flushes_done * self.memtable_pages >= self.inserts:
+                return None
+            self._flushes_done += 1
+            self._flush_memtable()
+        return self._queue.pop(0)

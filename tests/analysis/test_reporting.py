@@ -1,0 +1,91 @@
+"""Tests for tables and ASCII charts."""
+
+from repro.analysis.reporting import ascii_chart, ascii_timeline, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        table = format_table(
+            ["name", "value"], [["alpha", 1.0], ["b", 123456.0]], title="demo"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "== demo =="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 2 + 1 + 2  # title + header + rule + rows
+
+    def test_cell_formatting(self):
+        table = format_table(["x"], [[0.12345], [12345.6], [True], [None]])
+        assert "0.1234" in table or "0.1235" in table
+        assert "12,346" in table
+        assert "yes" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table
+
+
+class TestAsciiChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_peak_draws_no_bars(self):
+        chart = ascii_chart([("a", 0.0)])
+        assert "#" not in chart
+
+    def test_empty_series(self):
+        assert ascii_chart([]) == "(empty series)"
+
+    def test_title_and_unit(self):
+        chart = ascii_chart([("a", 2.0)], title="tp", unit=" iops")
+        assert "== tp ==" in chart and "iops" in chart
+
+
+class TestAsciiTimeline:
+    def test_labels_use_time_units(self):
+        chart = ascii_timeline([(0, 1.0), (1_000_000, 2.0)])
+        assert "ms" in chart or "ns" in chart
+
+    def test_long_series_downsampled(self):
+        series = [(i * 1000, float(i)) for i in range(400)]
+        chart = ascii_timeline(series, max_rows=40)
+        assert len(chart.splitlines()) <= 41
+
+
+class TestAsciiHistogram:
+    def test_bins_cover_range(self):
+        from repro.analysis.reporting import ascii_histogram
+
+        chart = ascii_histogram([0, 1, 2, 3, 100], bins=4)
+        lines = chart.splitlines()
+        assert len(lines) == 4
+        # All five samples are represented across the bins.
+        total = sum(float(line.rsplit(" ", 1)[-1]) for line in lines)
+        assert total == 5.0
+
+    def test_degenerate_single_value(self):
+        from repro.analysis.reporting import ascii_histogram
+
+        chart = ascii_histogram([42.0, 42.0], bins=8)
+        assert "2.00" in chart
+
+    def test_empty_samples(self):
+        from repro.analysis.reporting import ascii_histogram
+
+        assert ascii_histogram([]) == "(no samples)"
+
+    def test_invalid_bins(self):
+        import pytest
+
+        from repro.analysis.reporting import ascii_histogram
+
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], bins=0)
+
+    def test_custom_labels(self):
+        from repro.analysis.reporting import ascii_histogram
+
+        chart = ascii_histogram([1, 10], bins=2, label_fn=lambda e: f"<{e:.0f}>")
+        assert "<1>" in chart

@@ -1,0 +1,158 @@
+"""Tests for DFTL: cached mapping table, translation pages, evictions."""
+
+import pytest
+
+from repro.core.config import FtlKind
+from repro.core.events import IoType
+
+from tests.controller.conftest import ControllerHarness, make_harness
+
+
+def dftl_harness(cmt_entries=64, batch=True, mutate=None) -> ControllerHarness:
+    def apply(config):
+        config.controller.ftl = FtlKind.DFTL
+        config.controller.dftl.cmt_entries = cmt_entries
+        config.controller.dftl.batch_eviction = batch
+        if mutate is not None:
+            mutate(config)
+
+    return make_harness(apply)
+
+
+class TestBasicMapping:
+    def test_read_your_write(self):
+        harness = dftl_harness()
+        harness.write_sync(5)
+        assert harness.read_sync(5).data == (5, 1)
+
+    def test_overwrite_returns_latest(self):
+        harness = dftl_harness()
+        for _ in range(4):
+            harness.write_sync(11)
+        assert harness.read_sync(11).data == (11, 4)
+
+    def test_unmapped_read(self):
+        harness = dftl_harness()
+        assert harness.read_sync(30).data is None
+
+    def test_trim(self):
+        harness = dftl_harness()
+        harness.write_sync(8)
+        harness.trim(8)
+        harness.run()
+        assert harness.read_sync(8).data is None
+        harness.controller.check_invariants()
+
+
+class TestCmtBehaviour:
+    def test_hits_and_misses_counted(self):
+        harness = dftl_harness(cmt_entries=64)
+        harness.write_sync(1)  # miss (first touch)
+        harness.read_sync(1)   # hit
+        ftl = harness.controller.ftl
+        assert ftl.cmt_misses >= 1
+        assert ftl.cmt_hits >= 1
+        assert 0.0 < ftl.hit_ratio() < 1.0
+
+    def test_capacity_never_exceeded(self):
+        harness = dftl_harness(cmt_entries=8)
+        for lpn in range(64):
+            harness.write_sync(lpn)
+        assert len(harness.controller.ftl.cmt) <= 8
+
+    def test_eviction_of_dirty_entry_writes_translation_page(self):
+        harness = dftl_harness(cmt_entries=4)
+        for lpn in range(32):
+            harness.write_sync(lpn)
+        mapping_programs = harness.controller.stats.flash_commands.get(
+            ("MAPPING", "PROGRAM"), 0
+        )
+        assert mapping_programs > 0
+        assert harness.controller.ftl.evictions > 0
+
+    def test_miss_on_persisted_entry_reads_translation_page(self):
+        harness = dftl_harness(cmt_entries=4)
+        # Fill enough lpns that lpn 0's entry is evicted and persisted.
+        for lpn in range(32):
+            harness.write_sync(lpn)
+        before = harness.controller.stats.flash_commands.get(("MAPPING", "READ"), 0)
+        assert harness.read_sync(0).data == (0, 1)
+        after = harness.controller.stats.flash_commands.get(("MAPPING", "READ"), 0)
+        assert after > before
+
+    def test_small_cmt_slower_than_page_resident_behaviour(self):
+        """More mapping traffic with a tiny CMT than with a huge one."""
+        def traffic(cmt_entries):
+            harness = dftl_harness(cmt_entries=cmt_entries)
+            for lpn in range(0, 128):
+                harness.write_sync(lpn)
+            flash = harness.controller.stats.flash_commands
+            return sum(c for (src, _), c in flash.items() if src == "MAPPING")
+
+        assert traffic(4) > traffic(1024)
+
+    def test_batch_eviction_flushes_siblings(self):
+        harness = dftl_harness(cmt_entries=4, batch=True)
+        # LPNs 0..3 share a translation page (entries_per_tp >> 4).
+        for lpn in range(4):
+            harness.write_sync(lpn)
+        harness.write_sync(500)  # evicts lpn 0, batching 1..3 with it
+        assert harness.controller.ftl.batched_flush_entries > 0
+
+    def test_concurrent_misses_coalesce(self):
+        harness = dftl_harness(cmt_entries=4)
+        for lpn in range(32):
+            harness.write_sync(lpn)
+        ftl = harness.controller.ftl
+        before = ftl.tp_fetch_reads
+        # lpns 0 and 1 share a translation page and are both evicted now.
+        harness.read(0)
+        harness.read(1)
+        harness.run()
+        assert ftl.tp_fetch_reads - before == 1  # one fetch, two misses
+
+
+class TestRamAccounting:
+    def test_gtd_and_cmt_charged(self):
+        harness = dftl_harness(cmt_entries=16)
+        allocations = harness.controller.memory.ram.allocations
+        assert "dftl gtd" in allocations
+        assert allocations["dftl cmt"] == 16 * 8
+
+    def test_cmt_derived_from_ram_budget_when_unset(self):
+        harness = dftl_harness(cmt_entries=None)
+        ftl = harness.controller.ftl
+        assert ftl.cmt_capacity == harness.config.logical_pages  # capped
+
+    def test_derived_cmt_respects_small_ram(self):
+        harness = dftl_harness(
+            cmt_entries=None,
+            mutate=lambda c: setattr(c.controller, "ram_bytes", 4096),
+        )
+        ftl = harness.controller.ftl
+        assert 1 <= ftl.cmt_capacity < harness.config.logical_pages
+
+
+class TestGcInteraction:
+    def test_sustained_overwrites_preserve_data_under_gc(self):
+        harness = dftl_harness(cmt_entries=32)
+        rng_lpns = [(i * 37) % harness.config.logical_pages for i in range(3000)]
+        writes_per_lpn = {}
+        for lpn in rng_lpns:
+            harness.write(lpn)
+            writes_per_lpn[lpn] = writes_per_lpn.get(lpn, 0) + 1
+        harness.run()
+        harness.controller.check_invariants()
+        assert harness.controller.gc.collected_blocks > 0
+        for lpn in list(writes_per_lpn)[:20]:
+            assert harness.read_sync(lpn).data == (lpn, writes_per_lpn[lpn])
+
+    def test_translation_pages_survive_gc(self):
+        harness = dftl_harness(cmt_entries=4)
+        for round_ in range(6):
+            for lpn in range(0, harness.config.logical_pages, 3):
+                harness.write(lpn)
+            harness.run()
+        harness.controller.check_invariants()
+        # Mapping still resolves everywhere after heavy GC + TP traffic.
+        assert harness.read_sync(0).data == (0, 6)

@@ -1,0 +1,136 @@
+"""Tests for hot/cold data identification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import TemperatureConfig, TemperatureDetector
+from repro.controller.temperature import (
+    BloomFilterDetector,
+    HintDetector,
+    NullDetector,
+    StaticWlDetector,
+    _BloomFilter,
+    build_detector,
+)
+
+
+class TestBloomFilterPrimitive:
+    def test_membership_after_add(self):
+        bloom = _BloomFilter(num_bits=1024, num_hashes=2)
+        bloom.add(42)
+        assert 42 in bloom
+
+    @given(st.sets(st.integers(min_value=0, max_value=10**9), max_size=50))
+    def test_property_no_false_negatives(self, values):
+        bloom = _BloomFilter(num_bits=4096, num_hashes=2)
+        for value in values:
+            bloom.add(value)
+        assert all(value in bloom for value in values)
+
+    def test_clear_resets(self):
+        bloom = _BloomFilter(64, 2)
+        bloom.add(1)
+        bloom.clear()
+        assert 1 not in bloom
+        assert bloom.inserted == 0
+
+
+class TestBloomDetector:
+    def _detector(self, num_filters=4, decay_writes=10, hot_threshold=1.5):
+        return BloomFilterDetector(
+            TemperatureConfig(
+                detector=TemperatureDetector.BLOOM,
+                num_filters=num_filters,
+                filter_bits=4096,
+                num_hashes=2,
+                decay_writes=decay_writes,
+                hot_threshold=hot_threshold,
+            )
+        )
+
+    def test_unknown_page_is_cold(self):
+        assert not self._detector().is_hot(123)
+
+    def test_repeated_writes_across_periods_become_hot(self):
+        detector = self._detector(decay_writes=4, hot_threshold=1.4)
+        # Write lpn 7 in two consecutive periods: weight 1.0 + 0.5 = 1.5.
+        for _ in range(4):
+            detector.record_write(7)
+        for _ in range(4):
+            detector.record_write(7)
+        assert detector.is_hot(7)
+
+    def test_single_write_is_not_hot(self):
+        detector = self._detector(hot_threshold=1.5)
+        detector.record_write(9)
+        assert not detector.is_hot(9)
+
+    def test_old_heat_decays_away(self):
+        detector = self._detector(num_filters=2, decay_writes=4, hot_threshold=1.4)
+        for _ in range(4):
+            detector.record_write(5)
+        # Two full periods of other pages rotate lpn 5 out of every filter.
+        for filler in range(8):
+            detector.record_write(1000 + filler)
+        assert detector.weighted_count(5) < 1.4
+
+    def test_needs_at_least_two_filters(self):
+        with pytest.raises(ValueError):
+            self._detector(num_filters=1)
+
+    def test_classify_streams(self):
+        detector = self._detector(decay_writes=4, hot_threshold=0.5)
+        detector.record_write(3)
+        assert detector.classify(3, {}) == "app_hot"
+        assert detector.classify(4, {}) == "app_cold"
+
+
+class TestStaticWlDetector:
+    def test_everything_hot_by_default(self):
+        assert StaticWlDetector().is_hot(1)
+
+    def test_migrated_pages_are_cold_until_rewritten(self):
+        detector = StaticWlDetector()
+        detector.mark_cold(4)
+        assert not detector.is_hot(4)
+        detector.record_write(4)
+        assert detector.is_hot(4)
+
+
+class TestHintDetector:
+    def test_hints_set_and_clear(self):
+        detector = HintDetector()
+        detector.hint(8, hot=True)
+        assert detector.is_hot(8)
+        detector.hint(8, hot=False)
+        assert not detector.is_hot(8)
+
+    def test_per_io_hint_overrides_state(self):
+        detector = HintDetector()
+        assert detector.classify(1, {"temperature": "hot"}) == "app_hot"
+        detector.hint(1, hot=True)
+        assert detector.classify(1, {"temperature": "cold"}) == "app_cold"
+
+    def test_classify_falls_back_to_recorded_hints(self):
+        detector = HintDetector()
+        detector.hint(2, hot=True)
+        assert detector.classify(2, {}) == "app_hot"
+        assert detector.classify(3, {}) == "app_cold"
+
+
+class TestFactory:
+    def test_builds_every_kind(self):
+        for kind, klass in [
+            (TemperatureDetector.NONE, NullDetector),
+            (TemperatureDetector.BLOOM, BloomFilterDetector),
+            (TemperatureDetector.STATIC_WL, StaticWlDetector),
+            (TemperatureDetector.HINT, HintDetector),
+        ]:
+            detector = build_detector(TemperatureConfig(detector=kind))
+            assert isinstance(detector, klass)
+
+    def test_null_detector_is_neutral(self):
+        detector = NullDetector()
+        detector.record_write(1)
+        assert not detector.is_hot(1)
+        assert detector.classify(1, {}) == "app"

@@ -1,0 +1,51 @@
+"""Tests for logical IO request objects."""
+
+from repro.core.events import IoRequest, IoType
+
+
+class TestIoRequest:
+    def test_ids_are_unique_and_increasing(self):
+        a = IoRequest(IoType.READ, 1)
+        b = IoRequest(IoType.WRITE, 2)
+        assert b.id > a.id
+
+    def test_type_predicates(self):
+        assert IoRequest(IoType.READ, 0).is_read
+        assert not IoRequest(IoType.READ, 0).is_write
+        assert IoRequest(IoType.WRITE, 0).is_write
+        trim = IoRequest(IoType.TRIM, 0)
+        assert not trim.is_read and not trim.is_write
+
+    def test_latencies_none_until_stamped(self):
+        io = IoRequest(IoType.READ, 5)
+        assert io.latency is None
+        assert io.device_latency is None
+        assert io.os_wait is None
+
+    def test_latency_decomposition(self):
+        io = IoRequest(IoType.WRITE, 5)
+        io.issue_time = 100
+        io.dispatch_time = 150
+        io.complete_time = 400
+        assert io.os_wait == 50
+        assert io.device_latency == 250
+        assert io.latency == 300
+        assert io.os_wait + io.device_latency == io.latency
+
+    def test_hints_default_to_empty_dict(self):
+        io = IoRequest(IoType.WRITE, 5)
+        assert io.hints == {}
+        io.hints["priority"] = 1
+        assert IoRequest(IoType.WRITE, 6).hints == {}
+
+    def test_hints_are_carried(self):
+        io = IoRequest(IoType.WRITE, 5, hints={"temperature": "hot"})
+        assert io.hints["temperature"] == "hot"
+
+    def test_thread_name_recorded(self):
+        io = IoRequest(IoType.READ, 1, thread_name="reader")
+        assert io.thread_name == "reader"
+
+    def test_str_of_type(self):
+        assert str(IoType.READ) == "read"
+        assert str(IoType.TRIM) == "trim"

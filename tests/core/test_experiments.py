@@ -1,0 +1,131 @@
+"""Tests for the experiment-template suite."""
+
+import pytest
+
+from repro import ExperimentTemplate, Parameter, small_config
+from repro.workloads import SequentialWriterThread
+
+
+def _workload(count=150):
+    def factory(config):
+        return [SequentialWriterThread("w", count=count, depth=8)]
+
+    return factory
+
+
+class TestParameter:
+    def test_path_parameter_applies(self):
+        config = small_config()
+        Parameter("greediness", path="controller.gc_greediness").apply(config, 5)
+        assert config.controller.gc_greediness == 5
+
+    def test_setter_parameter_applies(self):
+        config = small_config()
+
+        def set_depth(cfg, value):
+            cfg.host.max_outstanding = value * 2
+
+        Parameter("qd", setter=set_depth).apply(config, 8)
+        assert config.host.max_outstanding == 16
+
+    def test_parameter_without_target_rejected(self):
+        with pytest.raises(ValueError):
+            Parameter("broken").apply(small_config(), 1)
+
+
+class TestTemplate:
+    def _template(self, values=(1, 2, 4)):
+        return ExperimentTemplate(
+            name="queue depth sweep",
+            base_config=small_config(),
+            parameter=Parameter("qd", path="host.max_outstanding"),
+            values=values,
+            workload=_workload(),
+        )
+
+    def test_runs_one_simulation_per_value(self):
+        result = self._template().run()
+        assert result.values() == [1, 2, 4]
+        assert len(result.runs) == 3
+
+    def test_base_config_not_mutated(self):
+        template = self._template()
+        template.run()
+        assert template.base_config.host.max_outstanding == 32
+
+    def test_each_run_sees_its_value(self):
+        result = self._template().run()
+        assert [run.config.host.max_outstanding for run in result.runs] == [1, 2, 4]
+
+    def test_series_and_metrics(self):
+        result = self._template().run()
+        series = result.series("throughput_iops")
+        assert [value for value, _ in series] == [1, 2, 4]
+        assert all(metric > 0 for _, metric in series)
+        assert result.metrics("completed_ios") == [150.0] * 3
+
+    def test_deeper_queue_not_slower(self):
+        """Sanity shape: more outstanding IOs => throughput >= QD1."""
+        series = dict(self._template().run().series("throughput_iops"))
+        assert series[4] >= series[1]
+
+    def test_best_run(self):
+        result = self._template().run()
+        best = result.best("throughput_iops")
+        assert best.metric("throughput_iops") == max(result.metrics("throughput_iops"))
+
+    def test_unknown_metric_is_loud(self):
+        result = self._template(values=(1,)).run()
+        with pytest.raises(KeyError):
+            result.runs[0].metric("warp_factor")
+
+    def test_table_renders(self):
+        result = self._template(values=(1, 2)).run()
+        table = result.table(["throughput_iops", "write_mean_ns"])
+        assert "queue depth sweep" in table
+        assert "qd" in table
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        self._template(values=(1, 2)).run(progress=lambda v, r: seen.append(v))
+        assert seen == [1, 2]
+
+    def test_workload_entries_may_carry_dependencies(self):
+        def factory(config):
+            prep = SequentialWriterThread("prep", count=50)
+            main = SequentialWriterThread("main", count=50)
+            return [prep, (main, ["prep"])]
+
+        template = ExperimentTemplate(
+            "dep", small_config(), Parameter("qd", path="host.max_outstanding"),
+            [4], factory,
+        )
+        result = template.run()
+        assert result.runs[0].metric("completed_ios") == 100.0
+
+
+class TestCsvExport:
+    def test_to_csv_round_trips(self, tmp_path):
+        import csv
+
+        result = ExperimentTemplate(
+            "csv", small_config(), Parameter("qd", path="host.max_outstanding"),
+            [2, 8], _workload(count=60),
+        ).run()
+        path = tmp_path / "sweep.csv"
+        result.to_csv(str(path), metrics=["completed_ios", "throughput_iops"])
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["qd", "completed_ios", "throughput_iops"]
+        assert len(rows) == 3
+        assert float(rows[1][1]) == 60.0
+
+    def test_to_csv_defaults_to_all_metrics(self, tmp_path):
+        result = ExperimentTemplate(
+            "csv", small_config(), Parameter("qd", path="host.max_outstanding"),
+            [4], _workload(count=40),
+        ).run()
+        path = tmp_path / "sweep.csv"
+        result.to_csv(str(path))
+        header = open(path).readline()
+        assert "write_amplification" in header

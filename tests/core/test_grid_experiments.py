@@ -1,0 +1,100 @@
+"""Tests for multi-parameter grid experiments."""
+
+import pytest
+
+from repro import GridExperiment, Parameter, small_config
+from repro.workloads import SequentialWriterThread
+
+
+def _workload(config):
+    return [SequentialWriterThread("w", count=120, depth=8)]
+
+
+def _grid(values=((1, 4), (8, 32))):
+    return GridExperiment(
+        name="qd x greediness",
+        base_config=small_config(),
+        parameters=[
+            Parameter("greediness", path="controller.gc_greediness"),
+            Parameter("qd", path="host.max_outstanding"),
+        ],
+        values=values,
+        workload=_workload,
+    )
+
+
+class TestGridConstruction:
+    def test_combinations_are_full_factorial(self):
+        grid = _grid()
+        assert grid.combinations() == [(1, 8), (1, 32), (4, 8), (4, 32)]
+
+    def test_mismatched_axes_rejected(self):
+        with pytest.raises(ValueError):
+            GridExperiment(
+                "bad", small_config(), [Parameter("a", path="seed")], [], _workload
+            )
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GridExperiment("bad", small_config(), [], [], _workload)
+
+
+class TestGridRun:
+    def test_runs_every_combination(self):
+        result = _grid().run()
+        assert len(result.runs) == 4
+        assert [run.values for run in result.runs] == _grid().combinations()
+
+    def test_each_cell_sees_its_values(self):
+        result = _grid().run()
+        for run in result.runs:
+            greediness, qd = run.values
+            assert run.config.controller.gc_greediness == greediness
+            assert run.config.host.max_outstanding == qd
+
+    def test_base_config_unmutated(self):
+        grid = _grid()
+        grid.run()
+        assert grid.base_config.host.max_outstanding == 32
+
+    def test_best_and_series(self):
+        result = _grid().run()
+        best = result.best("throughput_iops")
+        assert best.metric("throughput_iops") == max(
+            metric for _, metric in result.series("throughput_iops")
+        )
+
+    def test_slice_filters_on_parameter(self):
+        result = _grid().run()
+        only_qd8 = result.slice("qd", 8)
+        assert len(only_qd8) == 2
+        assert all(run.values[1] == 8 for run in only_qd8)
+        with pytest.raises(KeyError):
+            result.slice("nonexistent", 1)
+
+    def test_table_renders_all_columns(self):
+        table = _grid().run().table(["throughput_iops"])
+        assert "greediness" in table and "qd" in table
+
+    def test_progress_callback(self):
+        seen = []
+        _grid().run(progress=lambda values, result: seen.append(values))
+        assert len(seen) == 4
+
+    def test_unknown_metric_is_loud(self):
+        result = _grid(values=((1,), (8,))).run()
+        with pytest.raises(KeyError):
+            result.runs[0].metric("bogus")
+
+
+class TestGridCsv:
+    def test_to_csv(self, tmp_path):
+        import csv
+
+        result = _grid(values=((1,), (8, 32))).run()
+        path = tmp_path / "grid.csv"
+        result.to_csv(str(path), metrics=["completed_ios"])
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["greediness", "qd", "completed_ios"]
+        assert len(rows) == 3

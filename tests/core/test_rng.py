@@ -1,0 +1,82 @@
+"""Tests for the deterministic random streams."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.rng import RandomSource, RandomStream
+
+
+class TestDeterminism:
+    def test_same_seed_same_name_same_sequence(self):
+        a = RandomStream(42, "workload")
+        b = RandomStream(42, "workload")
+        assert [a.randrange(1000) for _ in range(20)] == [
+            b.randrange(1000) for _ in range(20)
+        ]
+
+    def test_different_names_diverge(self):
+        a = RandomStream(42, "gc")
+        b = RandomStream(42, "workload")
+        assert [a.randrange(10**9) for _ in range(5)] != [
+            b.randrange(10**9) for _ in range(5)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = RandomStream(1, "x")
+        b = RandomStream(2, "x")
+        assert [a.randrange(10**9) for _ in range(5)] != [
+            b.randrange(10**9) for _ in range(5)
+        ]
+
+    def test_streams_are_independent(self):
+        """Drawing from one stream must not perturb another."""
+        baseline_stream = RandomStream(7, "b")
+        baseline = [baseline_stream.randrange(1000) for _ in range(10)]
+        noisy = RandomSource(7)
+        for _ in range(100):
+            noisy.stream("a").random()
+        observed = [noisy.stream("b").randrange(1000) for _ in range(10)]
+        assert observed == baseline
+
+
+class TestSource:
+    def test_stream_is_cached(self):
+        source = RandomSource(3)
+        assert source.stream("x") is source.stream("x")
+
+    def test_shuffled_returns_new_list(self):
+        source = RandomSource(3)
+        items = [1, 2, 3, 4, 5]
+        shuffled = source.shuffled("s", items)
+        assert items == [1, 2, 3, 4, 5]
+        assert sorted(shuffled) == items
+
+
+class TestZipf:
+    @given(
+        st.integers(min_value=1, max_value=100_000),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_index_in_range(self, n, theta, seed):
+        stream = RandomStream(seed, "zipf")
+        for _ in range(20):
+            assert 0 <= stream.zipf_index(n, theta) < n
+
+    def test_skew_concentrates_on_low_indexes(self):
+        stream = RandomStream(11, "zipf")
+        n = 10_000
+        draws = [stream.zipf_index(n, 0.99) for _ in range(5000)]
+        low = sum(1 for d in draws if d < n // 100)
+        # With heavy skew, far more than 1% of draws land in the lowest 1%.
+        assert low > len(draws) * 0.30
+
+    def test_invalid_parameters_rejected(self):
+        stream = RandomStream(1, "zipf")
+        import pytest
+
+        with pytest.raises(ValueError):
+            stream.zipf_index(0, 0.5)
+        with pytest.raises(ValueError):
+            stream.zipf_index(10, 0.0)
+        with pytest.raises(ValueError):
+            stream.zipf_index(10, 1.5)

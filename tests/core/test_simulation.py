@@ -1,0 +1,100 @@
+"""Tests for the Simulation facade."""
+
+import pytest
+
+from repro import Simulation, small_config
+from repro.core import units
+from repro.workloads import RandomWriterThread, SequentialWriterThread
+
+from tests.conftest import run_workload
+
+
+class TestLifecycle:
+    def test_run_completes_simple_workload(self, config):
+        result = run_workload(config, [SequentialWriterThread("w", count=100)])
+        assert result.stats.completed_ios == 100
+        assert result.elapsed_ns > 0
+
+    def test_simulation_runs_once(self, config):
+        sim = Simulation(config)
+        sim.add_thread(SequentialWriterThread("w", count=10))
+        sim.run()
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_invalid_config_rejected_at_construction(self):
+        config = small_config()
+        config.controller.gc_greediness = 0
+        with pytest.raises(ValueError):
+            Simulation(config)
+
+    def test_max_time_cuts_workload_short(self, config):
+        config.max_time_ns = units.milliseconds(1)
+        result = run_workload(
+            config, [SequentialWriterThread("w", count=100_000)], check=False
+        )
+        assert result.elapsed_ns == units.milliseconds(1)
+        assert result.stats.completed_ios < 100_000
+        assert result.incomplete
+
+    def test_empty_simulation_finishes_immediately(self, config):
+        result = Simulation(config).run()
+        assert result.stats.completed_ios == 0
+
+
+class TestResult:
+    def test_summary_contains_core_metrics(self, config):
+        result = run_workload(config, [SequentialWriterThread("w", count=200)])
+        summary = result.summary()
+        for key in (
+            "throughput_iops",
+            "write_mean_ns",
+            "gc_collected_blocks",
+            "wear_spread",
+            "mean_channel_utilisation",
+            "elapsed_ms",
+        ):
+            assert key in summary
+
+    def test_report_is_printable(self, config):
+        result = run_workload(config, [SequentialWriterThread("w", count=100)])
+        report = result.report()
+        assert "throughput" in report and "virtual time" in report
+
+    def test_thread_stats_collected_per_thread(self, config):
+        result = run_workload(
+            config,
+            [
+                SequentialWriterThread("a", count=50, region=(0, 100)),
+                SequentialWriterThread("b", count=70, region=(100, 200)),
+            ],
+        )
+        assert result.thread_stats["a"].completed_ios == 50
+        assert result.thread_stats["b"].completed_ios == 70
+
+    def test_trace_captured_when_enabled(self, config):
+        config.trace_enabled = True
+        result = run_workload(config, [SequentialWriterThread("w", count=10)])
+        assert len(result.tracer) > 0
+        assert result.tracer.filter(layer="hardware", event="complete")
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        config = small_config(seed=seed)
+        result = run_workload(
+            config,
+            [RandomWriterThread("w", count=1500, depth=8)],
+            precondition=True,
+        )
+        return result
+
+    def test_same_seed_reproduces_everything(self):
+        a, b = self._run(seed=5), self._run(seed=5)
+        assert a.summary() == b.summary()
+        assert a.elapsed_ns == b.elapsed_ns
+        assert a.flash_commands == b.flash_commands
+
+    def test_different_seed_changes_behaviour(self):
+        a, b = self._run(seed=5), self._run(seed=6)
+        assert a.elapsed_ns != b.elapsed_ns

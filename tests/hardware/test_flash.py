@@ -1,0 +1,172 @@
+"""Tests for the page/block/LUN state machines (NAND constraints)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.flash import Block, FlashStateError, Lun, PageState
+
+
+class TestBlockProgramming:
+    def test_programs_are_sequential(self):
+        block = Block(4)
+        for expected in range(4):
+            index = block.program_next((expected, 1), now_ns=10)
+            assert index == expected
+        assert block.is_full
+
+    def test_program_on_full_block_rejected(self):
+        block = Block(2)
+        block.program_next((0, 1), 0)
+        block.program_next((1, 1), 0)
+        with pytest.raises(FlashStateError):
+            block.program_next((2, 1), 0)
+
+    def test_program_updates_counts_and_timestamps(self):
+        block = Block(4)
+        block.program_next((7, 1), now_ns=123)
+        assert block.live_count == 1
+        assert block.free_pages == 3
+        assert block.last_write_ns == 123
+        assert block.pages[0].state is PageState.LIVE
+        assert block.pages[0].content == (7, 1)
+
+
+class TestInvalidation:
+    def test_invalidate_marks_dead(self):
+        block = Block(4)
+        block.program_next((1, 1), 0)
+        block.invalidate(0)
+        assert block.pages[0].state is PageState.DEAD
+        assert block.live_count == 0
+        assert block.dead_count == 1
+
+    def test_invalidate_free_page_rejected(self):
+        with pytest.raises(FlashStateError):
+            Block(4).invalidate(0)
+
+    def test_double_invalidate_rejected(self):
+        block = Block(4)
+        block.program_next((1, 1), 0)
+        block.invalidate(0)
+        with pytest.raises(FlashStateError):
+            block.invalidate(0)
+
+
+class TestRead:
+    def test_read_live_and_dead_pages(self):
+        block = Block(4)
+        block.program_next((5, 1), 0)
+        assert block.read(0) == (5, 1)
+        block.invalidate(0)
+        assert block.read(0) == (5, 1)  # stale-but-referenced data survives
+
+    def test_read_free_page_rejected(self):
+        with pytest.raises(FlashStateError):
+            Block(4).read(0)
+
+
+class TestErase:
+    def _dead_block(self, pages=4):
+        block = Block(pages)
+        for i in range(pages):
+            block.program_next((i, 1), 0)
+            block.invalidate(i)
+        return block
+
+    def test_erase_resets_everything(self):
+        block = self._dead_block()
+        block.erase(now_ns=999)
+        assert block.is_empty
+        assert block.erase_count == 1
+        assert block.last_erase_ns == 999
+        assert all(page.state is PageState.FREE for page in block.pages)
+        assert block.free_pages == block.num_pages
+
+    def test_erase_with_live_pages_rejected(self):
+        block = Block(4)
+        block.program_next((1, 1), 0)
+        with pytest.raises(FlashStateError):
+            block.erase(0)
+
+    def test_erase_with_inflight_reads_rejected(self):
+        block = self._dead_block()
+        block.inflight_reads = 1
+        with pytest.raises(FlashStateError):
+            block.erase(0)
+
+    def test_erasable_predicate(self):
+        block = Block(2)
+        assert not block.erasable  # empty: nothing to erase
+        block.program_next((0, 1), 0)
+        assert not block.erasable  # live data
+        block.invalidate(0)
+        assert block.erasable
+        block.inflight_reads = 1
+        assert not block.erasable
+
+    def test_block_reusable_after_erase(self):
+        block = self._dead_block(2)
+        block.erase(0)
+        assert block.program_next((9, 2), 0) == 0
+
+    def test_live_page_indexes(self):
+        block = Block(4)
+        block.program_next((0, 1), 0)
+        block.program_next((1, 1), 0)
+        block.program_next((2, 1), 0)
+        block.invalidate(1)
+        assert block.live_page_indexes() == [0, 2]
+
+
+class TestLun:
+    def test_initial_state_all_free(self):
+        lun = Lun(0, 1, blocks_per_lun=8, pages_per_block=4)
+        assert lun.key == (0, 1)
+        assert lun.free_block_ids == set(range(8))
+        assert not lun.is_busy
+        assert lun.total_free_pages() == 32
+
+    def test_take_and_return_free_block(self):
+        lun = Lun(0, 0, 4, 4)
+        lun.take_free_block(2)
+        assert 2 not in lun.free_block_ids
+        with pytest.raises(FlashStateError):
+            lun.take_free_block(2)
+        lun.on_block_erased(2)
+        assert 2 in lun.free_block_ids
+
+    def test_aggregate_counts(self):
+        lun = Lun(0, 0, 2, 4)
+        block = lun.block(0)
+        lun.take_free_block(0)
+        block.program_next((0, 1), 0)
+        block.program_next((1, 1), 0)
+        block.invalidate(0)
+        assert lun.total_live_pages() == 1
+        assert lun.total_dead_pages() == 1
+        assert lun.total_free_pages() == 6
+        assert lun.erase_counts() == [0, 0]
+
+
+@given(st.lists(st.sampled_from(["program", "invalidate", "erase"]), max_size=60))
+def test_property_block_counts_stay_consistent(ops):
+    """Under any legal op sequence, live+dead+free == num_pages and the
+    write pointer equals live+dead."""
+    block = Block(8)
+    live_indexes = []
+    for op in ops:
+        if op == "program" and not block.is_full:
+            index = block.program_next((index_token(block), 1), 0)
+            live_indexes.append(index)
+        elif op == "invalidate" and live_indexes:
+            block.invalidate(live_indexes.pop(0))
+        elif op == "erase" and block.erasable and not live_indexes:
+            block.erase(0)
+        # Invariants hold after every step:
+        assert block.live_count + block.dead_count == block.write_pointer
+        assert block.free_pages == block.num_pages - block.write_pointer
+        assert block.live_count == len(live_indexes)
+
+
+def index_token(block):
+    return block.write_pointer

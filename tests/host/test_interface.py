@@ -1,0 +1,90 @@
+"""Tests for the open OS<->SSD interface."""
+
+import pytest
+
+from repro.host.interface import (
+    InterfaceClosedError,
+    Message,
+    OpenInterface,
+    locality_hint,
+    priority_hint,
+    temperature_hint,
+)
+
+
+class TestHintBuilders:
+    def test_priority(self):
+        assert priority_hint(2) == {"priority": 2}
+        assert priority_hint(-1) == {"priority": -1}
+
+    def test_locality(self):
+        assert locality_hint(7) == {"locality": 7}
+
+    def test_temperature(self):
+        assert temperature_hint(True) == {"temperature": "hot"}
+        assert temperature_hint(False) == {"temperature": "cold"}
+
+    def test_hints_compose(self):
+        hints = {**priority_hint(1), **temperature_hint(True)}
+        assert hints == {"priority": 1, "temperature": "hot"}
+
+
+class TestMessageBus:
+    def test_closed_interface_raises(self):
+        interface = OpenInterface(enabled=False)
+        interface.register("ping", lambda m: "pong")
+        with pytest.raises(InterfaceClosedError):
+            interface.send(Message("ping"))
+
+    def test_unknown_kind_raises(self):
+        interface = OpenInterface(enabled=True)
+        with pytest.raises(LookupError):
+            interface.send(Message("no-such-kind"))
+
+    def test_handlers_receive_payload_and_reply(self):
+        interface = OpenInterface(enabled=True)
+        interface.register("echo", lambda m: m.payload["value"] * 2)
+        replies = interface.send(Message("echo", {"value": 21}))
+        assert replies == [42]
+        assert interface.sent_messages == 1
+
+    def test_multiple_handlers_all_called(self):
+        interface = OpenInterface(enabled=True)
+        calls = []
+        interface.register("note", lambda m: calls.append("a"))
+        interface.register("note", lambda m: calls.append("b"))
+        interface.send(Message("note"))
+        assert calls == ["a", "b"]
+
+    def test_user_defined_message_kinds(self):
+        """The framework is extensible: new protocols need no framework
+        changes (paper: 'Users are able to create new types of
+        messages')."""
+        interface = OpenInterface(enabled=True)
+        state = {}
+
+        def handle_reserve(message):
+            state["reserved"] = message.payload["blocks"]
+            return "ok"
+
+        interface.register("reserve_blocks", handle_reserve)
+        assert interface.send(Message("reserve_blocks", {"blocks": 4})) == ["ok"]
+        assert state["reserved"] == 4
+
+
+class TestStandardHandlers:
+    def test_set_temperature_and_get_statistics(self):
+        from repro import Simulation, small_config
+
+        config = small_config()
+        config.host.open_interface = True
+        config.controller.temperature.detector = __import__(
+            "repro.core.config", fromlist=["TemperatureDetector"]
+        ).TemperatureDetector.HINT
+        simulation = Simulation(config)
+        interface = simulation.os.open_interface
+        interface.send(Message("set_temperature", {"lpns": [1, 2, 3], "hot": True}))
+        assert simulation.controller.temperature.is_hot(2)
+        replies = interface.send(Message("get_statistics"))
+        assert isinstance(replies[0], dict)
+        assert "throughput_iops" in replies[0]

@@ -1,0 +1,119 @@
+"""Tests for the OS scheduling strategies."""
+
+import pytest
+
+from repro.core import units
+from repro.core.config import HostConfig, OsSchedulerPolicy
+from repro.core.events import IoRequest, IoType
+from repro.host.schedulers import (
+    DeadlineOsScheduler,
+    FairOsScheduler,
+    FifoOsScheduler,
+    PriorityOsScheduler,
+    build_os_scheduler,
+)
+
+
+def _io(io_type=IoType.READ, lpn=0, thread="t", issue=0, hints=None):
+    io = IoRequest(io_type, lpn, thread_name=thread, hints=hints)
+    io.issue_time = issue
+    return io
+
+
+class TestFifo:
+    def test_pops_in_issue_order(self):
+        scheduler = FifoOsScheduler()
+        first, second = _io(lpn=1), _io(lpn=2)
+        scheduler.add(first)
+        scheduler.add(second)
+        assert scheduler.pop(0) is first
+        assert scheduler.pop(0) is second
+        assert scheduler.pop(0) is None
+
+    def test_len(self):
+        scheduler = FifoOsScheduler()
+        scheduler.add(_io())
+        assert len(scheduler) == 1
+
+
+class TestPriority:
+    def test_lower_priority_value_first(self):
+        scheduler = PriorityOsScheduler()
+        low = _io(hints={"priority": 5})
+        high = _io(hints={"priority": 0})
+        scheduler.add(low)
+        scheduler.add(high)
+        assert scheduler.pop(0) is high
+
+    def test_fifo_within_level(self):
+        scheduler = PriorityOsScheduler()
+        first = _io(hints={"priority": 1})
+        second = _io(hints={"priority": 1})
+        scheduler.add(first)
+        scheduler.add(second)
+        assert scheduler.pop(0) is first
+
+    def test_missing_hint_defaults_to_zero(self):
+        scheduler = PriorityOsScheduler()
+        hinted_low = _io(hints={"priority": 3})
+        unhinted = _io()
+        scheduler.add(hinted_low)
+        scheduler.add(unhinted)
+        assert scheduler.pop(0) is unhinted
+
+
+class TestFair:
+    def test_round_robin_across_threads(self):
+        scheduler = FairOsScheduler()
+        a1, a2 = _io(thread="a"), _io(thread="a")
+        b1 = _io(thread="b")
+        for io in (a1, a2, b1):
+            scheduler.add(io)
+        assert scheduler.pop(0) is a1
+        assert scheduler.pop(0) is b1  # rotation prevents a monopolising
+        assert scheduler.pop(0) is a2
+
+    def test_len_sums_queues(self):
+        scheduler = FairOsScheduler()
+        scheduler.add(_io(thread="a"))
+        scheduler.add(_io(thread="b"))
+        assert len(scheduler) == 2
+
+
+class TestDeadline:
+    def _config(self):
+        return HostConfig(
+            read_deadline_ns=units.milliseconds(1),
+            write_deadline_ns=units.milliseconds(10),
+        )
+
+    def test_reads_get_tighter_deadlines(self):
+        scheduler = DeadlineOsScheduler(self._config())
+        write = _io(IoType.WRITE, issue=0)
+        read = _io(IoType.READ, issue=0)
+        scheduler.add(write)
+        scheduler.add(read)
+        assert scheduler.pop(0) is read
+
+    def test_old_write_beats_new_read(self):
+        scheduler = DeadlineOsScheduler(self._config())
+        old_write = _io(IoType.WRITE, issue=0)
+        new_read = _io(IoType.READ, issue=units.milliseconds(20))
+        scheduler.add(old_write)
+        scheduler.add(new_read)
+        assert scheduler.pop(0) is old_write
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "policy, klass",
+        [
+            (OsSchedulerPolicy.FIFO, FifoOsScheduler),
+            (OsSchedulerPolicy.PRIORITY, PriorityOsScheduler),
+            (OsSchedulerPolicy.FAIR, FairOsScheduler),
+            (OsSchedulerPolicy.DEADLINE, DeadlineOsScheduler),
+        ],
+    )
+    def test_builds_each_policy(self, policy, klass):
+        config = HostConfig(os_scheduler=policy)
+        assert isinstance(build_os_scheduler(config), klass)

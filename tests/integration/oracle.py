@@ -1,0 +1,142 @@
+"""A self-checking workload: the read-your-writes oracle.
+
+:class:`OracleThread` issues a random mix of reads, writes and trims over
+an exclusive address region and verifies, at every read completion, that
+the device returned the data of the most recent completed write (or
+nothing, for never-written/trimmed pages) -- DESIGN.md invariant 2,
+checked *online* while GC, wear leveling, DFTL mapping traffic and write
+buffering are all racing the application.
+
+Concurrency is kept sound by never having two in-flight operations on
+the same LPN (real applications the paper studies behave the same way:
+a page's writer awaits completion before rereading it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.events import IoRequest, IoType
+from repro.workloads.threads import Thread
+
+
+class OracleViolation(AssertionError):
+    """The device broke read-your-writes."""
+
+
+class OracleThread(Thread):
+    """Random reads/writes/trims with an online integrity model."""
+
+    def __init__(
+        self,
+        name: str,
+        operations: int,
+        region: tuple[int, int],
+        depth: int = 8,
+        write_weight: float = 0.6,
+        trim_weight: float = 0.05,
+        zipf_theta: Optional[float] = None,
+        preconditioned: bool = False,
+    ):
+        super().__init__(name)
+        self.operations = operations
+        self.region = region
+        self.depth = depth
+        self.write_weight = write_weight
+        self.trim_weight = trim_weight
+        self.zipf_theta = zipf_theta
+        #: Device was filled once (version 1 everywhere) before we start.
+        #: FTL versions count ALL writes to an LPN (trims do not reset
+        #: the counter), so the model tracks total writes and mapped-ness
+        #: separately.
+        self.preconditioned = preconditioned
+        #: lpn -> total completed writes ever (ours + preconditioning).
+        self.total_writes: dict[int, int] = {}
+        #: lpns currently mapped (written and not trimmed since).
+        self.mapped: set[int] = set()
+        self._in_flight: set[int] = set()
+        self._issued = 0
+        self.verified_reads = 0
+
+    def _writes_of(self, lpn: int) -> int:
+        base = 1 if self.preconditioned else 0
+        return self.total_writes.get(lpn, base)
+
+    def _is_mapped(self, lpn: int) -> bool:
+        if lpn in self.mapped:
+            return True
+        return self.preconditioned and lpn not in self.total_writes
+
+    # ------------------------------------------------------------------
+    def on_init(self, ctx) -> None:
+        for _ in range(self.depth):
+            self._issue_next(ctx)
+
+    def on_io_completed(self, ctx, io: IoRequest) -> None:
+        self._in_flight.discard(io.lpn)
+        if io.io_type is IoType.WRITE:
+            self.total_writes[io.lpn] = self._writes_of(io.lpn) + 1
+            self.mapped.add(io.lpn)
+        elif io.io_type is IoType.TRIM:
+            self.total_writes[io.lpn] = self._writes_of(io.lpn)
+            self.mapped.discard(io.lpn)
+        else:
+            self._verify_read(io)
+        self._issue_next(ctx)
+
+    def _verify_read(self, io: IoRequest) -> None:
+        if not self._is_mapped(io.lpn):
+            if io.data is not None:
+                raise OracleViolation(
+                    f"read of unwritten/trimmed lpn {io.lpn} returned {io.data}"
+                )
+        else:
+            expected = self._writes_of(io.lpn)
+            if io.data is None:
+                raise OracleViolation(
+                    f"read of lpn {io.lpn} returned nothing, expected version {expected}"
+                )
+            lpn, version = io.data
+            if lpn != io.lpn:
+                raise OracleViolation(
+                    f"read of lpn {io.lpn} returned data of lpn {lpn}"
+                )
+            if version != expected:
+                raise OracleViolation(
+                    f"read of lpn {io.lpn} returned version {version}, "
+                    f"expected {expected}"
+                )
+        self.verified_reads += 1
+
+    # ------------------------------------------------------------------
+    def _issue_next(self, ctx) -> None:
+        if self._issued >= self.operations:
+            if not self._in_flight:
+                ctx.finish()
+            return
+        rng = ctx.rng("oracle")
+        lpn = self._draw_free_lpn(ctx)
+        if lpn is None:
+            return  # every candidate busy; retry on next completion
+        self._issued += 1
+        self._in_flight.add(lpn)
+        draw = rng.random()
+        if draw < self.trim_weight and self._is_mapped(lpn):
+            ctx.trim(lpn)
+        elif draw < self.trim_weight + self.write_weight:
+            ctx.write(lpn)
+        else:
+            ctx.read(lpn)  # unmapped reads are verified too (expect None)
+
+    def _draw_free_lpn(self, ctx) -> Optional[int]:
+        rng = ctx.rng("oracle")
+        low, high = self.region
+        span = high - low
+        for _ in range(8):  # a few attempts, then back off
+            if self.zipf_theta is not None:
+                lpn = low + rng.zipf_index(span, self.zipf_theta)
+            else:
+                lpn = low + rng.randrange(span)
+            if lpn not in self._in_flight:
+                return lpn
+        return None

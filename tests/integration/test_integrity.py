@@ -1,0 +1,197 @@
+"""End-to-end integrity: read-your-writes under every configuration.
+
+The oracle thread races the garbage collector, wear leveler, DFTL
+mapping traffic and write buffer, verifying every read online.  These
+are the most important tests in the suite: they exercise the whole stack
+exactly as the paper's workloads do.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    AllocationPolicy,
+    FtlKind,
+    GcVictimPolicy,
+    Simulation,
+    SsdSchedulerPolicy,
+    small_config,
+)
+from repro.core.config import TemperatureDetector
+from repro.workloads import precondition_sequential
+
+from tests.integration.oracle import OracleThread
+
+
+def run_oracle(config, operations=2500, zipf_theta=None, precondition=True, threads=1):
+    simulation = Simulation(config)
+    depends = []
+    if precondition:
+        prep = precondition_sequential(config.logical_pages)
+        simulation.add_thread(prep)
+        depends = [prep.name]
+    pages = config.logical_pages
+    span = pages // threads
+    oracles = []
+    for index in range(threads):
+        oracle = OracleThread(
+            f"oracle{index}",
+            operations=operations // threads,
+            region=(index * span, (index + 1) * span),
+            zipf_theta=zipf_theta,
+            preconditioned=precondition,
+        )
+        simulation.add_thread(oracle, depends_on=depends)
+        oracles.append(oracle)
+    result = simulation.run()
+    simulation.controller.check_invariants()
+    assert simulation.os.all_finished
+    assert not result.incomplete
+    assert sum(oracle.verified_reads for oracle in oracles) > 0
+    return result
+
+
+class TestBaseline:
+    def test_page_ftl(self):
+        run_oracle(small_config())
+
+    def test_page_ftl_zipf_hotspot(self):
+        run_oracle(small_config(), zipf_theta=0.95)
+
+    def test_multiple_concurrent_oracles(self):
+        run_oracle(small_config(), operations=3000, threads=3)
+
+    def test_without_precondition(self):
+        run_oracle(small_config(), precondition=False)
+
+
+class TestFtlVariants:
+    def test_dftl_large_cmt(self):
+        config = small_config()
+        config.controller.ftl = FtlKind.DFTL
+        config.controller.dftl.cmt_entries = 1024
+        run_oracle(config)
+
+    def test_dftl_tiny_cmt_thrashes_safely(self):
+        config = small_config()
+        config.controller.ftl = FtlKind.DFTL
+        config.controller.dftl.cmt_entries = 8
+        run_oracle(config, operations=1500)
+
+    def test_dftl_without_batch_eviction(self):
+        config = small_config()
+        config.controller.ftl = FtlKind.DFTL
+        config.controller.dftl.cmt_entries = 32
+        config.controller.dftl.batch_eviction = False
+        run_oracle(config, operations=1500)
+
+    def test_hybrid(self):
+        config = small_config()
+        config.controller.ftl = FtlKind.HYBRID
+        config.controller.hybrid.log_blocks = 8
+        run_oracle(config, operations=2000)
+
+    def test_hybrid_tiny_log_pool(self):
+        config = small_config()
+        config.controller.ftl = FtlKind.HYBRID
+        config.controller.hybrid.log_blocks = 2
+        run_oracle(config, operations=1200, zipf_theta=0.9)
+
+    def test_hybrid_without_switch_merge(self):
+        config = small_config()
+        config.controller.ftl = FtlKind.HYBRID
+        config.controller.hybrid.switch_merge = False
+        run_oracle(config, operations=1200)
+
+
+class TestControllerVariants:
+    @pytest.mark.parametrize("policy", list(SsdSchedulerPolicy))
+    def test_every_ssd_scheduler(self, policy):
+        config = small_config()
+        config.controller.scheduler.policy = policy
+        run_oracle(config, operations=1500)
+
+    @pytest.mark.parametrize("policy", list(GcVictimPolicy))
+    def test_every_gc_victim_policy(self, policy):
+        config = small_config()
+        config.controller.gc_victim_policy = policy
+        run_oracle(config, operations=1500)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            AllocationPolicy.ROUND_ROBIN,
+            AllocationPolicy.LEAST_QUEUED,
+            AllocationPolicy.STRIPE,
+            AllocationPolicy.TEMPERATURE,
+        ],
+    )
+    def test_allocation_policies(self, policy):
+        config = small_config()
+        config.controller.allocation = policy
+        config.controller.temperature.detector = TemperatureDetector.BLOOM
+        run_oracle(config, operations=1500)
+
+    def test_write_buffer(self):
+        config = small_config()
+        config.controller.write_buffer_pages = 32
+        run_oracle(config)
+
+    def test_write_buffer_with_dftl(self):
+        config = small_config()
+        config.controller.write_buffer_pages = 16
+        config.controller.ftl = FtlKind.DFTL
+        config.controller.dftl.cmt_entries = 64
+        run_oracle(config, operations=1500)
+
+    def test_no_copyback_no_interleaving(self):
+        config = small_config()
+        config.controller.enable_copyback = False
+        config.controller.enable_interleaving = False
+        run_oracle(config, operations=1200)
+
+    def test_pipelining(self):
+        config = small_config()
+        config.controller.enable_pipelining = True
+        run_oracle(config, operations=1500)
+
+    def test_aggressive_wear_leveling(self):
+        config = small_config()
+        config.controller.wear_leveling.check_interval_erases = 4
+        config.controller.wear_leveling.erase_count_threshold = 0
+        config.controller.wear_leveling.idle_factor = 0.05
+        run_oracle(config, zipf_theta=0.95)
+
+    def test_mlc_timings(self):
+        from repro import ChipTimings
+
+        config = small_config()
+        config.timings = ChipTimings.mlc()
+        run_oracle(config, operations=1200)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    ftl=st.sampled_from(list(FtlKind)),
+    greediness=st.integers(min_value=1, max_value=4),
+    buffer_pages=st.sampled_from([0, 16]),
+    scheduler=st.sampled_from(list(SsdSchedulerPolicy)),
+)
+def test_property_integrity_across_random_configs(
+    seed, ftl, greediness, buffer_pages, scheduler
+):
+    config = small_config(seed=seed)
+    config.controller.ftl = ftl
+    config.controller.gc_greediness = greediness
+    config.controller.write_buffer_pages = buffer_pages
+    config.controller.scheduler.policy = scheduler
+    if ftl is FtlKind.DFTL:
+        config.controller.dftl.cmt_entries = 64
+    if ftl is FtlKind.HYBRID:
+        config.controller.hybrid.log_blocks = 6
+    run_oracle(config, operations=900)

@@ -1,0 +1,74 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least import cleanly and expose a ``main``; the two
+fastest are executed end-to-end (the rest run multi-simulation sweeps
+and are exercised by the benchmarks instead).
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "demo_console.py",
+    "grace_hash_join.py",
+    "open_interface.py",
+    "design_sweep.py",
+    "scheduling_game.py",
+    "database_workloads.py",
+]
+
+
+def _load(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_imports_and_has_main(self, name):
+        module = _load(name)
+        assert callable(module.main)
+
+    def test_demo_console_parser_accepts_knobs(self):
+        module = _load("demo_console.py")
+        args = module.build_parser().parse_args(
+            ["--channels", "8", "--ftl", "dftl", "--ssd-scheduler", "priority"]
+        )
+        assert args.channels == 8 and args.ftl == "dftl"
+
+    def test_scheduling_game_preferences_cover_choices(self):
+        module = _load("scheduling_game.py")
+        assert set(module.PREFERENCES) == {"none", "reads", "writes"}
+
+
+class TestExecution:
+    def _run(self, name, *args, timeout=240):
+        return subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+
+    def test_quickstart_runs(self):
+        proc = self._run("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "throughput" in proc.stdout
+        assert "statistics: app" in proc.stdout
+
+    def test_demo_console_runs_small(self):
+        proc = self._run(
+            "demo_console.py", "--channels", "2", "--ops", "800", "--trace"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "write completions over time" in proc.stdout
+        assert "trace" in proc.stdout

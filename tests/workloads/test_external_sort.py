@@ -1,0 +1,93 @@
+"""Tests for the external merge sort workload."""
+
+import math
+
+import pytest
+
+from repro.core.events import IoType
+from repro.workloads import ExternalSortThread
+
+from tests.conftest import run_workload
+
+
+def _plan(config, thread):
+    from repro import Simulation
+
+    simulation = Simulation(config)
+    simulation.add_thread(thread)
+    simulation.os.start()
+    simulation.sim.run(max_events=1)
+    assert thread._plan is not None
+    return thread._plan
+
+
+class TestPlan:
+    def test_run_generation_reads_input_sequentially(self, config):
+        thread = ExternalSortThread("sort", input_pages=64, memory_pages=16, fanin=4)
+        plan = _plan(config, thread)
+        gen = plan[: thread.run_generation_ops]
+        reads = [lpn for kind, lpn, _ in gen if kind is IoType.READ]
+        assert reads == list(range(64))
+
+    def test_runs_cover_area_b_exactly_once_in_pass0(self, config):
+        thread = ExternalSortThread("sort", input_pages=60, memory_pages=16, fanin=4)
+        plan = _plan(config, thread)
+        gen = plan[: thread.run_generation_ops]
+        writes = sorted(lpn for kind, lpn, _ in gen if kind is IoType.WRITE)
+        assert writes == list(range(60, 120))
+
+    def test_number_of_merge_passes(self, config):
+        # 64 pages / 16 per run = 4 runs; fanin 4 -> exactly one pass.
+        thread = ExternalSortThread("sort", input_pages=64, memory_pages=16, fanin=4)
+        _plan(config, thread)
+        assert thread.merge_passes == 1
+        # 8 runs at fanin 2 -> 3 passes.
+        thread = ExternalSortThread("s2", input_pages=64, memory_pages=8, fanin=2)
+        _plan(config, thread)
+        assert thread.merge_passes == 3
+
+    def test_total_io_volume(self, config):
+        """Each pass reads and writes the whole input once."""
+        thread = ExternalSortThread("sort", input_pages=64, memory_pages=8, fanin=2)
+        plan = _plan(config, thread)
+        passes = 1 + thread.merge_passes
+        reads = sum(1 for kind, _, _ in plan if kind is IoType.READ)
+        writes = sum(1 for kind, _, _ in plan if kind is IoType.WRITE)
+        assert reads == 64 * passes
+        assert writes == 64 * passes
+
+    def test_merge_reads_round_robin_across_runs(self, config):
+        thread = ExternalSortThread("sort", input_pages=32, memory_pages=16, fanin=2)
+        plan = _plan(config, thread)
+        merge = plan[thread.run_generation_ops :]
+        first_reads = [lpn for kind, lpn, _ in merge if kind is IoType.READ][:4]
+        # Two runs at offsets 0 and 16 of area 1 (base 32): alternating.
+        assert first_reads == [32, 48, 33, 49]
+
+    def test_oversized_sort_rejected(self, config):
+        thread = ExternalSortThread("sort", input_pages=10**6)
+        with pytest.raises(ValueError, match="sort needs"):
+            run_workload(config, [thread])
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ExternalSortThread("s", input_pages=0)
+        with pytest.raises(ValueError):
+            ExternalSortThread("s", input_pages=10, fanin=1)
+
+
+class TestExecution:
+    def test_sort_runs_to_completion(self, config):
+        thread = ExternalSortThread("sort", input_pages=128, memory_pages=16, fanin=4)
+        result = run_workload(config, [thread])
+        result.simulation.controller.check_invariants()
+        assert result.stats.completed_ios == len(thread._plan)
+
+    def test_sort_deterministic(self, config):
+        def run_once():
+            cfg = config.copy()
+            thread = ExternalSortThread("sort", input_pages=96, memory_pages=16)
+            result = run_workload(cfg, [thread])
+            return result.elapsed_ns
+
+        assert run_once() == run_once()

@@ -1,0 +1,82 @@
+"""Tests for the file-system behaviour thread."""
+
+import pytest
+
+from repro.core.events import IoType
+from repro.workloads import FileSystemThread
+
+from tests.conftest import run_workload
+
+
+class TestFileSystemThread:
+    def test_runs_to_completion_with_trims(self, config):
+        thread = FileSystemThread("fs", operations=300, region=(0, 800))
+        result = run_workload(config, [thread])
+        assert result.stats.completed(IoType.WRITE) > 0
+        assert result.stats.completed(IoType.TRIM) > 0
+        result.simulation.controller.check_invariants()
+
+    def test_file_table_consistent(self, config):
+        thread = FileSystemThread("fs", operations=200, region=(0, 800))
+        run_workload(config, [thread])
+        # Every live file's pages are unique and inside the data area.
+        seen = set()
+        for pages in thread._files.values():
+            for lpn in pages:
+                assert lpn not in seen
+                seen.add(lpn)
+                assert thread._meta_low + thread.metadata_pages <= lpn < 800
+
+    def test_metadata_writes_are_hot_spots(self, config):
+        lpns = []
+        thread = FileSystemThread("fs", operations=150, region=(0, 800), metadata_pages=4)
+        # Record addresses by monkey-patching the queue consumer.
+        original = thread.next_io
+
+        def recording(ctx):
+            op = original(ctx)
+            if op is not None and op[0] is IoType.WRITE:
+                lpns.append(op[1])
+            return op
+
+        thread.next_io = recording
+        run_workload(config, [thread])
+        metadata_writes = sum(1 for lpn in lpns if lpn < 4)
+        assert metadata_writes > 0
+
+    def test_temperature_hints_when_enabled(self, config):
+        hints_seen = []
+        thread = FileSystemThread(
+            "fs", operations=100, region=(0, 800), hint_metadata_hot=True
+        )
+        original = thread.next_io
+
+        def recording(ctx):
+            op = original(ctx)
+            if op is not None and op[2] is not None:
+                hints_seen.append(op[2])
+            return op
+
+        thread.next_io = recording
+        run_workload(config, [thread])
+        assert {"temperature": "hot"} in hints_seen
+        assert {"temperature": "cold"} in hints_seen
+
+    def test_region_too_small_rejected(self, config):
+        thread = FileSystemThread("fs", operations=10, region=(0, 10))
+        with pytest.raises(ValueError, match="too small"):
+            run_workload(config, [thread])
+
+    def test_zero_operations_finish_immediately(self, config):
+        thread = FileSystemThread("fs", operations=0, region=(0, 800))
+        result = run_workload(config, [thread])
+        assert result.stats.completed_ios == 0
+
+    def test_deterministic_given_seed(self, config):
+        def run_once():
+            cfg = config.copy()
+            thread = FileSystemThread("fs", operations=120, region=(0, 800))
+            result = run_workload(cfg, [thread])
+            return result.stats.completed_ios, result.elapsed_ns
+
+        assert run_once() == run_once()

@@ -1,0 +1,107 @@
+"""Tests for the Grace hash join workload thread."""
+
+import pytest
+
+from repro.core.events import IoType
+from repro.workloads import GraceHashJoinThread
+
+from tests.conftest import run_workload
+
+
+def _collect_plan(config, thread):
+    """Materialise the thread's IO plan without running flash commands."""
+    from repro import Simulation
+
+    simulation = Simulation(config)
+    simulation.add_thread(thread)
+    # Build the plan lazily via a fake context from the OS record.
+    simulation.os.start()
+    simulation.sim.run(max_events=1)  # thread on_init builds plan
+    assert thread._plan is not None
+    return thread._plan
+
+
+class TestPlanStructure:
+    def test_plan_has_three_phases(self, config):
+        thread = GraceHashJoinThread("join", r_pages=60, s_pages=90, partitions=4)
+        plan = _collect_plan(config, thread)
+        offsets = thread.phase_offsets
+        assert offsets["partition_r"] == 0
+        assert offsets["partition_r"] < offsets["partition_s"] < offsets["probe"]
+        assert len(plan) > offsets["probe"]
+
+    def test_partition_phase_reads_relation_sequentially(self, config):
+        thread = GraceHashJoinThread("join", r_pages=40, s_pages=40, partitions=4)
+        plan = _collect_plan(config, thread)
+        r_reads = [
+            lpn
+            for kind, lpn, _ in plan[: thread.phase_offsets["partition_s"]]
+            if kind is IoType.READ
+        ]
+        assert r_reads == list(range(40))
+
+    def test_every_partition_write_lands_in_partition_area(self, config):
+        thread = GraceHashJoinThread("join", r_pages=50, s_pages=70, partitions=4)
+        plan = _collect_plan(config, thread)
+        area_start = thread._partition_base()
+        area_end = thread.region_start + thread.total_pages_needed()
+        writes = [lpn for kind, lpn, _ in plan if kind is IoType.WRITE]
+        assert writes
+        assert all(area_start <= lpn < area_end for lpn in writes)
+
+    def test_probe_phase_reads_each_partition_contiguously(self, config):
+        thread = GraceHashJoinThread("join", r_pages=30, s_pages=30, partitions=3)
+        plan = _collect_plan(config, thread)
+        probe = plan[thread.phase_offsets["probe"] :]
+        assert all(kind is IoType.READ for kind, _, _ in probe)
+        # Probe reads exactly the pages written during partitioning.
+        written = sorted(lpn for kind, lpn, _ in plan if kind is IoType.WRITE)
+        probed = sorted(lpn for _, lpn, _ in probe)
+        assert probed == written
+
+    def test_conservation_of_pages(self, config):
+        thread = GraceHashJoinThread("join", r_pages=48, s_pages=64, partitions=4)
+        plan = _collect_plan(config, thread)
+        writes = sum(1 for kind, _, _ in plan if kind is IoType.WRITE)
+        # Partitioning emits (close to) one output page per input page;
+        # bucket-capacity spills may drop a few under extreme skew.
+        assert 0.9 * (48 + 64) <= writes <= 48 + 64
+
+
+class TestHints:
+    def test_locality_hints_one_group_per_partition(self, config):
+        thread = GraceHashJoinThread(
+            "join", r_pages=40, s_pages=40, partitions=4, use_locality_hints=True
+        )
+        plan = _collect_plan(config, thread)
+        groups = {
+            hints["locality"]
+            for kind, _, hints in plan
+            if kind is IoType.WRITE and hints
+        }
+        assert groups == set(range(4))
+
+    def test_no_hints_by_default(self, config):
+        thread = GraceHashJoinThread("join", r_pages=20, s_pages=20, partitions=2)
+        plan = _collect_plan(config, thread)
+        assert all(hints is None for _, _, hints in plan)
+
+
+class TestExecution:
+    def test_join_runs_to_completion(self, config):
+        thread = GraceHashJoinThread("join", r_pages=100, s_pages=150, partitions=4)
+        result = run_workload(config, [thread], precondition=False)
+        result.simulation.controller.check_invariants()
+        stats = result.thread_stats["join"]
+        assert stats.completed_ios == len(thread._plan)
+
+    def test_join_too_big_for_device_rejected(self, config):
+        thread = GraceHashJoinThread("join", r_pages=10_000, s_pages=10_000)
+        with pytest.raises(ValueError, match="join needs"):
+            run_workload(config, [thread])
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            GraceHashJoinThread("join", r_pages=0, s_pages=10)
+        with pytest.raises(ValueError):
+            GraceHashJoinThread("join", r_pages=10, s_pages=10, partitions=0)

@@ -1,0 +1,69 @@
+"""Tests for the LSM-tree insertion workload."""
+
+import pytest
+
+from repro.core.events import IoType
+from repro.workloads import LsmInsertThread
+
+from tests.conftest import run_workload
+
+
+class TestLayout:
+    def test_level_sizes_grow_by_fanout(self):
+        thread = LsmInsertThread("lsm", inserts=100, memtable_pages=4, fanout=3, levels=3)
+        assert thread.run_pages(0) == 4
+        assert thread.run_pages(1) == 12
+        assert thread.run_pages(2) == 36
+
+    def test_level_areas_do_not_overlap(self):
+        thread = LsmInsertThread("lsm", inserts=100, memtable_pages=4, fanout=3, levels=3)
+        for level in range(2):
+            level_end = thread.level_base(level) + (thread.fanout + 1) * thread.run_pages(level)
+            assert level_end == thread.level_base(level + 1)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            LsmInsertThread("lsm", inserts=10, memtable_pages=0)
+        with pytest.raises(ValueError):
+            LsmInsertThread("lsm", inserts=10, fanout=1)
+
+    def test_oversized_tree_rejected_at_runtime(self, config):
+        thread = LsmInsertThread("lsm", inserts=10, memtable_pages=64, fanout=8, levels=4)
+        with pytest.raises(ValueError, match="LSM layout"):
+            run_workload(config, [thread])
+
+
+class TestMechanics:
+    def test_flush_per_memtable(self, config):
+        thread = LsmInsertThread("lsm", inserts=80, memtable_pages=8, fanout=4, levels=2)
+        run_workload(config, [thread])
+        assert thread.flush_count == 10
+
+    def test_compactions_cascade(self, config):
+        thread = LsmInsertThread("lsm", inserts=256, memtable_pages=4, fanout=4, levels=3)
+        run_workload(config, [thread])
+        # 64 flushes -> 16 L0->L1 compactions -> 4 L1->L2 compactions.
+        assert thread.flush_count == 64
+        assert thread.compaction_count == 16 + 4
+
+    def test_compaction_reads_inputs_and_writes_output(self, config):
+        thread = LsmInsertThread("lsm", inserts=64, memtable_pages=4, fanout=4, levels=2)
+        result = run_workload(config, [thread])
+        reads = result.stats.completed(IoType.READ)
+        writes = result.stats.completed(IoType.WRITE)
+        # 16 flushes of 4 pages = 64 write pages at L0; 4 compactions
+        # read 16 pages each and write 16 pages each.
+        assert reads == 4 * 16
+        assert writes == 64 + 4 * 16
+
+    def test_no_compaction_without_enough_runs(self, config):
+        thread = LsmInsertThread("lsm", inserts=8, memtable_pages=8, fanout=4, levels=2)
+        run_workload(config, [thread])
+        assert thread.flush_count == 1
+        assert thread.compaction_count == 0
+
+    def test_sustained_inserts_complete_under_gc(self, config):
+        thread = LsmInsertThread("lsm", inserts=800, memtable_pages=8, fanout=3, levels=3)
+        result = run_workload(config, [thread])
+        result.simulation.controller.check_invariants()
+        assert result.stats.completed_ios > 0

@@ -1,0 +1,123 @@
+"""Tests for the synthetic workload threads."""
+
+import pytest
+
+from repro.core.events import IoType
+from repro.workloads import (
+    MixedWorkloadThread,
+    RandomReaderThread,
+    RandomWriterThread,
+    SequentialReaderThread,
+    SequentialWriterThread,
+    precondition_random,
+    precondition_sequential,
+)
+
+from tests.conftest import run_workload
+
+
+def _record_ops(config, thread):
+    """Run a thread and return its completed IOs."""
+    result = run_workload(config, [thread])
+    return [io for io in result.stats.latency], result
+
+
+class TestSequentialWriter:
+    def test_addresses_are_sequential_and_wrap(self, config):
+        thread = SequentialWriterThread("w", count=12, region=(10, 18), depth=1)
+        result = run_workload(config, [thread])
+        writes = result.thread_stats["w"]
+        assert writes.completed_ios == 12
+        # With depth=1 completions happen in issue order; reconstruct
+        # the address pattern from the simulation trace instead:
+        # lpns 10..17 then wrap to 10..13.
+
+    def test_lpns_cover_region_exactly(self, config):
+        seen = []
+        thread = SequentialWriterThread(
+            "w", count=8, region=(5, 13), depth=1,
+            hint_fn=lambda t, lpn: seen.append(lpn) or None,
+        )
+        run_workload(config, [thread])
+        assert seen == list(range(5, 13))
+
+    def test_invalid_region_rejected(self, config):
+        thread = SequentialWriterThread("w", count=1, region=(0, 10**9))
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_workload(config, [thread])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialWriterThread("w", count=-1)
+
+
+class TestRandomThreads:
+    def test_random_writer_stays_in_region(self, config):
+        seen = []
+        thread = RandomWriterThread(
+            "w", count=200, region=(50, 150), depth=8,
+            hint_fn=lambda t, lpn: seen.append(lpn) or None,
+        )
+        run_workload(config, [thread])
+        assert len(seen) == 200
+        assert all(50 <= lpn < 150 for lpn in seen)
+
+    def test_zipf_skews_towards_region_start(self, config):
+        seen = []
+        thread = RandomWriterThread(
+            "w", count=500, zipf_theta=0.95, depth=8,
+            hint_fn=lambda t, lpn: seen.append(lpn) or None,
+        )
+        run_workload(config, [thread])
+        low = sum(1 for lpn in seen if lpn < config.logical_pages // 10)
+        assert low > len(seen) * 0.3
+
+    def test_random_reader_issues_reads(self, config):
+        thread = RandomReaderThread("r", count=50, depth=4)
+        result = run_workload(config, [thread])
+        assert result.stats.completed(IoType.READ) == 50
+        assert result.stats.completed(IoType.WRITE) == 0
+
+
+class TestMixedWorkload:
+    def test_read_fraction_respected(self, config):
+        thread = MixedWorkloadThread("m", count=600, read_fraction=0.7, depth=8)
+        result = run_workload(config, [thread])
+        reads = result.stats.completed(IoType.READ)
+        assert 0.6 < reads / 600 < 0.8
+
+    def test_extreme_fractions(self, config):
+        all_reads = MixedWorkloadThread("r", count=50, read_fraction=1.0)
+        result = run_workload(config, [all_reads])
+        assert result.stats.completed(IoType.WRITE) == 0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            MixedWorkloadThread("m", count=1, read_fraction=1.5)
+
+
+class TestPreconditioning:
+    def test_sequential_covers_whole_space(self, config):
+        thread = precondition_sequential(config.logical_pages)
+        result = run_workload(config, [thread])
+        result.simulation.controller.check_invariants()
+        ftl = result.simulation.controller.ftl
+        assert ftl.mapped_page_count() == config.logical_pages
+
+    def test_random_overwrite_factor(self, config):
+        thread = precondition_random(config.logical_pages, overwrite_factor=0.5)
+        result = run_workload(config, [thread])
+        assert result.stats.completed_ios == config.logical_pages // 2
+
+    def test_determinism_across_runs(self, config):
+        seen_a, seen_b = [], []
+        for seen in (seen_a, seen_b):
+            cfg = config.copy()
+            thread = RandomWriterThread(
+                "w", count=100, depth=4,
+                hint_fn=lambda t, lpn, s=seen: s.append(lpn) or None,
+            )
+            run_workload(cfg, [thread])
+        assert seen_a == seen_b

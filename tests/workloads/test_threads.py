@@ -1,0 +1,92 @@
+"""Tests for the thread framework base classes."""
+
+import pytest
+
+from repro import Simulation, small_config
+from repro.core.events import IoType
+from repro.workloads import GeneratorThread
+
+from tests.conftest import run_workload
+
+
+class _CountingThread(GeneratorThread):
+    """Issues ``count`` writes and tracks its own in-flight window."""
+
+    def __init__(self, name, count, depth):
+        super().__init__(name, depth=depth)
+        self.count = count
+        self.issued = 0
+        self.max_in_flight = 0
+
+    def next_io(self, ctx):
+        if self.issued >= self.count:
+            return None
+        lpn = self.issued % ctx.logical_pages
+        self.issued += 1
+        return (IoType.WRITE, lpn, None)
+
+    def on_io_completed(self, ctx, io):
+        self.max_in_flight = max(self.max_in_flight, self.in_flight)
+        super().on_io_completed(ctx, io)
+
+
+class TestGeneratorThread:
+    def test_issues_exactly_count_ios(self, config):
+        thread = _CountingThread("t", count=25, depth=4)
+        result = run_workload(config, [thread])
+        assert thread.issued == 25
+        assert result.stats.completed_ios == 25
+
+    def test_window_respects_depth(self, config):
+        thread = _CountingThread("t", count=40, depth=3)
+        run_workload(config, [thread])
+        assert thread.max_in_flight <= 3
+
+    def test_depth_one_is_synchronous(self, config):
+        thread = _CountingThread("t", count=10, depth=1)
+        run_workload(config, [thread])
+        assert thread.max_in_flight <= 1
+
+    def test_zero_count_finishes_immediately(self, config):
+        thread = _CountingThread("t", count=0, depth=4)
+        result = run_workload(config, [thread])
+        assert result.stats.completed_ios == 0
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            _CountingThread("t", count=1, depth=0)
+
+    def test_finish_only_after_all_completions(self, config):
+        thread = _CountingThread("t", count=7, depth=7)
+        simulation = Simulation(config)
+        simulation.add_thread(thread)
+        result = simulation.run()
+        record = simulation.os._records["t"]
+        assert record.finished
+        assert record.completed == 7
+
+
+class TestThinkTime:
+    def test_think_time_spaces_issues(self, config):
+        from repro.core import units
+
+        fast = _CountingThread("fast", count=20, depth=1)
+        result_fast = run_workload(config, [fast])
+        cfg2 = config.copy()
+        slow = _CountingThread("slow", count=20, depth=1)
+        slow.think_time_ns = units.microseconds(500)
+        result_slow = run_workload(cfg2, [slow])
+        # 19 completions each pay the think time before the next issue.
+        assert result_slow.elapsed_ns >= result_fast.elapsed_ns + 19 * units.microseconds(500)
+
+    def test_negative_think_time_rejected(self):
+        import pytest
+
+        from repro.workloads import GeneratorThread
+
+        class T(GeneratorThread):
+            def next_io(self, ctx):
+                return None
+
+        with pytest.raises(ValueError):
+            T("t", think_time_ns=-1)
