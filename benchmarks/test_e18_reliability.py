@@ -1,0 +1,153 @@
+"""E18 -- Reliability: ECC strength, read-retries and graceful degradation.
+
+EagleTree's design space is about where internal work interferes with
+application IOs; the reliability subsystem adds a new source of internal
+work -- error handling.  Two panels:
+
+* **ECC strength** at a fixed raw bit-error rate: a stronger code turns
+  retry-ladder excursions (rare, slow, tail-heavy) into a flat decode
+  tax on every read (cheap, uniform).  Retries per read fall with code
+  strength while the best-case read latency rises by exactly the decode
+  cost -- mean latency is the trade-off between the two.
+* **Graceful degradation** under probabilistic program failures: each
+  failure condemns and retires a block; the spare-block pool sets how
+  many retirements the device absorbs before entering read-only mode.
+  More spares -> read-only later (or never) and fewer rejected writes.
+
+All error draws come from dedicated RNG streams, so the panels are
+deterministic per seed.
+"""
+
+from repro.analysis.metrics import mean_retries_per_read
+from repro.core.events import IoType
+from repro.workloads import MixedWorkloadThread, RandomWriterThread
+
+from benchmarks.common import (
+    bench_config,
+    monotonically_nondecreasing,
+    monotonically_nonincreasing,
+    print_series,
+    run_threads,
+)
+
+BASE_RBER = 2.5e-4  # lambda ~ 4.1 bit errors per 2 KiB page
+ECC_STRENGTHS = [2, 8, 16]
+SPARE_POOLS = [0, 2, 6]
+
+
+def ecc_config(correctable_bits: int):
+    config = bench_config()
+    r = config.reliability
+    r.enabled = True
+    r.base_rber = BASE_RBER
+    r.ecc_correctable_bits = correctable_bits
+    r.ecc_decode_ns_per_bit = 50
+    r.max_read_retries = 3
+    r.parity = True
+    return config
+
+
+def degradation_config(spares: int):
+    config = bench_config()
+    # Room for the largest spare pool in the sweep (kept constant across
+    # the panel so the only variable is the pool size).
+    config.controller.overprovisioning = 0.30
+    config.controller.enable_copyback = False  # see repro.reliability.recovery
+    r = config.reliability
+    r.enabled = True
+    r.program_fail_probability = 0.02
+    r.spare_blocks_per_lun = spares
+    return config
+
+
+def run_ecc_panel():
+    rows = {}
+    for bits in ECC_STRENGTHS:
+        result = run_threads(
+            ecc_config(bits),
+            [MixedWorkloadThread("mixed", count=4000, read_fraction=0.7)],
+        )
+        summary = result.summary()
+        rows[bits] = {
+            "retries_per_read": mean_retries_per_read(summary),
+            "rebuilds": summary["parity_rebuilds"],
+            "corrected": summary["corrected_reads"],
+            "lost": summary["uncorrectable_reads"],
+            "read_mean_ns": summary["read_mean_ns"],
+            "read_p99_ns": summary["read_p99_ns"],
+            "read_min_ns": result.stats.latency[IoType.READ].minimum,
+        }
+    return rows
+
+
+def run_degradation_panel():
+    rows = {}
+    for spares in SPARE_POOLS:
+        result = run_threads(
+            degradation_config(spares),
+            [RandomWriterThread("writer", count=8000, region=(0, 1024))],
+            precondition=False,
+        )
+        summary = result.summary()
+        rows[spares] = {
+            "program_fails": summary["program_fails"],
+            "retired": summary["runtime_retired_blocks"],
+            "read_only_entry_ms": summary["read_only_entry_ms"],
+            "writes_rejected": summary["writes_rejected"],
+        }
+    return rows
+
+
+def run_experiment():
+    return {"ecc": run_ecc_panel(), "degradation": run_degradation_panel()}
+
+
+def test_e18_reliability(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    ecc, degradation = results["ecc"], results["degradation"]
+
+    print_series(
+        f"E18a ECC strength at RBER {BASE_RBER:g} (retry ladder depth 3, parity)",
+        [
+            [bits, f"{row['retries_per_read']:.3f}", int(row["rebuilds"]),
+             int(row["corrected"]), int(row["read_min_ns"]),
+             int(row["read_mean_ns"]), int(row["read_p99_ns"])]
+            for bits, row in ecc.items()
+        ],
+        ["ECC bits", "retries/read", "rebuilds", "corrected",
+         "read min ns", "read mean ns", "read p99 ns"],
+    )
+    print_series(
+        "E18b spare pool vs graceful degradation (program fail p = 0.02)",
+        [
+            [spares, int(row["program_fails"]), int(row["retired"]),
+             f"{row['read_only_entry_ms']:.2f}", int(row["writes_rejected"])]
+            for spares, row in degradation.items()
+        ],
+        ["spares/LUN", "program fails", "retired", "read-only @ms", "rejected"],
+    )
+
+    # Shape, panel A: stronger ECC means fewer retry excursions and
+    # fewer rebuild/data-loss events...
+    retries = [ecc[b]["retries_per_read"] for b in ECC_STRENGTHS]
+    escalations = [ecc[b]["rebuilds"] + ecc[b]["lost"] for b in ECC_STRENGTHS]
+    assert monotonically_nonincreasing(retries)
+    assert monotonically_nonincreasing(escalations)
+    assert retries[0] > retries[-1]  # the sweep actually moved the needle
+    # ...but the decode tax sets a rising floor under every read.
+    assert monotonically_nondecreasing([ecc[b]["read_min_ns"] for b in ECC_STRENGTHS])
+    # Parity keeps the device lossless across the whole panel.
+    assert all(ecc[b]["lost"] == 0 for b in ECC_STRENGTHS)
+
+    # Shape, panel B: every configuration hits read-only under this
+    # failure rate (entry time -1 would mean "never"), later with more
+    # spares, and rejects fewer writes the longer it stays writable.
+    entries = [degradation[s]["read_only_entry_ms"] for s in SPARE_POOLS]
+    assert all(e >= 0.0 for e in entries)
+    assert monotonically_nondecreasing(entries)
+    assert monotonically_nonincreasing(
+        [degradation[s]["writes_rejected"] for s in SPARE_POOLS]
+    )
+    for spares in SPARE_POOLS:
+        row = degradation[spares]
+        assert row["retired"] > spares * 8  # 8 LUNs: pool exhausted

@@ -32,6 +32,7 @@ from repro.core.config import (
     GcVictimPolicy,
     HostConfig,
     OsSchedulerPolicy,
+    ReliabilityConfig,
     SimulationConfig,
     SsdGeometry,
     SsdSchedulerPolicy,
@@ -39,7 +40,7 @@ from repro.core.config import (
     demo_config,
     small_config,
 )
-from repro.core.events import IoRequest, IoType
+from repro.core.events import IoRequest, IoStatus, IoType
 from repro.core.experiments import (
     ExperimentResult,
     ExperimentTemplate,
@@ -48,6 +49,7 @@ from repro.core.experiments import (
     Parameter,
 )
 from repro.core.simulation import Simulation, SimulationResult
+from repro.reliability import FaultPlan
 
 __version__ = "1.0.0"
 
@@ -59,13 +61,16 @@ __all__ = [
     "GridExperiment",
     "GridResult",
     "ExperimentTemplate",
+    "FaultPlan",
     "FtlKind",
     "GcVictimPolicy",
     "HostConfig",
     "IoRequest",
+    "IoStatus",
     "IoType",
     "OsSchedulerPolicy",
     "Parameter",
+    "ReliabilityConfig",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",

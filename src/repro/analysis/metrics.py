@@ -61,6 +61,27 @@ def game_score(stats: StatisticsGatherer) -> float:
     return stats.throughput_iops() * latency_balance(stats) * variability_balance(stats)
 
 
+def mean_retries_per_read(summary: dict) -> float:
+    """Average retry-ladder depth per completed application read.
+
+    Feeds on a :meth:`~repro.core.simulation.SimulationResult.summary`
+    dictionary; 0.0 when reads never retried (or reliability is off).
+    """
+    reads = summary.get("completed_reads", 0.0)
+    if reads <= 0.0:
+        return 0.0
+    return summary.get("read_retries", 0.0) / reads
+
+
+def unrecoverable_read_rate(summary: dict) -> float:
+    """Fraction of completed application reads that lost data (ECC and
+    parity both exhausted) -- the simulated device's UBER analogue."""
+    reads = summary.get("completed_reads", 0.0)
+    if reads <= 0.0:
+        return 0.0
+    return summary.get("uncorrectable_reads", 0.0) / reads
+
+
 def coefficient_of_variation(values: Iterable[float]) -> float:
     """Standard deviation / mean; 0.0 for empty or zero-mean inputs."""
     values = [float(v) for v in values]

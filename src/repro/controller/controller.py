@@ -16,6 +16,7 @@ from typing import Callable, Optional
 from repro.core.config import SimulationConfig, TemperatureDetector
 from repro.core.engine import Simulator
 from repro.core.events import IoRequest, IoType
+from repro.reliability.recovery import ReliabilityManager
 from repro.core.rng import RandomSource
 from repro.core.statistics import StatisticsGatherer
 from repro.core.tracing import TraceRecorder
@@ -78,6 +79,12 @@ class SsdController:
         self.array.bind_program = self.allocator.bind_program
         self.array.on_resource_free = self.scheduler.pump
         self.ftl = build_ftl(config.controller.ftl, self)
+        #: Reliability manager; None (the default) keeps every error
+        #: path, RNG stream and completion timing untouched.
+        self.reliability: Optional[ReliabilityManager] = None
+        if config.reliability.enabled:
+            self.reliability = ReliabilityManager(self)
+            self.array.reliability = self.reliability
         self.gc = GarbageCollector(self)
         self.wear_leveler = WearLeveler(self)
         self.allocator.on_free_block_taken = self.gc.maybe_trigger
@@ -117,6 +124,8 @@ class SsdController:
         self.tracer.record(
             self.sim.now, "controller", "accept", f"{io.io_type} lpn={io.lpn} #{io.id}"
         )
+        if self.reliability is not None and self.reliability.reject_if_read_only(io):
+            return
         if io.io_type is IoType.WRITE:
             self._observe_write(io.lpn, hints)
             if self.write_buffer is not None:
@@ -174,7 +183,15 @@ class SsdController:
             # handler runs: the handler may pump the scheduler, and a new
             # write could legitimately re-open this very block.
             self.allocator.note_erased(cmd.lun_key, cmd.address.block)
-        if original is not None:
+        # The reliability manager may consume the completion entirely: a
+        # read that must retry or rebuild, a failed program that will be
+        # retransmitted.  The original callback then fires only when the
+        # recovery path delivers a good copy.  Each physical attempt is
+        # still recorded in the flash-command statistics below.
+        intercepted = self.reliability is not None and self.reliability.intercept_completion(
+            original, cmd
+        )
+        if not intercepted and original is not None:
             original(cmd)
         self.stats.record_flash_command(cmd.source.name, cmd.kind.name, self.sim.now)
         if cmd.kind is CommandKind.ERASE:
@@ -254,3 +271,15 @@ class SsdController:
                     raise AssertionError(
                         f"free set contains non-empty block b{block_id} on {lun_key}"
                     )
+                if block.is_bad and block.live_count:
+                    raise AssertionError(
+                        f"retired block b{block_id} on {lun_key} still holds "
+                        f"{block.live_count} live pages"
+                    )
+        if self.gc._condemned:
+            raise AssertionError(
+                f"{len(self.gc._condemned)} condemned blocks not yet retired "
+                "at quiescence"
+            )
+        if self.reliability is not None:
+            self.reliability.check_invariants()

@@ -36,15 +36,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class _GcJob:
     """One in-progress collection of one victim block."""
 
-    __slots__ = ("lun_key", "block_id", "pending_relocations", "erase_issued", "cross_lun")
+    __slots__ = (
+        "lun_key",
+        "block_id",
+        "pending_relocations",
+        "erase_issued",
+        "cross_lun",
+        "retire",
+    )
 
-    def __init__(self, lun_key: tuple[int, int], block_id: int, cross_lun: bool = False):
+    def __init__(
+        self,
+        lun_key: tuple[int, int],
+        block_id: int,
+        cross_lun: bool = False,
+        retire: bool = False,
+    ):
         self.lun_key = lun_key
         self.block_id = block_id
         self.pending_relocations = 0
         self.erase_issued = False
         #: Balancing job: relocations leave the LUN (see maybe_trigger).
         self.cross_lun = cross_lun
+        #: Condemnation job: the block is retired after relocation
+        #: instead of erased (reliability subsystem, program failures).
+        self.retire = retire
 
 
 class GarbageCollector:
@@ -71,6 +87,11 @@ class GarbageCollector:
         #: Erase-only reclaims in flight (fully-dead blocks need no
         #: relocation space, so they bypass the one-job-per-LUN slot).
         self._erase_only: set[tuple[tuple[int, int], int]] = set()
+        #: Blocks condemned by the reliability subsystem (program
+        #: failures), queued or actively being drained for retirement.
+        self._condemned: set[tuple[tuple[int, int], int]] = set()
+        self._condemn_queue: dict[tuple[int, int], list[int]] = {}
+        self.condemned_retirements = 0
         self.collected_blocks = 0
         self.relocated_pages = 0
         self.copyback_relocations = 0
@@ -142,6 +163,7 @@ class GarbageCollector:
             for block_id, block in enumerate(lun.blocks)
             if block_id not in lun.free_block_ids
             and block_id not in open_blocks
+            and not block.is_bad
             and block.write_pointer > 0
             and block.dead_count > 0
             and not self._being_collected(lun_key, block_id)
@@ -212,6 +234,10 @@ class GarbageCollector:
         for block_id, block in enumerate(lun.blocks):
             if block.write_pointer == 0 or block.live_count > 0:
                 continue
+            if block.is_bad:
+                # Runtime-retired blocks keep their dead contents (stale
+                # reads and parity stay valid); they are gone for good.
+                continue
             if block_id in open_blocks or block_id in lun.free_block_ids:
                 continue
             if (lun_key, block_id) in self._erase_only:
@@ -242,6 +268,7 @@ class GarbageCollector:
             for block_id, block in enumerate(lun.blocks)
             if block_id not in lun.free_block_ids
             and block_id not in open_blocks
+            and not block.is_bad
             and block.write_pointer > 0
             and not self._being_collected(lun_key, block_id)
             and not self.controller.wl_is_migrating(lun_key, block_id)
@@ -259,8 +286,87 @@ class GarbageCollector:
     def _being_collected(self, lun_key: tuple[int, int], block_id: int) -> bool:
         if (lun_key, block_id) in self._erase_only:
             return True
+        if (lun_key, block_id) in self._condemned:
+            return True
         job = self.active_jobs.get(lun_key)
         return job is not None and job.block_id == block_id
+
+    # ------------------------------------------------------------------
+    # Condemnation (reliability subsystem: program failures)
+    # ------------------------------------------------------------------
+    def condemn(self, lun_key: tuple[int, int], block_id: int) -> None:
+        """Drain and retire a block that reported a program failure.
+
+        The block's live pages are relocated with the normal GC
+        read+program machinery (copyback is avoided: it would re-read
+        the failing block without controller-side checking), and the
+        block is then *retired*, never erased back into the free pool.
+        Condemnation uses the one-job-per-LUN slot, queueing behind an
+        in-progress collection if necessary; until the job starts the
+        block sits in ``_condemned``, which keeps victim selection, WL
+        and erase-only reclaim away from it.
+        """
+        key = (lun_key, block_id)
+        if key in self._condemned:
+            return
+        block = self.controller.array.luns[lun_key].block(block_id)
+        if block.is_bad:
+            return  # already retired (e.g. a second failure raced in)
+        self._condemned.add(key)
+        self._condemn_queue.setdefault(lun_key, []).append(block_id)
+        self._pump_condemn(lun_key)
+
+    def _pump_condemn(self, lun_key: tuple[int, int]) -> None:
+        if lun_key in self.active_jobs:
+            return  # runs when the current job's erase/retire completes
+        queue = self._condemn_queue.get(lun_key)
+        if not queue:
+            return
+        block_id = queue.pop(0)
+        lun = self.controller.array.luns[lun_key]
+        job = _GcJob(lun_key, block_id, retire=True)
+        self.active_jobs[lun_key] = job
+        block = lun.block(block_id)
+        live_pages = block.live_page_indexes()
+        self.controller.tracer.record(
+            self.controller.sim.now,
+            "controller",
+            "gc-condemn",
+            f"draining (c{lun_key[0]},l{lun_key[1]},b{block_id}) "
+            f"live={len(live_pages)}",
+        )
+        if not live_pages:
+            self._retire_block(job)
+            return
+        job.pending_relocations = len(live_pages)
+        for page_index in live_pages:
+            source = PhysicalAddress(lun_key[0], lun_key[1], block_id, page_index)
+            self._relocate_by_read_program(job, source)
+
+    def _retire_block(self, job: _GcJob) -> None:
+        lun_key, block_id = job.lun_key, job.block_id
+        controller = self.controller
+        lun = controller.array.luns[lun_key]
+        # Retire without erasing: dead contents stay readable for any
+        # in-flight stale read and the parity tracker stays consistent.
+        lun.retire_block(block_id)
+        controller.array.retired_blocks += 1
+        self.active_jobs.pop(lun_key, None)
+        self._condemned.discard((lun_key, block_id))
+        self.condemned_retirements += 1
+        controller.tracer.record(
+            controller.sim.now,
+            "controller",
+            "gc-retired",
+            f"condemned (c{lun_key[0]},l{lun_key[1]},b{block_id}) left service",
+        )
+        if controller.reliability is not None:
+            controller.reliability.on_runtime_retirement(
+                lun_key, block_id, "program failure"
+            )
+        self._pump_condemn(lun_key)
+        # Usable capacity shrank: the LUN may now be below the watermark.
+        self.maybe_trigger(lun_key)
 
     # ------------------------------------------------------------------
     # Job execution
@@ -360,7 +466,10 @@ class GarbageCollector:
         self.relocated_pages += 1
         job.pending_relocations -= 1
         if job.pending_relocations == 0:
-            self._issue_erase(job)
+            if job.retire:
+                self._retire_block(job)
+            else:
+                self._issue_erase(job)
 
     def _issue_erase(self, job: _GcJob) -> None:
         job.erase_issued = True
@@ -383,6 +492,9 @@ class GarbageCollector:
             "gc-done",
             f"erased (c{job.lun_key[0]},l{job.lun_key[1]},b{job.block_id})",
         )
+        # Condemned blocks (reliability) jump ahead of further
+        # collection: their space is unusable until they retire.
+        self._pump_condemn(job.lun_key)
         # The LUN may still be below the watermark: chain the next job.
         self.maybe_trigger(job.lun_key)
         if job.cross_lun:

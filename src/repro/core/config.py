@@ -402,6 +402,101 @@ class ControllerConfig:
 
 
 @dataclass
+class ReliabilityConfig:
+    """Error injection, ECC, recovery and graceful degradation
+    (:mod:`repro.reliability`).
+
+    All rates default to zero and ``enabled`` defaults to ``False``, so a
+    default configuration behaves bit-identically to a simulator without
+    the reliability subsystem: no RNG stream is consumed and no event
+    timing changes.
+
+    The raw bit-error rate (RBER) of a read grows with the block's
+    program/erase cycle count and with the retention age of its data:
+
+    ``rber = base_rber * (1 + wear_coefficient * (pe/wear_reference)^wear_exponent)
+                       * (1 + retention_coefficient * age/retention_reference)``
+
+    ECC corrects up to ``ecc_correctable_bits`` bit errors per page; a
+    read that exceeds the budget walks a retry ladder (each retry
+    re-issues the flash read through the scheduler queues with the RBER
+    scaled by ``retry_rber_scale``, modelling read-retry voltage shifts).
+    Reads that remain uncorrectable are reconstructed from channel-stripe
+    parity when ``parity`` is on.  Program/erase failures retire the
+    block at runtime; once more blocks retired than the spare pool holds,
+    the device degrades to read-only mode.
+    """
+
+    #: Master switch; off keeps every code path and RNG stream untouched.
+    enabled: bool = False
+    #: Raw bit-error probability per bit of a fresh, young page.
+    base_rber: float = 0.0
+    #: Wear sensitivity of the RBER (0 disables wear growth).
+    wear_coefficient: float = 0.0
+    #: P/E cycle count at which the wear term reaches ``wear_coefficient``.
+    wear_reference_cycles: int = 3000
+    #: Shape of the wear growth (1.0 = linear, 2.0 = quadratic).
+    wear_exponent: float = 1.0
+    #: Retention sensitivity of the RBER (0 disables retention growth).
+    retention_coefficient: float = 0.0
+    #: Data age at which the retention term reaches ``retention_coefficient``.
+    retention_reference_ns: int = units.SECOND
+    #: Bit errors per page the ECC can correct.
+    ecc_correctable_bits: int = 8
+    #: ECC decode latency added to every read, per correctable bit --
+    #: the stronger the code, the longer the decode.
+    ecc_decode_ns_per_bit: int = 50
+    #: Read-retry ladder depth (0 disables retries).
+    max_read_retries: int = 3
+    #: Effective-RBER multiplier applied per retry step.
+    retry_rber_scale: float = 0.5
+    #: Probability that a completed program reports a program failure.
+    program_fail_probability: float = 0.0
+    #: Probability that a completed erase reports an erase failure.
+    erase_fail_probability: float = 0.0
+    #: Channel-stripe parity (RAISE-style): uncorrectable pages are
+    #: rebuilt by reading the stripe's peers on the other channels.
+    parity: bool = False
+    #: Blocks per LUN set aside to absorb runtime retirements; once more
+    #: blocks have retired than the pool holds, the device goes read-only.
+    spare_blocks_per_lun: int = 0
+    #: Deterministic fault-injection plan (see :mod:`repro.reliability.inject`).
+    fault_plan: Optional[object] = None
+
+    def validate(self, geometry: SsdGeometry) -> None:
+        if not self.enabled:
+            return
+        for name in ("base_rber", "wear_coefficient", "retention_coefficient"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"ReliabilityConfig.{name} must be >= 0")
+        if not 0.0 <= self.base_rber < 0.1:
+            raise ValueError("base_rber must be in [0, 0.1)")
+        for name in ("wear_reference_cycles", "retention_reference_ns"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"ReliabilityConfig.{name} must be positive")
+        if self.wear_exponent <= 0.0:
+            raise ValueError("wear_exponent must be positive")
+        if self.ecc_correctable_bits < 0 or self.ecc_decode_ns_per_bit < 0:
+            raise ValueError("ECC parameters must be >= 0")
+        if self.max_read_retries < 0:
+            raise ValueError("max_read_retries must be >= 0")
+        if not 0.0 < self.retry_rber_scale <= 1.0:
+            raise ValueError("retry_rber_scale must be in (0, 1]")
+        for name in ("program_fail_probability", "erase_fail_probability"):
+            if not 0.0 <= getattr(self, name) <= 0.5:
+                raise ValueError(
+                    f"ReliabilityConfig.{name} must be in [0, 0.5] "
+                    "(1.0 would retry forever)"
+                )
+        if self.parity and geometry.channels < 2:
+            raise ValueError("channel-stripe parity needs at least 2 channels")
+        if not 0 <= self.spare_blocks_per_lun < geometry.blocks_per_lun // 2:
+            raise ValueError(
+                "spare_blocks_per_lun must leave at least half of each LUN usable"
+            )
+
+
+@dataclass
 class HostConfig:
     """Operating-system layer configuration (paper Section 2.2 OS)."""
 
@@ -431,6 +526,7 @@ class SimulationConfig:
     timings: ChipTimings = field(default_factory=ChipTimings.slc)
     controller: ControllerConfig = field(default_factory=ControllerConfig)
     host: HostConfig = field(default_factory=HostConfig)
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
     seed: int = 42
     #: Hard stop for the virtual clock; ``None`` runs until workloads end.
     max_time_ns: Optional[int] = None
@@ -452,12 +548,32 @@ class SimulationConfig:
         self.timings.validate()
         self.controller.validate(self.geometry)
         self.host.validate()
+        self.reliability.validate(self.geometry)
         if self.logical_pages < 1:
             raise ValueError("overprovisioning leaves no logical space")
+        if (
+            self.reliability.enabled
+            and self.controller.ftl is FtlKind.HYBRID
+            and (
+                self.reliability.program_fail_probability > 0.0
+                or self.reliability.erase_fail_probability > 0.0
+                or self.reliability.fault_plan is not None
+            )
+        ):
+            raise ValueError(
+                "program/erase fault injection needs the generic GC to drain "
+                "condemned blocks; the hybrid FTL manages physical space itself"
+            )
         # Feasibility: every LUN must be able to hold its share of live
         # data while keeping the GC watermark plus the GC reserve block
         # free, otherwise steady state deadlocks on an all-live device.
-        slack_blocks = self.controller.gc_greediness + 1
+        # The reliability spare pool is reserved the same way: spares
+        # absorb runtime retirements, so they must never be needed to
+        # hold the logical space in the first place.
+        spare_blocks = (
+            self.reliability.spare_blocks_per_lun if self.reliability.enabled else 0
+        )
+        slack_blocks = self.controller.gc_greediness + 1 + spare_blocks
         expected_good = int(
             self.geometry.total_pages * (1.0 - self.geometry.bad_block_rate)
         )
@@ -469,8 +585,10 @@ class SimulationConfig:
             raise ValueError(
                 f"infeasible configuration: logical space {self.logical_pages} pages "
                 f"exceeds {usable_pages} usable pages once every LUN reserves "
-                f"gc_greediness+1 = {slack_blocks} blocks; raise overprovisioning, "
-                "lower gc_greediness, or add blocks"
+                f"gc_greediness+1 = {self.controller.gc_greediness + 1} blocks plus "
+                f"{spare_blocks} spare blocks; raise "
+                "overprovisioning, lower gc_greediness, shrink the spare pool, "
+                "or add blocks"
             )
 
     def describe(self) -> str:

@@ -29,6 +29,27 @@ class IoType(enum.Enum):
         return self.value
 
 
+class IoStatus(enum.Enum):
+    """Completion status of a logical IO.
+
+    Everything is ``OK`` on the happy path.  The reliability subsystem
+    (:mod:`repro.reliability`) introduces the two failure statuses: a
+    device whose spare-block pool ran dry rejects writes with
+    ``READ_ONLY`` instead of crashing the simulation, and a read whose
+    data could not be recovered (ECC and parity both exhausted) completes
+    with ``UNCORRECTABLE``.
+    """
+
+    OK = "ok"
+    #: Write or trim rejected: the device degraded to read-only mode.
+    READ_ONLY = "read_only"
+    #: Read data lost: ECC failed and parity could not reconstruct it.
+    UNCORRECTABLE = "uncorrectable"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
 #: Monotonically increasing request ids, unique within a process.
 _io_ids = itertools.count(1)
 
@@ -61,6 +82,7 @@ class IoRequest:
         "complete_time",
         "hints",
         "data",
+        "status",
     )
 
     def __init__(
@@ -81,6 +103,8 @@ class IoRequest:
         #: Payload returned by reads: the (lpn, version) token last written.
         #: Used by integrity checks; the simulator stores tokens, not bytes.
         self.data: Optional[tuple[int, int]] = None
+        #: Completion status; only the reliability subsystem sets non-OK.
+        self.status: IoStatus = IoStatus.OK
 
     @property
     def is_read(self) -> bool:

@@ -50,6 +50,20 @@ class SimulationResult:
         self.wl_migrated_pages = controller.wear_leveler.migrated_pages
         self.wear = controller.wear_leveler.wear_statistics()
         self.retired_blocks = controller.array.retired_blocks
+        reliability = controller.reliability
+        self.corrected_reads = reliability.corrected_reads if reliability else 0
+        self.uncorrectable_reads = reliability.uncorrectable_reads if reliability else 0
+        self.read_retries = reliability.read_retries if reliability else 0
+        self.parity_rebuilds = reliability.parity_rebuilds if reliability else 0
+        self.program_fails = reliability.program_fail_count if reliability else 0
+        self.erase_fails = reliability.erase_fail_count if reliability else 0
+        self.runtime_retired_blocks = (
+            reliability.runtime_retired_blocks if reliability else 0
+        )
+        self.writes_rejected = reliability.writes_rejected if reliability else 0
+        #: Virtual time at which the device degraded to read-only mode;
+        #: None when it never did (or reliability is disabled).
+        self.read_only_entry_ns = reliability.read_only_entry_ns if reliability else None
         self.channel_utilisation = controller.array.channel_utilisation()
         self.lun_utilisation = controller.array.lun_utilisation()
         self.flash_commands = dict(controller.stats.flash_commands)
@@ -73,6 +87,21 @@ class SimulationResult:
                 "retired_blocks": float(self.retired_blocks),
                 "mean_channel_utilisation": (
                     sum(self.channel_utilisation) / len(self.channel_utilisation)
+                ),
+                # Reliability subsystem; all zero (and entry -1) when the
+                # subsystem is disabled.
+                "corrected_reads": float(self.corrected_reads),
+                "uncorrectable_reads": float(self.uncorrectable_reads),
+                "read_retries": float(self.read_retries),
+                "parity_rebuilds": float(self.parity_rebuilds),
+                "program_fails": float(self.program_fails),
+                "erase_fails": float(self.erase_fails),
+                "runtime_retired_blocks": float(self.runtime_retired_blocks),
+                "writes_rejected": float(self.writes_rejected),
+                "read_only_entry_ms": (
+                    units.to_milliseconds(self.read_only_entry_ns)
+                    if self.read_only_entry_ns is not None
+                    else -1.0
                 ),
             }
         )
@@ -98,6 +127,19 @@ class SimulationResult:
             "channel util  : "
             + " ".join(f"{u:.0%}" for u in self.channel_utilisation)
         )
+        if (
+            self.corrected_reads
+            or self.read_retries
+            or self.parity_rebuilds
+            or self.uncorrectable_reads
+            or self.runtime_retired_blocks
+        ):
+            lines.append(
+                f"reliability   : {self.corrected_reads} corrected, "
+                f"{self.read_retries} retries, {self.parity_rebuilds} rebuilds, "
+                f"{self.uncorrectable_reads} lost, "
+                f"{self.runtime_retired_blocks} blocks retired"
+            )
         return "\n".join(lines)
 
 

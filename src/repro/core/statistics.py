@@ -180,6 +180,11 @@ class StatisticsGatherer:
         self.flash_commands: Counter[tuple[str, str]] = Counter()
         #: GC activity over time (pages relocated).
         self.gc_activity_over_time = TimeSeries(bucket_ns)
+        #: Reliability events (corrected reads, retries, rebuilds,
+        #: retirements, ...) keyed by event kind.
+        self.reliability_events: Counter[str] = Counter()
+        #: Reliability events over time (all kinds pooled).
+        self.reliability_over_time = TimeSeries(bucket_ns)
         self.first_completion_ns: Optional[int] = None
         self.last_completion_ns: Optional[int] = None
         self._completed = 0
@@ -210,6 +215,11 @@ class StatisticsGatherer:
         self.flash_commands[(source_name, kind_name)] += 1
         if source_name in ("GC", "WEAR_LEVELING") and kind_name in ("PROGRAM", "COPYBACK"):
             self.gc_activity_over_time.add(time_ns)
+
+    def record_reliability_event(self, kind: str, time_ns: int) -> None:
+        """Record a reliability-subsystem event (controller layer hook)."""
+        self.reliability_events[kind] += 1
+        self.reliability_over_time.add(time_ns)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -289,4 +299,7 @@ class StatisticsGatherer:
             for (source, kind), count in sorted(self.flash_commands.items()):
                 per_source[source] += count
                 lines.append(f"flash {source.lower():<14}{kind.lower():<9}: {count}")
+        if self.reliability_events:
+            for kind, count in sorted(self.reliability_events.items()):
+                lines.append(f"reliability {kind:<17}: {count}")
         return "\n".join(lines)

@@ -24,7 +24,7 @@ class TraceRecord:
     """One event in the life of an IO or internal operation."""
 
     time_ns: int
-    layer: str  # "thread" | "os" | "controller" | "hardware"
+    layer: str  # "thread" | "os" | "controller" | "hardware" | "reliability"
     event: str  # e.g. "issue", "dispatch", "start", "complete"
     detail: str  # free-form, e.g. "read lpn=12 -> (c0,l1,b3,p7)"
 

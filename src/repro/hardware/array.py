@@ -31,7 +31,7 @@ from repro.core.engine import Simulator
 from repro.core.tracing import TraceRecorder
 from repro.hardware.addresses import PhysicalAddress, iter_luns, validate_address
 from repro.hardware.channel import Channel
-from repro.hardware.commands import CommandKind, FlashCommand
+from repro.hardware.commands import CommandKind, CommandOutcome, FlashCommand
 from repro.hardware.flash import FlashStateError, Lun
 
 
@@ -79,6 +79,10 @@ class SsdArray:
         #: Set by the controller's allocator: binds the physical page of a
         #: PROGRAM (or a COPYBACK target) at command start.
         self.bind_program: Optional[Callable[[FlashCommand], PhysicalAddress]] = None
+        #: Set by the controller when the reliability subsystem is enabled
+        #: (:class:`repro.reliability.recovery.ReliabilityManager`); None
+        #: keeps every error path and RNG stream untouched.
+        self.reliability = None
         self.completed_commands = 0
 
     # ------------------------------------------------------------------
@@ -251,16 +255,33 @@ class SsdArray:
                 raise FlashStateError(
                     f"binder returned page {target_address.page}, block wrote {page_index}"
                 )
+            if self.reliability is not None:
+                self.reliability.on_page_programmed(target_address, cmd.content)
 
     def _complete(self, cmd: FlashCommand) -> None:
         now = self.sim.now
         lun = self.lun_of(cmd)
+        decode_ns = 0
+        if self.reliability is not None and cmd.kind is CommandKind.READ:
+            decode_ns = self.reliability.read_decode_ns
         if cmd.kind is CommandKind.READ:
             block = lun.block(cmd.address.block)
             cmd.content = block.read(cmd.address.page)
-            block.inflight_reads -= 1
-            if block.inflight_reads < 0:
-                raise FlashStateError(f"inflight_reads underflow on {cmd!r}")
+            if decode_ns == 0:
+                # With deferred delivery the read keeps its in-flight
+                # hold until the decode finishes, so an erase of the
+                # block cannot slip in between completion and a retry
+                # the delivery might enqueue.
+                block.inflight_reads -= 1
+                if block.inflight_reads < 0:
+                    raise FlashStateError(f"inflight_reads underflow on {cmd!r}")
+            if self.reliability is not None:
+                self.reliability.read_outcome(cmd, block, now)
+        elif cmd.kind is CommandKind.PROGRAM:
+            if self.reliability is not None:
+                block = lun.block(cmd.address.block)
+                if self.reliability.program_fails(cmd, block):
+                    cmd.outcome = CommandOutcome.PROGRAM_FAIL
         elif cmd.kind is CommandKind.COPYBACK:
             source_block = lun.block(cmd.address.block)
             source_block.inflight_reads -= 1
@@ -268,25 +289,62 @@ class SsdArray:
                 raise FlashStateError(f"inflight_reads underflow on {cmd!r}")
         elif cmd.kind is CommandKind.ERASE:
             block = lun.block(cmd.address.block)
-            block.erase(now)
-            endurance = self.timings.endurance_cycles
-            if endurance is not None and block.erase_count >= endurance:
-                # Worn out: mask the block instead of freeing it.
+            if self.reliability is not None and self.reliability.erase_fails(cmd, block):
+                # Failed erase: the block keeps its (dead) contents --
+                # parity stays consistent and stale reads still work --
+                # and leaves service on the spot.
+                cmd.outcome = CommandOutcome.ERASE_FAIL
                 lun.retire_block(cmd.address.block)
                 self.retired_blocks += 1
                 self.tracer.record(
                     now, "hardware", "retire",
                     f"block (c{cmd.address.channel},l{cmd.address.lun},"
-                    f"b{cmd.address.block}) reached endurance",
+                    f"b{cmd.address.block}) erase failure",
+                )
+                self.reliability.on_runtime_retirement(
+                    cmd.lun_key, cmd.address.block, "erase failure"
                 )
             else:
-                lun.on_block_erased(cmd.address.block)
+                if self.reliability is not None:
+                    self.reliability.on_block_erase(cmd.lun_key, cmd.address.block, block)
+                block.erase(now)
+                endurance = self.timings.endurance_cycles
+                if endurance is not None and block.erase_count >= endurance:
+                    # Worn out: mask the block instead of freeing it.
+                    lun.retire_block(cmd.address.block)
+                    self.retired_blocks += 1
+                    self.tracer.record(
+                        now, "hardware", "retire",
+                        f"block (c{cmd.address.channel},l{cmd.address.lun},"
+                        f"b{cmd.address.block}) reached endurance",
+                    )
+                    if self.reliability is not None:
+                        self.reliability.on_runtime_retirement(
+                            cmd.lun_key, cmd.address.block, "endurance"
+                        )
+                else:
+                    lun.on_block_erased(cmd.address.block)
         cmd.complete_time = now
         self._release_lun(cmd)
         self.completed_commands += 1
         self.tracer.record(now, "hardware", "complete", self._describe(cmd))
+        if decode_ns > 0:
+            # ECC decode: delay only the delivery -- the LUN and channel
+            # are already free for the next operation.
+            self.sim.schedule(decode_ns, self._deliver_decoded, cmd)
+        elif cmd.on_complete is not None:
+            cmd.on_complete(cmd)
+        self.on_resource_free()
+
+    def _deliver_decoded(self, cmd: FlashCommand) -> None:
+        """Deliver a read after its ECC decode delay, releasing the
+        in-flight hold that kept the block safe from erases meanwhile."""
+        block = self.lun_of(cmd).block(cmd.address.block)
         if cmd.on_complete is not None:
             cmd.on_complete(cmd)
+        block.inflight_reads -= 1
+        if block.inflight_reads < 0:
+            raise FlashStateError(f"inflight_reads underflow on {cmd!r}")
         self.on_resource_free()
 
     # ------------------------------------------------------------------

@@ -29,6 +29,31 @@ class CommandKind(enum.Enum):
         return self.value
 
 
+class CommandOutcome(enum.Enum):
+    """How a flash command finished (reliability subsystem).
+
+    Without the reliability subsystem every command succeeds and
+    ``FlashCommand.outcome`` stays ``SUCCESS``.  With it, the array draws
+    read bit errors and program/erase failures and reports them here; the
+    controller reacts (retry ladder, parity rebuild, block retirement).
+    """
+
+    SUCCESS = "SUCCESS"
+    #: Read had bit errors, all corrected by ECC.
+    CORRECTED = "CORRECTED"
+    #: Read had more bit errors than the ECC can correct.
+    UNCORRECTABLE = "UNCORRECTABLE"
+    #: Read was uncorrectable but reconstructed from channel parity.
+    REBUILT = "REBUILT"
+    #: Program operation reported a failure status.
+    PROGRAM_FAIL = "PROGRAM_FAIL"
+    #: Erase operation reported a failure status.
+    ERASE_FAIL = "ERASE_FAIL"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
 class CommandSource(enum.Enum):
     APPLICATION = "APPLICATION"
     GC = "GC"
@@ -77,6 +102,8 @@ class FlashCommand:
         "on_complete",
         "io",
         "context",
+        "outcome",
+        "retry_index",
     )
 
     def __init__(
@@ -114,6 +141,11 @@ class FlashCommand:
         self.io = io
         #: Free slot for the originating module (e.g. a GC job).
         self.context = context
+        #: How the command finished; set by the array's error model.
+        self.outcome: CommandOutcome = CommandOutcome.SUCCESS
+        #: Read-retry ladder position: 0 for the first attempt, then 1..N
+        #: for re-issued reads (scales the effective RBER down).
+        self.retry_index = 0
 
     @property
     def lun_key(self) -> tuple[int, int]:

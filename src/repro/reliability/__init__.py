@@ -1,0 +1,37 @@
+"""Reliability and fault injection (new subsystem).
+
+Full-resource SSD studies treat media reliability as a design axis on a
+par with GC policy or scheduling: bit errors grow with wear and
+retention, ECC strength trades read latency against lifetime, parity
+striping trades capacity against data loss, and the spare-block pool
+decides when a device degrades to read-only.  This package adds that
+axis to the simulator:
+
+* :mod:`repro.reliability.errors`   -- the RBER / program-fail / erase-fail
+  probability model.
+* :mod:`repro.reliability.ecc`      -- ECC correction threshold, decode
+  latency and the read-retry ladder.
+* :mod:`repro.reliability.inject`   -- deterministic fault plans for
+  targeted experiments and regression tests.
+* :mod:`repro.reliability.recovery` -- the manager orchestrating retries,
+  parity rebuilds, block condemnation and graceful degradation.
+
+Everything is off by default (``ReliabilityConfig.enabled = False``):
+a default configuration runs bit-identically to a simulator without
+this package.
+"""
+
+from repro.reliability.ecc import EccModel, ReadVerdict
+from repro.reliability.errors import BitErrorModel
+from repro.reliability.inject import FaultPlan
+from repro.reliability.recovery import ParityTracker, ReliabilityManager, pack_content
+
+__all__ = [
+    "BitErrorModel",
+    "EccModel",
+    "FaultPlan",
+    "ParityTracker",
+    "ReadVerdict",
+    "ReliabilityManager",
+    "pack_content",
+]

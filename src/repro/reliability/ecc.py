@@ -1,0 +1,111 @@
+"""ECC and the read-retry ladder.
+
+Each flash page is protected by an error-correcting code that corrects
+up to ``ecc_correctable_bits`` bit errors.  A read with more errors than
+the budget is not immediately lost: real controllers walk a *read-retry
+ladder*, re-issuing the read with shifted sensing voltages; each step is
+slower (it goes back through the scheduler queues and pays the full
+array read again) but sees a lower effective RBER, modelled here by the
+``retry_rber_scale`` multiplier per step.
+
+The number of bit errors in a page of ``n`` bits at raw bit-error rate
+``p`` is Binomial(n, p); for the regimes that matter (n in the tens of
+thousands, p well below 1e-2) the Poisson approximation with
+``lambda = n * p`` is accurate and cheap, and -- unlike a per-bit draw --
+costs a *single* uniform per read, which keeps the RNG stream usage
+independent of page size.
+
+Decode latency scales with code strength (``ecc_decode_ns_per_bit`` per
+correctable bit): a stronger code protects longer-lived, more-worn data
+but taxes every single read.  That is the mean-latency-vs-lifetime
+trade-off experiment E18 sweeps.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.core.config import ReliabilityConfig
+from repro.core.rng import RandomStream
+
+
+class ReadVerdict(enum.Enum):
+    """ECC's judgement of one read attempt."""
+
+    CLEAN = "clean"  # zero bit errors
+    CORRECTED = "corrected"  # errors within the correction budget
+    UNCORRECTABLE = "uncorrectable"  # errors exceed the budget
+
+
+class EccModel:
+    """Codeword correction threshold, retry scaling and decode cost."""
+
+    def __init__(self, config: ReliabilityConfig, page_size_bytes: int):
+        self.config = config
+        self.page_bits = page_size_bytes * 8
+
+    @property
+    def correctable_bits(self) -> int:
+        return self.config.ecc_correctable_bits
+
+    @property
+    def decode_ns(self) -> int:
+        """Decode latency added to every read attempt."""
+        return self.config.ecc_correctable_bits * self.config.ecc_decode_ns_per_bit
+
+    @property
+    def max_retries(self) -> int:
+        return self.config.max_read_retries
+
+    def effective_rber(self, rber: float, retry_index: int) -> float:
+        """RBER seen by the ``retry_index``-th attempt of a read."""
+        if retry_index <= 0:
+            return rber
+        return rber * (self.config.retry_rber_scale**retry_index)
+
+    # ------------------------------------------------------------------
+    # Probability helpers (Poisson approximation of Binomial(n, p))
+    # ------------------------------------------------------------------
+    def p_clean(self, rber: float) -> float:
+        """Probability of zero bit errors in the page."""
+        lam = self.page_bits * rber
+        if lam <= 0.0:
+            return 1.0
+        return math.exp(-lam)
+
+    def p_correctable(self, rber: float) -> float:
+        """Probability of at most ``correctable_bits`` errors."""
+        lam = self.page_bits * rber
+        if lam <= 0.0:
+            return 1.0
+        try:
+            base = math.exp(-lam)
+        except OverflowError:  # pragma: no cover - enormous lambda
+            return 0.0
+        total = 0.0
+        term = base
+        for k in range(self.correctable_bits + 1):
+            if k > 0:
+                term *= lam / k
+            total += term
+        return min(1.0, total)
+
+    def classify(self, rber: float, retry_index: int, stream: RandomStream) -> ReadVerdict:
+        """Draw the ECC outcome of one read attempt.
+
+        A single uniform draw is compared against the cumulative
+        probabilities of "no errors" and "correctable errors"; the RNG
+        cost is therefore one draw per read attempt regardless of page
+        size or error count.
+        """
+        p = self.effective_rber(rber, retry_index)
+        if p <= 0.0:
+            return ReadVerdict.CLEAN
+        u = stream.random()
+        clean = self.p_clean(p)
+        if u < clean:
+            return ReadVerdict.CLEAN
+        if u < self.p_correctable(p):
+            return ReadVerdict.CORRECTED
+        return ReadVerdict.UNCORRECTABLE

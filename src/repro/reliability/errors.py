@@ -1,0 +1,71 @@
+"""The raw bit-error model of the flash array.
+
+Full-resource SSD simulators (SimpleSSD, Amber) treat media errors as a
+first-class design axis: the raw bit-error rate (RBER) of a NAND page
+grows with the block's program/erase cycle count (wear) and with how
+long the data has been sitting in the cells (retention).  This module
+computes those probabilities; the draws themselves happen in
+:mod:`repro.reliability.recovery` from dedicated seeded RNG streams
+(:mod:`repro.core.rng`), so enabling the error model never perturbs the
+randomness any other component observes.
+
+The model is deliberately simple and fully documented so sweeps are
+interpretable:
+
+``rber(pe, age) = base * (1 + wc * (pe / pe_ref)^we) * (1 + rc * age / age_ref)``
+
+* ``base`` -- RBER of a fresh, young page (``base_rber``);
+* the wear term grows polynomially in P/E cycles, reaching ``1 + wc``
+  at the reference cycle count;
+* the retention term grows linearly in data age, reaching ``1 + rc``
+  at the reference age.
+
+Program and erase failures are modelled as flat per-operation
+probabilities (``program_fail_probability`` / ``erase_fail_probability``);
+endurance-correlated failure is already covered by the deterministic
+``ChipTimings.endurance_cycles`` retirement path.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ReliabilityConfig
+
+
+class BitErrorModel:
+    """Pure computation of error probabilities from block state.
+
+    Stateless apart from the configuration, hence trivially deterministic
+    and unit-testable without a simulator.
+    """
+
+    def __init__(self, config: ReliabilityConfig):
+        self.config = config
+
+    def rber(self, erase_count: int, age_ns: int) -> float:
+        """Raw bit-error probability per bit for a page read.
+
+        ``erase_count`` is the block's P/E cycle count; ``age_ns`` is the
+        retention age of the data (time since the block was last
+        written, a block-granularity approximation of per-page program
+        time).
+        """
+        c = self.config
+        if c.base_rber <= 0.0:
+            return 0.0
+        wear = 1.0
+        if c.wear_coefficient > 0.0 and erase_count > 0:
+            wear += c.wear_coefficient * (
+                (erase_count / c.wear_reference_cycles) ** c.wear_exponent
+            )
+        retention = 1.0
+        if c.retention_coefficient > 0.0 and age_ns > 0:
+            retention += c.retention_coefficient * (age_ns / c.retention_reference_ns)
+        return min(1.0, c.base_rber * wear * retention)
+
+    @property
+    def program_fail_probability(self) -> float:
+        return self.config.program_fail_probability
+
+    @property
+    def erase_fail_probability(self) -> float:
+        return self.config.erase_fail_probability

@@ -1,0 +1,82 @@
+"""Deterministic fault injection.
+
+Probabilistic error rates answer "how does the design behave on
+average"; targeted experiments and regression tests need the opposite:
+*this* block fails *its third* erase, *that* logical page's next read is
+uncorrectable.  A :class:`FaultPlan` declares such events ahead of the
+run; the reliability manager consults it alongside the probabilistic
+draws and keeps all consumption state itself, so one plan object can be
+attached to several configurations and every same-seed run replays the
+exact same failures (the integration tests assert trace-for-trace
+equality of two such runs).
+
+Plans are built fluently::
+
+    plan = (
+        FaultPlan()
+        .fail_erase(channel=0, lun=0, block=3, attempt=2)
+        .fail_program(channel=1, lun=0, block=7)
+        .corrupt_read(lpn=42, count=2)
+    )
+    config.reliability.fault_plan = plan
+
+Attempt numbers are 1-based and count the erases (or programs) *of that
+block* observed while the plan is installed, not the block's lifetime
+totals.
+"""
+
+from __future__ import annotations
+
+
+class FaultPlan:
+    """A declarative schedule of block failures and read corruptions."""
+
+    def __init__(self) -> None:
+        #: (channel, lun, block) -> 1-based erase attempts that must fail.
+        self.erase_failures: dict[tuple[int, int, int], set[int]] = {}
+        #: (channel, lun, block) -> 1-based program attempts that must fail.
+        self.program_failures: dict[tuple[int, int, int], set[int]] = {}
+        #: lpn -> number of upcoming reads forced uncorrectable.
+        self.read_corruptions: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Builders (fluent)
+    # ------------------------------------------------------------------
+    def fail_erase(self, channel: int, lun: int, block: int, attempt: int = 1) -> "FaultPlan":
+        """Make the ``attempt``-th erase of block ``(channel,lun,block)``
+        report an erase failure (the block retires on the spot)."""
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        self.erase_failures.setdefault((channel, lun, block), set()).add(attempt)
+        return self
+
+    def fail_program(self, channel: int, lun: int, block: int, attempt: int = 1) -> "FaultPlan":
+        """Make the ``attempt``-th program landing on block
+        ``(channel,lun,block)`` report a program failure (the page is
+        retransmitted elsewhere and the block is condemned)."""
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        self.program_failures.setdefault((channel, lun, block), set()).add(attempt)
+        return self
+
+    def corrupt_read(self, lpn: int, count: int = 1) -> "FaultPlan":
+        """Force the next ``count`` logical reads of ``lpn`` to be
+        uncorrectable.  The mark persists through the retry ladder (every
+        retry of the same logical read stays uncorrectable) and is
+        consumed when the read finally resolves -- by parity rebuild if
+        parity is enabled, otherwise as data loss."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.read_corruptions[lpn] = self.read_corruptions.get(lpn, 0) + count
+        return self
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.erase_failures or self.program_failures or self.read_corruptions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultPlan(erase={len(self.erase_failures)}, "
+            f"program={len(self.program_failures)}, "
+            f"reads={len(self.read_corruptions)})"
+        )

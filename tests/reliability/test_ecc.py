@@ -1,0 +1,113 @@
+"""Unit tests for the ECC model and its retry ladder arithmetic."""
+
+import math
+
+import pytest
+
+from repro.core.config import ReliabilityConfig
+from repro.reliability import EccModel, ReadVerdict
+
+PAGE_BYTES = 2048
+PAGE_BITS = PAGE_BYTES * 8
+
+
+class FakeStream:
+    """Stands in for a RandomStream: returns preset uniforms in order."""
+
+    def __init__(self, values):
+        self.values = list(values)
+        self.draws = 0
+
+    def random(self) -> float:
+        self.draws += 1
+        return self.values.pop(0)
+
+
+def make_model(**overrides) -> EccModel:
+    config = ReliabilityConfig(enabled=True, **overrides)
+    return EccModel(config, page_size_bytes=PAGE_BYTES)
+
+
+class TestArithmetic:
+    def test_page_bits(self):
+        assert make_model().page_bits == PAGE_BITS
+
+    def test_decode_latency_scales_with_code_strength(self):
+        model = make_model(ecc_correctable_bits=16, ecc_decode_ns_per_bit=50)
+        assert model.decode_ns == 800
+        assert make_model(ecc_correctable_bits=0).decode_ns == 0
+
+    def test_effective_rber_scales_per_retry(self):
+        model = make_model(retry_rber_scale=0.5)
+        assert model.effective_rber(1e-4, 0) == 1e-4
+        assert model.effective_rber(1e-4, 1) == pytest.approx(5e-5)
+        assert model.effective_rber(1e-4, 3) == pytest.approx(1.25e-5)
+
+    def test_p_clean_is_poisson_zero_term(self):
+        model = make_model()
+        rber = 2.5e-4
+        lam = PAGE_BITS * rber
+        assert model.p_clean(rber) == pytest.approx(math.exp(-lam))
+        assert model.p_clean(0.0) == 1.0
+
+    def test_p_correctable_matches_explicit_poisson_sum(self):
+        model = make_model(ecc_correctable_bits=4)
+        rber = 2.5e-4
+        lam = PAGE_BITS * rber
+        expected = sum(
+            math.exp(-lam) * lam**k / math.factorial(k) for k in range(5)
+        )
+        assert model.p_correctable(rber) == pytest.approx(expected, rel=1e-12)
+        assert model.p_correctable(0.0) == 1.0
+
+    def test_p_correctable_at_least_p_clean(self):
+        model = make_model(ecc_correctable_bits=8)
+        for rber in (1e-6, 1e-4, 1e-2):
+            assert model.p_correctable(rber) >= model.p_clean(rber)
+
+
+class TestClassify:
+    def test_zero_rber_is_clean_without_consuming_randomness(self):
+        model = make_model()
+        stream = FakeStream([0.5])
+        assert model.classify(0.0, 0, stream) is ReadVerdict.CLEAN
+        assert stream.draws == 0
+
+    def test_verdict_regions(self):
+        """One uniform draw lands in [0, p_clean), [p_clean, p_corr) or
+        [p_corr, 1) -- probe just inside each region boundary."""
+        model = make_model(ecc_correctable_bits=4)
+        rber = 2.5e-4  # lambda ~ 4.1: all three regions have real mass
+        clean = model.p_clean(rber)
+        corr = model.p_correctable(rber)
+        assert 0.0 < clean < corr < 1.0
+        eps = 1e-9
+        assert model.classify(rber, 0, FakeStream([clean - eps])) is ReadVerdict.CLEAN
+        assert model.classify(rber, 0, FakeStream([clean + eps])) is ReadVerdict.CORRECTED
+        assert model.classify(rber, 0, FakeStream([corr - eps])) is ReadVerdict.CORRECTED
+        assert model.classify(rber, 0, FakeStream([corr + eps])) is ReadVerdict.UNCORRECTABLE
+
+    def test_exactly_one_draw_per_attempt(self):
+        model = make_model()
+        stream = FakeStream([0.1, 0.2, 0.3])
+        model.classify(1e-4, 0, stream)
+        assert stream.draws == 1
+
+    def test_retry_uses_scaled_rber(self):
+        """A uniform that is uncorrectable on the first attempt can be
+        clean on a retry because the effective RBER shrank."""
+        model = make_model(ecc_correctable_bits=2, retry_rber_scale=0.01)
+        rber = 1e-3  # lambda ~ 16.4 at attempt 0, ~ 0.16 at attempt 1
+        u = 0.5
+        assert model.classify(rber, 0, FakeStream([u])) is ReadVerdict.UNCORRECTABLE
+        assert model.classify(rber, 1, FakeStream([u])) is ReadVerdict.CLEAN
+
+    def test_stronger_code_widens_correctable_region(self):
+        rber = 2.5e-4
+        weak = make_model(ecc_correctable_bits=2)
+        strong = make_model(ecc_correctable_bits=16)
+        assert strong.p_correctable(rber) > weak.p_correctable(rber)
+        # A draw that defeats the weak code is absorbed by the strong one.
+        u = (weak.p_correctable(rber) + strong.p_correctable(rber)) / 2.0
+        assert weak.classify(rber, 0, FakeStream([u])) is ReadVerdict.UNCORRECTABLE
+        assert strong.classify(rber, 0, FakeStream([u])) is ReadVerdict.CORRECTED

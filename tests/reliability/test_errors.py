@@ -1,0 +1,155 @@
+"""Unit tests for the raw bit-error model."""
+
+import pytest
+
+from repro import small_config
+from repro.core import units
+from repro.core.config import ReliabilityConfig
+from repro.core.rng import RandomSource
+from repro.reliability import BitErrorModel
+
+
+def make_model(**overrides) -> BitErrorModel:
+    config = ReliabilityConfig(enabled=True, **overrides)
+    return BitErrorModel(config)
+
+
+class TestRberFormula:
+    def test_fresh_young_page_sees_base_rber(self):
+        model = make_model(base_rber=1e-4)
+        assert model.rber(erase_count=0, age_ns=0) == pytest.approx(1e-4)
+
+    def test_zero_base_disables_everything(self):
+        model = make_model(base_rber=0.0, wear_coefficient=5.0, retention_coefficient=5.0)
+        assert model.rber(erase_count=10_000, age_ns=10 * units.SECOND) == 0.0
+
+    def test_wear_term_reaches_coefficient_at_reference(self):
+        model = make_model(base_rber=1e-4, wear_coefficient=3.0, wear_reference_cycles=1000)
+        assert model.rber(1000, 0) == pytest.approx(1e-4 * (1.0 + 3.0))
+
+    def test_wear_exponent_shapes_growth(self):
+        model = make_model(
+            base_rber=1e-4,
+            wear_coefficient=1.0,
+            wear_reference_cycles=1000,
+            wear_exponent=2.0,
+        )
+        # Half the reference cycles with a quadratic exponent: (1/2)^2.
+        assert model.rber(500, 0) == pytest.approx(1e-4 * 1.25)
+
+    def test_retention_term_reaches_coefficient_at_reference(self):
+        model = make_model(
+            base_rber=1e-4,
+            retention_coefficient=2.0,
+            retention_reference_ns=units.SECOND,
+        )
+        assert model.rber(0, units.SECOND) == pytest.approx(1e-4 * 3.0)
+
+    def test_terms_multiply(self):
+        model = make_model(
+            base_rber=1e-4,
+            wear_coefficient=1.0,
+            wear_reference_cycles=100,
+            retention_coefficient=1.0,
+            retention_reference_ns=units.SECOND,
+        )
+        assert model.rber(100, units.SECOND) == pytest.approx(1e-4 * 2.0 * 2.0)
+
+    def test_rber_clamped_to_one(self):
+        model = make_model(base_rber=0.09, wear_coefficient=1e9, wear_reference_cycles=1)
+        assert model.rber(1000, 0) == 1.0
+
+    def test_model_is_pure(self):
+        """Same inputs, same output -- no hidden randomness."""
+        model = make_model(base_rber=1e-4, wear_coefficient=2.0, retention_coefficient=1.0)
+        a = model.rber(123, 456_789)
+        b = model.rber(123, 456_789)
+        assert a == b
+
+    def test_fail_probability_passthrough(self):
+        model = make_model(program_fail_probability=0.01, erase_fail_probability=0.02)
+        assert model.program_fail_probability == 0.01
+        assert model.erase_fail_probability == 0.02
+
+
+class TestDedicatedStreams:
+    def test_reliability_streams_are_deterministic_per_seed(self):
+        a = RandomSource(7)
+        b = RandomSource(7)
+        for name in ("reliability-read", "reliability-program", "reliability-erase"):
+            assert [a.stream(name).random() for _ in range(20)] == [
+                b.stream(name).random() for _ in range(20)
+            ]
+
+    def test_reliability_streams_do_not_perturb_others(self):
+        """Drawing reliability randomness never changes what another
+        component's stream observes (named-stream isolation)."""
+        plain = RandomSource(7)
+        expected = [plain.stream("gc").random() for _ in range(10)]
+        mixed = RandomSource(7)
+        mixed.stream("reliability-read").random()
+        mixed.stream("reliability-program").random()
+        assert [mixed.stream("gc").random() for _ in range(10)] == expected
+
+
+class TestConfigValidation:
+    def test_disabled_config_skips_all_checks(self):
+        config = small_config()
+        config.reliability.base_rber = 99.0  # nonsense, but disabled
+        config.validate()
+
+    def test_base_rber_range(self):
+        config = small_config()
+        config.reliability.enabled = True
+        config.reliability.base_rber = 0.5
+        with pytest.raises(ValueError, match="base_rber"):
+            config.validate()
+
+    def test_retry_scale_range(self):
+        config = small_config()
+        config.reliability.enabled = True
+        config.reliability.retry_rber_scale = 0.0
+        with pytest.raises(ValueError, match="retry_rber_scale"):
+            config.validate()
+
+    def test_fail_probability_capped(self):
+        config = small_config()
+        config.reliability.enabled = True
+        config.reliability.program_fail_probability = 0.9
+        with pytest.raises(ValueError, match="program_fail_probability"):
+            config.validate()
+
+    def test_parity_needs_two_channels(self):
+        config = small_config()
+        config.geometry.channels = 1
+        config.reliability.enabled = True
+        config.reliability.parity = True
+        with pytest.raises(ValueError, match="parity"):
+            config.validate()
+
+    def test_spare_pool_bounded_by_lun_size(self):
+        config = small_config()
+        config.reliability.enabled = True
+        config.reliability.spare_blocks_per_lun = config.geometry.blocks_per_lun
+        with pytest.raises(ValueError, match="spare_blocks_per_lun"):
+            config.validate()
+
+    def test_spares_reserved_in_capacity_accounting(self):
+        """The spare pool shrinks usable capacity: a configuration whose
+        logical space only fits without the spares must be rejected."""
+        config = small_config()
+        config.validate()  # feasible without spares
+        config.reliability.enabled = True
+        config.reliability.spare_blocks_per_lun = 7
+        with pytest.raises(ValueError, match="spare"):
+            config.validate()
+
+    def test_hybrid_ftl_rejects_block_fault_injection(self):
+        from repro import FaultPlan, FtlKind
+
+        config = small_config()
+        config.controller.ftl = FtlKind.HYBRID
+        config.reliability.enabled = True
+        config.reliability.fault_plan = FaultPlan().fail_program(0, 0, 0)
+        with pytest.raises(ValueError, match="hybrid"):
+            config.validate()

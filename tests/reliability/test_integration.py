@@ -1,0 +1,166 @@
+"""Full-stack reliability tests through the OS layer.
+
+The headline property is determinism: all error draws come from
+dedicated named RNG streams and all fault-plan consumption state lives
+in the manager, so two same-seed runs of the same scripted fault plan
+produce *identical* metrics and traces -- the foundation every targeted
+reliability experiment rests on.
+"""
+
+import re
+
+from repro import FaultPlan, FtlKind, small_config
+from repro.analysis.metrics import mean_retries_per_read, unrecoverable_read_rate
+from repro.workloads import (
+    MixedWorkloadThread,
+    RandomWriterThread,
+    SequentialReaderThread,
+)
+
+from tests.conftest import run_workload
+
+RELIABILITY_KEYS = (
+    "corrected_reads",
+    "uncorrectable_reads",
+    "read_retries",
+    "parity_rebuilds",
+    "program_fails",
+    "erase_fails",
+    "runtime_retired_blocks",
+    "writes_rejected",
+)
+
+
+def faulty_config():
+    config = small_config(trace_enabled=True)
+    r = config.reliability
+    r.enabled = True
+    r.base_rber = 2.5e-4
+    r.ecc_correctable_bits = 6
+    r.max_read_retries = 2
+    r.parity = True
+    r.fault_plan = FaultPlan().corrupt_read(lpn=5).corrupt_read(lpn=17)
+    return config
+
+
+def faulty_threads():
+    return [
+        MixedWorkloadThread("mixed", count=800, read_fraction=0.5),
+        SequentialReaderThread("reader", count=64, region=(0, 64)),
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan_identical_metrics_and_traces(self):
+        results = [
+            run_workload(faulty_config(), faulty_threads(), precondition=True)
+            for _ in range(2)
+        ]
+        a, b = (r.summary() for r in results)
+        assert a == b
+        # IO/command ids are process-global counters, so two runs label
+        # the same events with different numbers; strip them and demand
+        # the traces match event for event.
+        traces = [
+            [
+                (rec.time_ns, rec.layer, rec.event, re.sub(r"#\d+", "#", rec.detail))
+                for rec in r.simulation.controller.tracer.records
+            ]
+            for r in results
+        ]
+        assert traces[0] == traces[1]
+        # The runs actually exercised the machinery (not vacuous equality).
+        assert a["corrected_reads"] > 0
+        assert a["parity_rebuilds"] >= 2  # the two scripted corruptions
+
+    def test_disabled_reliability_reports_all_zeroes(self):
+        result = run_workload(
+            small_config(),
+            [MixedWorkloadThread("mixed", count=500, read_fraction=0.5)],
+            precondition=True,
+        )
+        summary = result.summary()
+        for key in RELIABILITY_KEYS:
+            assert summary[key] == 0, key
+        assert summary["read_only_entry_ms"] == -1.0
+
+
+class TestEndToEnd:
+    def test_rber_with_parity_never_loses_data(self):
+        config = small_config()
+        r = config.reliability
+        r.enabled = True
+        r.base_rber = 2.5e-4
+        r.ecc_correctable_bits = 4  # lambda ~4.1: retries are common
+        r.max_read_retries = 2
+        r.parity = True
+        result = run_workload(
+            config,
+            [MixedWorkloadThread("mixed", count=1500, read_fraction=0.6)],
+            precondition=True,
+        )
+        summary = result.summary()
+        assert summary["corrected_reads"] > 0
+        assert summary["read_retries"] > 0
+        assert mean_retries_per_read(summary) > 0.0
+        # Parity catches whatever the retry ladder could not.
+        assert summary["uncorrectable_reads"] == 0
+        assert unrecoverable_read_rate(summary) == 0.0
+
+    def test_probabilistic_failures_degrade_gracefully(self):
+        config = small_config()
+        config.controller.enable_copyback = False  # see recovery.py docs
+        r = config.reliability
+        r.enabled = True
+        r.program_fail_probability = 0.01
+        r.erase_fail_probability = 0.005
+        r.spare_blocks_per_lun = 2
+        result = run_workload(
+            config,
+            [RandomWriterThread("writer", count=3000, region=(0, 200))],
+            check=True,
+        )
+        summary = result.summary()
+        # ~30 expected program failures: the run certainly saw some, each
+        # retiring one block; the device either absorbed them within the
+        # spare pool or degraded to read-only -- never crashed or hung.
+        assert summary["program_fails"] > 0
+        assert summary["runtime_retired_blocks"] > 0
+        if summary["runtime_retired_blocks"] > 8:  # 2 spares x 4 LUNs
+            assert summary["read_only_entry_ms"] >= 0.0
+            assert summary["writes_rejected"] > 0
+
+
+class TestOtherFtls:
+    def _config(self, ftl):
+        config = small_config()
+        config.controller.ftl = ftl
+        r = config.reliability
+        r.enabled = True
+        r.base_rber = 2.5e-4
+        r.ecc_correctable_bits = 6
+        r.max_read_retries = 2
+        r.parity = True
+        return config
+
+    def test_dftl_reads_pass_through_the_ecc_path(self):
+        result = run_workload(
+            self._config(FtlKind.DFTL),
+            [MixedWorkloadThread("mixed", count=800, read_fraction=0.5)],
+            precondition=True,
+        )
+        summary = result.summary()
+        assert summary["corrected_reads"] > 0
+        assert summary["uncorrectable_reads"] == 0
+
+    def test_hybrid_ftl_supports_the_read_error_path(self):
+        # Program/erase injection is rejected for the hybrid FTL (it
+        # manages physical space itself); the read path works unchanged.
+        result = run_workload(
+            self._config(FtlKind.HYBRID),
+            [MixedWorkloadThread("mixed", count=800, read_fraction=0.5)],
+            precondition=True,
+        )
+        summary = result.summary()
+        assert summary["corrected_reads"] > 0
+        assert summary["uncorrectable_reads"] == 0
