@@ -1,0 +1,9 @@
+"""Performance micro-benchmarks for the simulator hot paths.
+
+Unlike the ``benchmarks/test_eNN_*`` experiment benchmarks (which
+reproduce the paper's figures), the scripts in this package measure the
+*infrastructure*: raw event-engine throughput (``bench_engine.py``) and
+parallel sweep scaling (``bench_sweep.py``).  Each writes a small JSON
+report (``BENCH_engine.json`` / ``BENCH_sweep.json``) at the repo root
+so runs can be compared across machines and commits.
+"""

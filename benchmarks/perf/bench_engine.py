@@ -1,0 +1,272 @@
+"""Event-engine micro-benchmark: current engine vs the legacy reference.
+
+Measures raw calendar-queue throughput (events fired per second of wall
+clock) on three synthetic workloads that mirror how the simulator stack
+actually drives the engine:
+
+* ``schedule_chain`` -- self-rescheduling event chains through
+  :meth:`Simulator.schedule` (handle-allocating path) on both engines.
+* ``post_chain`` -- the same chains through the fire-and-forget
+  :meth:`Simulator.post` fast path (the legacy engine has no ``post``,
+  so it runs ``schedule``; this is exactly the win production call
+  sites such as flash phase completions see).
+* ``cancel_heavy`` -- schedule a large batch, cancel most of it while
+  polling ``pending_events`` (O(1) counter vs legacy O(n) heap scan).
+
+The legacy engine embedded below is the pre-optimisation implementation
+(heap of ``EventHandle`` objects, ``pending_events`` by full scan,
+``run()`` via ``peek_time()``/``step()``) so the comparison is
+reproducible on any machine without checking out an old commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py --events 500000
+
+Writes ``BENCH_engine.json`` at the repo root (override with
+``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.core.engine import Simulator
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+# --------------------------------------------------------------------------
+# Legacy reference engine (pre-optimisation), embedded for reproducibility.
+# --------------------------------------------------------------------------
+
+
+class _LegacyEventHandle:
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "_LegacyEventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class LegacySimulator:
+    """The pre-optimisation engine: heap of handle objects, O(n) scans."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: list[_LegacyEventHandle] = []
+        self._processed = 0
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any):
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = _LegacyEventHandle(self._now + delay, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # The legacy engine has no fire-and-forget path; ``post`` aliases
+    # ``schedule`` so both engines can be driven by the same workload.
+    post = schedule
+
+    def peek_time(self) -> Optional[int]:
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        event.fired = True
+        self._processed += 1
+        event.fn(*event.args)
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            self.step()
+            fired += 1
+        return fired
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+
+# --------------------------------------------------------------------------
+# Workloads.  Each takes a freshly-built simulator, drives it to
+# completion, and returns the number of events fired.
+# --------------------------------------------------------------------------
+
+
+class _Chain:
+    """A self-rescheduling event chain, like an IO completion ladder."""
+
+    __slots__ = ("sim", "remaining", "delay", "use_post")
+
+    def __init__(self, sim, remaining: int, delay: int, use_post: bool):
+        self.sim = sim
+        self.remaining = remaining
+        self.delay = delay
+        self.use_post = use_post
+
+    def fire(self) -> None:
+        self.remaining -= 1
+        if self.remaining > 0:
+            if self.use_post:
+                self.sim.post(self.delay, self.fire)
+            else:
+                self.sim.schedule(self.delay, self.fire)
+
+
+def _run_chains(sim, events: int, use_post: bool, fanout: int = 64) -> int:
+    per_chain = events // fanout
+    chains = [
+        _Chain(sim, per_chain, delay=13 + 7 * i, use_post=use_post)
+        for i in range(fanout)
+    ]
+    for i, chain in enumerate(chains):
+        sim.schedule(i, chain.fire)
+    sim.run()
+    return sim.processed_events
+
+
+def _workload_schedule_chain(sim, events: int) -> int:
+    return _run_chains(sim, events, use_post=False)
+
+
+def _workload_post_chain(sim, events: int) -> int:
+    return _run_chains(sim, events, use_post=True)
+
+
+def _workload_cancel_heavy(sim, events: int) -> int:
+    noop = lambda: None  # noqa: E731
+    batch = events
+    handles = [sim.schedule(i + 1, noop) for i in range(batch)]
+    # Cancel 90%, polling pending_events the way idle-GC timers do.
+    for i, handle in enumerate(handles):
+        if i % 10:
+            handle.cancel()
+        if i % 256 == 0:
+            sim.pending_events
+    sim.run()
+    return sim.processed_events
+
+
+_SCENARIOS = [
+    ("schedule_chain", _workload_schedule_chain),
+    ("post_chain", _workload_post_chain),
+    ("cancel_heavy", _workload_cancel_heavy),
+]
+
+
+def _time_scenario(factory, workload, events: int, repeats: int) -> dict:
+    """Best-of-N events/sec for one engine on one workload."""
+    best = None
+    fired = 0
+    for _ in range(repeats):
+        sim = factory()
+        start = time.perf_counter()
+        fired = workload(sim, events)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return {"events": fired, "seconds": round(best, 4),
+            "events_per_sec": round(fired / best)}
+
+
+def run_benchmark(events: int, repeats: int) -> dict:
+    scenarios = {}
+    for name, workload in _SCENARIOS:
+        # cancel_heavy is quadratic on the legacy engine; keep it small
+        # enough to finish while still showing the asymptotic gap.
+        n = min(events, 40_000) if name == "cancel_heavy" else events
+        legacy = _time_scenario(LegacySimulator, workload, n, repeats)
+        current = _time_scenario(Simulator, workload, n, repeats)
+        speedup = current["events_per_sec"] / legacy["events_per_sec"]
+        scenarios[name] = {
+            "legacy": legacy,
+            "current": current,
+            "speedup": round(speedup, 2),
+        }
+        print(f"{name:>16}: legacy {legacy['events_per_sec']:>10,} ev/s   "
+              f"current {current['events_per_sec']:>10,} ev/s   "
+              f"speedup {speedup:.2f}x")
+    speedups = [s["speedup"] for s in scenarios.values()]
+    geomean = 1.0
+    for s in speedups:
+        geomean *= s
+    geomean **= 1.0 / len(speedups)
+    return {
+        "benchmark": "engine",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "events_per_scenario": events,
+        "repeats": repeats,
+        "scenarios": scenarios,
+        "speedup_geomean": round(geomean, 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="events per chain scenario (default: 200000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per measurement, best taken (default: 3)")
+    parser.add_argument("--output", default=str(_REPO_ROOT / "BENCH_engine.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args()
+
+    report = run_benchmark(events=args.events, repeats=args.repeats)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\ngeomean speedup: {report['speedup_geomean']}x "
+          f"-> {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Parallel sweep benchmark: a 16-cell grid, serial vs worker processes.
+
+Runs the same :class:`GridExperiment` twice -- ``workers=1`` (the
+historical in-process path) and ``workers=N`` (process fan-out via
+:class:`repro.core.parallel.SweepExecutor`) -- then verifies the two
+result sets are bit-identical and reports the wall-clock speedup.
+
+The speedup scales with physical cores: on a single-core container the
+parallel run only pays process overhead (the report records
+``cpu_count`` so that is visible), while on a 4-core machine the
+16-cell grid lands around the core count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sweep.py
+    PYTHONPATH=src python benchmarks/perf/bench_sweep.py --workers 4 --ios 3000
+
+Writes ``BENCH_sweep.json`` at the repo root (override with
+``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro import GridExperiment, Parameter, small_config
+from repro.workloads import MixedWorkloadThread
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_DEFAULT_IOS = 2000  # per-cell IO count
+
+
+def sweep_workload(config, ios=_DEFAULT_IOS):
+    """Module-level factory so the grid stays picklable for workers.
+
+    The IO count rides along inside a :func:`functools.partial` rather
+    than a module global, so worker processes see the same value no
+    matter the multiprocessing start method.
+    """
+    return [MixedWorkloadThread("mix", count=ios, read_fraction=0.5, depth=16)]
+
+
+def _grid(ios: int) -> GridExperiment:
+    """4 x 4 = 16 cells: GC greediness x host queue depth."""
+    return GridExperiment(
+        name="bench-sweep 16-cell grid",
+        base_config=small_config(),
+        parameters=[
+            Parameter("greediness", path="controller.gc_greediness"),
+            Parameter("qd", path="host.max_outstanding"),
+        ],
+        values=[[1, 2, 3, 4], [4, 8, 16, 32]],
+        workload=functools.partial(sweep_workload, ios=ios),
+    )
+
+
+def _timed_run(ios: int, workers: int):
+    start = time.perf_counter()
+    result = _grid(ios).run(workers=workers)
+    return result, time.perf_counter() - start
+
+
+def run_benchmark(workers: int, ios: int) -> dict:
+    print(f"running 16-cell grid serially ({ios} IOs per cell) ...")
+    serial, serial_s = _timed_run(ios, workers=1)
+    print(f"  {serial_s:.1f}s")
+    print(f"running the same grid on {workers} workers ...")
+    parallel, parallel_s = _timed_run(ios, workers=workers)
+    print(f"  {parallel_s:.1f}s")
+
+    identical = all(
+        s.values == p.values and s.result.summary() == p.result.summary()
+        for s, p in zip(serial.runs, parallel.runs)
+    )
+    speedup = serial_s / parallel_s
+    print(f"bit-identical results: {identical}   speedup: {speedup:.2f}x")
+    return {
+        "benchmark": "sweep",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "grid_cells": 16,
+        "ios_per_cell": ios,
+        "workers": workers,
+        "serial_seconds": round(serial_s, 2),
+        "parallel_seconds": round(parallel_s, 2),
+        "speedup": round(speedup, 2),
+        "bit_identical": identical,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=min(os.cpu_count() or 1, 4),
+                        help="worker processes for the parallel run "
+                             "(default: min(cpu_count, 4))")
+    parser.add_argument("--ios", type=int, default=_DEFAULT_IOS,
+                        help=f"IOs per grid cell (default: {_DEFAULT_IOS})")
+    parser.add_argument("--output", default=str(_REPO_ROOT / "BENCH_sweep.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args()
+
+    report = run_benchmark(workers=args.workers, ios=args.ios)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"-> {args.output}")
+    if not report["bit_identical"]:
+        raise SystemExit("parallel results diverged from serial results")
+
+
+if __name__ == "__main__":
+    main()

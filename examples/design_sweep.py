@@ -13,7 +13,10 @@ tractable design-space exploration in a few seconds of wall-clock time.
 Run with::
 
     python examples/design_sweep.py
+    python examples/design_sweep.py --workers 4   # one process per core
 """
+
+import argparse
 
 from repro import ExperimentTemplate, Parameter, demo_config
 from repro.analysis.reporting import ascii_chart
@@ -27,6 +30,15 @@ def workload(config):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default: 1, serial)",
+    )
+    args = parser.parse_args()
+
     base = demo_config()
     base.controller.overprovisioning = 0.3  # room for the eager end
 
@@ -38,12 +50,14 @@ def main() -> None:
         workload=workload,
     )
 
-    print("running 5 simulations ...")
+    mode = "serially" if args.workers == 1 else f"on {args.workers} workers"
+    print(f"running 5 simulations {mode} ...")
     result = template.run(
         progress=lambda value, r: print(
             f"  greediness={value}: {r.stats.throughput_iops():,.0f} IOPS, "
             f"WAF {r.stats.write_amplification():.2f}"
-        )
+        ),
+        workers=args.workers,
     )
 
     print()

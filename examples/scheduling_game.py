@@ -13,12 +13,13 @@ Examples::
     python examples/scheduling_game.py --ssd-scheduler priority \
         --prefer reads --queue-depth 64
     python examples/scheduling_game.py --search     # show the full board
+    python examples/scheduling_game.py --search --workers 4
 """
 
 import argparse
 import itertools
 
-from repro import Simulation, SsdSchedulerPolicy, demo_config
+from repro import RunSpec, SsdSchedulerPolicy, SweepExecutor, demo_config
 from repro.analysis.metrics import game_score, latency_balance, variability_balance
 from repro.analysis.reporting import format_table
 from repro.workloads import MixedWorkloadThread, precondition_sequential
@@ -30,25 +31,30 @@ PREFERENCES = {
 }
 
 
-def play(ssd_scheduler: str, prefer: str, queue_depth: int):
-    """One round of the game; returns the score row."""
+def game_workload(config):
+    """Preconditioning plus the mixed workload the game scores.
+
+    Module-level so the :class:`RunSpec` stays picklable when the board
+    search fans out over worker processes.
+    """
+    prep = precondition_sequential(config.logical_pages)
+    mix = MixedWorkloadThread("mix", count=8000, read_fraction=0.5, depth=64)
+    return [prep, (mix, [prep.name])]
+
+
+def _game_config(ssd_scheduler: str, prefer: str, queue_depth: int):
     config = demo_config()
     config.controller.scheduler.policy = SsdSchedulerPolicy(ssd_scheduler)
     if PREFERENCES[prefer] is not None:
         config.controller.scheduler.type_priorities = dict(PREFERENCES[prefer])
     config.host.max_outstanding = queue_depth
+    return config
 
-    simulation = Simulation(config)
-    prep = precondition_sequential(config.logical_pages)
-    simulation.add_thread(prep)
-    simulation.add_thread(
-        MixedWorkloadThread("mix", count=8000, read_fraction=0.5, depth=64),
-        depends_on=[prep.name],
-    )
-    result = simulation.run()
+
+def _score_row(label: str, result) -> dict:
     stats = result.thread_stats["mix"]
     return {
-        "config": f"{ssd_scheduler}/{prefer}/qd{queue_depth}",
+        "config": label,
         "score": game_score(stats),
         "iops": stats.throughput_iops(),
         "latency balance": latency_balance(stats),
@@ -56,18 +62,34 @@ def play(ssd_scheduler: str, prefer: str, queue_depth: int):
     }
 
 
-def search_board():
-    """Every combination on the game board."""
+def play(ssd_scheduler: str, prefer: str, queue_depth: int):
+    """One round of the game; returns the score row."""
+    config = _game_config(ssd_scheduler, prefer, queue_depth)
+    result = RunSpec(config=config, workload=game_workload).execute()
+    return _score_row(f"{ssd_scheduler}/{prefer}/qd{queue_depth}", result)
+
+
+def search_board(workers: int = 1):
+    """Every combination on the game board (optionally in parallel)."""
     combos = itertools.product(
         ["fifo", "priority", "deadline", "fair"],
         ["none", "reads", "writes"],
         [8, 64],
     )
-    rows = []
-    for ssd_scheduler, prefer, queue_depth in combos:
+    specs = []
+    for index, (ssd_scheduler, prefer, queue_depth) in enumerate(combos):
         if ssd_scheduler != "priority" and prefer != "none":
             continue  # preference only applies to the priority policy
-        rows.append(play(ssd_scheduler, prefer, queue_depth))
+        specs.append(
+            RunSpec(
+                config=_game_config(ssd_scheduler, prefer, queue_depth),
+                workload=game_workload,
+                index=len(specs),
+                label=f"{ssd_scheduler}/{prefer}/qd{queue_depth}",
+            )
+        )
+    results = SweepExecutor(workers=workers).map(specs)
+    rows = [_score_row(spec.label, result) for spec, result in zip(specs, results)]
     rows.sort(key=lambda row: row["score"], reverse=True)
     return rows
 
@@ -84,10 +106,16 @@ def main() -> None:
     parser.add_argument(
         "--search", action="store_true", help="reveal the whole game board"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the board search (default: 1, serial)",
+    )
     args = parser.parse_args()
 
     if args.search:
-        rows = search_board()
+        rows = search_board(workers=args.workers)
         print(format_table(
             ["configuration", "score", "IOPS", "lat balance", "var balance"],
             [[r["config"], r["score"], r["iops"], r["latency balance"],
@@ -100,7 +128,7 @@ def main() -> None:
     print("scoring your pick ...")
     yours = play(args.ssd_scheduler, args.prefer, args.queue_depth)
     print("searching for the optimum ...")
-    board = search_board()
+    board = search_board(workers=args.workers)
     best = board[0]
     rank = 1 + next(
         i for i, row in enumerate(board) if row["config"] == yours["config"]

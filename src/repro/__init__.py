@@ -48,6 +48,7 @@ from repro.core.experiments import (
     GridResult,
     Parameter,
 )
+from repro.core.parallel import RunSpec, SweepExecutor, SweepRunError
 from repro.core.simulation import Simulation, SimulationResult
 from repro.reliability import FaultPlan
 
@@ -71,11 +72,14 @@ __all__ = [
     "OsSchedulerPolicy",
     "Parameter",
     "ReliabilityConfig",
+    "RunSpec",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
     "SsdGeometry",
     "SsdSchedulerPolicy",
+    "SweepExecutor",
+    "SweepRunError",
     "TemperatureDetector",
     "demo_config",
     "small_config",

@@ -211,7 +211,7 @@ class SsdController:
     def complete_quick(self, io: IoRequest) -> None:
         """Complete after only the controller/command overhead (buffer
         hits, trims, metadata-only operations)."""
-        self.sim.schedule(self.config.timings.t_cmd_ns, self.complete_io, io)
+        self.sim.post(self.config.timings.t_cmd_ns, self.complete_io, io)
 
     def complete_unmapped_read(self, io: IoRequest) -> None:
         """A read of a never-written page: no flash access, returns

@@ -178,7 +178,7 @@ class DftlFtl(BaseFtl):
         if tp_address is None:
             # Translation page never written: resolve without flash IO,
             # but still asynchronously so callers see uniform ordering.
-            self.controller.sim.schedule(0, self._fetch_done, tp)
+            self.controller.sim.post(0, self._fetch_done, tp)
             return
         self.tp_fetch_reads += 1
         cmd = FlashCommand(

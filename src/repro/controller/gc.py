@@ -504,4 +504,4 @@ class GarbageCollector:
                 self.maybe_trigger(lun_key)
         if self.idle_target > 0:
             # Chain proactive collection while the LUN stays idle.
-            self.controller.sim.schedule(0, self._idle_check, job.lun_key)
+            self.controller.sim.post(0, self._idle_check, job.lun_key)

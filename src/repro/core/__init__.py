@@ -36,6 +36,7 @@ from repro.core.experiments import (
     GridResult,
     Parameter,
 )
+from repro.core.parallel import RunSpec, SweepExecutor, SweepRunError
 from repro.core.simulation import Simulation, SimulationResult
 from repro.core.statistics import StatisticsGatherer
 
@@ -50,10 +51,13 @@ __all__ = [
     "IoRequest",
     "IoType",
     "Parameter",
+    "RunSpec",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
     "SsdGeometry",
     "StatisticsGatherer",
+    "SweepExecutor",
+    "SweepRunError",
 ]

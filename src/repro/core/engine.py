@@ -12,7 +12,17 @@ The engine is a classic calendar queue built on :mod:`heapq`:
 * Events scheduled for the same instant fire in FIFO order of scheduling,
   which makes every simulation fully deterministic.
 * Events may be cancelled; cancelled events are dropped lazily when they
-  reach the head of the queue.
+  reach the head of the queue, and the queue is compacted when cancelled
+  entries start to dominate it.
+
+Because every simulated nanosecond flows through this queue, the hot
+path is kept allocation-light: the heap stores plain tuples
+``(time, seq, fn, args, handle)`` whose ordering is resolved by fast
+C-level tuple comparison on the unique ``(time, seq)`` prefix -- the
+comparison never reaches the callable.  Fire-and-forget callers use
+:meth:`Simulator.post`, which skips the :class:`EventHandle` entirely;
+cancellation is tracked in a set of sequence numbers so that
+:attr:`Simulator.pending_events` stays O(1) via a live counter.
 
 The engine knows nothing about SSDs; the layers above register plain
 callables.
@@ -22,6 +32,10 @@ from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Optional
+
+#: Compact the heap only once this many cancelled entries linger in it
+#: (and they outnumber the live entries) -- small queues never pay.
+_COMPACT_MIN_CANCELLED = 1024
 
 
 class SimulationError(RuntimeError):
@@ -36,19 +50,31 @@ class EventHandle:
     stay inert.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._cancel(self.seq)
 
     @property
     def pending(self) -> bool:
@@ -73,11 +99,18 @@ class Simulator:
         sim.run()
     """
 
+    __slots__ = ("_now", "_seq", "_queue", "_processed", "_live", "_cancelled")
+
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
-        self._queue: list[EventHandle] = []
+        #: Heap entries: (time, seq, fn, args, handle-or-None).
+        self._queue: list[tuple] = []
         self._processed = 0
+        #: Count of queued, non-cancelled entries (O(1) pending_events).
+        self._live = 0
+        #: Sequence numbers cancelled while still sitting in the heap.
+        self._cancelled: set[int] = set()
 
     @property
     def now(self) -> int:
@@ -91,8 +124,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled (possibly cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of scheduled, not-cancelled events still queued."""
+        return self._live
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now.
@@ -110,29 +143,68 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = EventHandle(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
-        return event
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, fn, args, self)
+        heapq.heappush(self._queue, (time, seq, fn, args, handle))
+        self._live += 1
+        return handle
+
+    def post(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`EventHandle`.
+
+        The hot path of the layers above -- flash phase completions, OS
+        dispatches, thread timers -- never cancels its events, so it can
+        skip the handle allocation entirely.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, seq, fn, args, None))
+        self._live += 1
+
+    def post_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no :class:`EventHandle`."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, fn, args, None))
+        self._live += 1
 
     def peek_time(self) -> Optional[int]:
         """Virtual time of the next pending event, or None if none remain."""
-        self._drop_cancelled()
-        if not self._queue:
-            return None
-        return self._queue[0].time
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue:
+            entry = queue[0]
+            if entry[1] in cancelled:
+                heapq.heappop(queue)
+                cancelled.discard(entry[1])
+                continue
+            return entry[0]
+        return None
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if none remain."""
-        self._drop_cancelled()
-        if not self._queue:
-            return False
-        event = heapq.heappop(self._queue)
-        self._now = event.time
-        event.fired = True
-        self._processed += 1
-        event.fn(*event.args)
-        return True
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue:
+            time, seq, fn, args, handle = heapq.heappop(queue)
+            if seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            self._now = time
+            self._live -= 1
+            self._processed += 1
+            if handle is not None:
+                handle.fired = True
+            fn(*args)
+            return True
+        return False
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains, ``until`` is reached, or
@@ -142,19 +214,36 @@ class Simulator:
         ``until`` still fire, later ones do not (and the clock is advanced
         to ``until``).  Returns the number of events fired by this call.
         """
+        # One tight loop instead of peek_time()+step() per event: the head
+        # entry is examined exactly once, and the heap/cancellation state
+        # is touched through locals.  Callbacks may reschedule or cancel
+        # freely -- the queue list and cancelled set are mutated in place.
+        queue = self._queue
+        cancelled = self._cancelled
+        heappop = heapq.heappop
         fired = 0
-        while True:
+        while queue:
             if max_events is not None and fired >= max_events:
                 break
-            next_time = self.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
+            entry = queue[0]
+            if entry[1] in cancelled:
+                heappop(queue)
+                cancelled.discard(entry[1])
+                continue
+            time = entry[0]
+            if until is not None and time > until:
                 self._now = until
                 break
-            self.step()
+            heappop(queue)
+            self._now = time
+            self._live -= 1
+            self._processed += 1
+            handle = entry[4]
+            if handle is not None:
+                handle.fired = True
+            entry[2](*entry[3])
             fired += 1
-        if until is not None and self._now < until and self.peek_time() is None:
+        if until is not None and self._live == 0 and self._now < until:
             self._now = until
         return fired
 
@@ -173,9 +262,26 @@ class Simulator:
             )
         self._now = time
 
-    def _drop_cancelled(self) -> None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+    def _cancel(self, seq: int) -> None:
+        """Mark a queued entry cancelled (called by EventHandle.cancel)."""
+        self._cancelled.add(seq)
+        self._live -= 1
+        if (
+            len(self._cancelled) >= _COMPACT_MIN_CANCELLED
+            and len(self._cancelled) * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Physically remove cancelled entries once they dominate the heap.
+
+        Mutates the queue list in place: :meth:`run` holds a reference to
+        it across callbacks, so it must stay the same object.
+        """
+        cancelled = self._cancelled
+        self._queue[:] = [entry for entry in self._queue if entry[1] not in cancelled]
+        heapq.heapify(self._queue)
+        cancelled.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Simulator(now={self._now}, pending={self.pending_events})"

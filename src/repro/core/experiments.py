@@ -20,7 +20,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.core.config import SimulationConfig, set_by_path
-from repro.core.simulation import Simulation, SimulationResult
+from repro.core.parallel import RunSpec, SweepExecutor
+from repro.core.simulation import SimulationResult
 
 #: Builds the threads of the workload for one run.  Receives the run's
 #: configuration so it can size itself to the logical space; returns
@@ -212,23 +213,44 @@ class GridExperiment:
 
         return list(itertools.product(*self.values))
 
-    def run(self, progress: Optional[Callable[[tuple, SimulationResult], None]] = None) -> GridResult:
-        runs = []
-        for combination in self.combinations():
+    def run(
+        self,
+        progress: Optional[Callable[[tuple, SimulationResult], None]] = None,
+        workers: int = 1,
+    ) -> GridResult:
+        """Run one simulation per grid cell.
+
+        ``workers > 1`` fans the cells out over a process pool (see
+        :class:`repro.core.parallel.SweepExecutor`); results come back
+        in grid order either way, and ``progress`` fires in grid order.
+        """
+        specs = []
+        for index, combination in enumerate(self.combinations()):
             config = self.base_config.copy()
             for parameter, value in zip(self.parameters, combination):
                 parameter.apply(config, value)
-            simulation = Simulation(config)
-            for entry in self.workload(config):
-                if isinstance(entry, tuple):
-                    thread, depends_on = entry
-                    simulation.add_thread(thread, depends_on=depends_on)
-                else:
-                    simulation.add_thread(entry)
-            result = simulation.run(max_time_ns=self.max_time_ns)
-            runs.append(GridRun(combination, config, result))
-            if progress is not None:
-                progress(combination, result)
+            specs.append(
+                RunSpec(
+                    config=config,
+                    workload=self.workload,
+                    max_time_ns=self.max_time_ns,
+                    index=index,
+                    label=combination,
+                )
+            )
+        executor = SweepExecutor(workers=workers)
+        results = executor.map(
+            specs,
+            progress=(
+                None
+                if progress is None
+                else lambda spec, result: progress(spec.label, result)
+            ),
+        )
+        runs = [
+            GridRun(spec.label, spec.config, result)
+            for spec, result in zip(specs, results)
+        ]
         return GridResult(self.name, self.parameters, runs)
 
 
@@ -251,28 +273,46 @@ class ExperimentTemplate:
         self.workload = workload
         self.max_time_ns = max_time_ns
 
-    def run(self, progress: Optional[Callable[[object, SimulationResult], None]] = None) -> ExperimentResult:
+    def run(
+        self,
+        progress: Optional[Callable[[object, SimulationResult], None]] = None,
+        workers: int = 1,
+    ) -> ExperimentResult:
         """Run one simulation per parameter value.
 
         ``progress``, if given, is called after each run (live output in
-        the demo spirit).
+        the demo spirit); it fires in sweep order even when
+        ``workers > 1`` distributes the runs over a process pool.
         """
-        runs = []
-        for value in self.values:
+        specs = []
+        for index, value in enumerate(self.values):
             config = self.base_config.copy()
             self.parameter.apply(config, value)
-            result = self._run_one(config)
-            runs.append(ExperimentRun(value, config, result))
-            if progress is not None:
-                progress(value, result)
+            specs.append(
+                RunSpec(
+                    config=config,
+                    workload=self.workload,
+                    max_time_ns=self.max_time_ns,
+                    index=index,
+                    label=value,
+                )
+            )
+        executor = SweepExecutor(workers=workers)
+        results = executor.map(
+            specs,
+            progress=(
+                None
+                if progress is None
+                else lambda spec, result: progress(spec.label, result)
+            ),
+        )
+        runs = [
+            ExperimentRun(spec.label, spec.config, result)
+            for spec, result in zip(specs, results)
+        ]
         return ExperimentResult(self.name, self.parameter, runs)
 
     def _run_one(self, config: SimulationConfig) -> SimulationResult:
-        simulation = Simulation(config)
-        for entry in self.workload(config):
-            if isinstance(entry, tuple):
-                thread, depends_on = entry
-                simulation.add_thread(thread, depends_on=depends_on)
-            else:
-                simulation.add_thread(entry)
-        return simulation.run(max_time_ns=self.max_time_ns)
+        return RunSpec(
+            config=config, workload=self.workload, max_time_ns=self.max_time_ns
+        ).execute()

@@ -1,0 +1,184 @@
+"""Parallel sweep execution.
+
+The paper's whole point (Section 2.1) is making design-space
+explorations of "hundreds of experiments" tractable.  Every run of a
+sweep is an independent simulation -- same code, different
+configuration -- so the sweep is embarrassingly parallel across
+processes.  This module provides the machinery:
+
+* :class:`RunSpec` -- one picklable unit of work: a fully-prepared
+  configuration, a reference to the workload factory, and the time
+  limit.  The parameter values have already been applied to the config
+  by the experiment template, so workers never see ``Parameter`` objects
+  (whose ``setter`` may be an unpicklable lambda).
+* :class:`SweepExecutor` -- fans specs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` and reassembles the
+  :class:`~repro.core.simulation.SimulationResult` objects in
+  deterministic sweep order, regardless of completion order.
+  ``workers=1`` (the default) runs every spec in-process, exactly like
+  the historical serial path.
+
+Picklability rules (see docs/GUIDE.md "Running sweeps in parallel"):
+the workload factory must be an importable module-level callable (or a
+``functools.partial`` of one); closures and lambdas only work with
+``workers=1``.  A worker failure is surfaced as a :class:`SweepRunError`
+naming the failing run -- never as a hung sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation, SimulationResult
+
+
+class SweepRunError(RuntimeError):
+    """One run of a parallel sweep failed.
+
+    Carries enough context to reproduce the failure serially:
+    ``index`` and ``label`` identify the run within the sweep, and
+    ``cause`` is the underlying exception (possibly re-raised from a
+    worker process).
+    """
+
+    def __init__(self, index: int, label: object, cause: BaseException):
+        self.index = index
+        self.label = label
+        self.cause = cause
+        super().__init__(
+            f"sweep run #{index} ({label!r}) failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
+@dataclass
+class RunSpec:
+    """One independent simulation of a sweep, ready to ship to a worker.
+
+    ``config`` already carries the swept parameter values; ``workload``
+    is called with the config in the worker to build the threads (so
+    thread objects themselves never cross the process boundary).
+    """
+
+    config: SimulationConfig
+    workload: Callable[[SimulationConfig], object]
+    max_time_ns: Optional[int] = None
+    #: Position within the sweep; results are reassembled by this index.
+    index: int = 0
+    #: Human-readable identity (the parameter value / grid cell) used in
+    #: error messages and progress callbacks.
+    label: object = None
+
+    def execute(self) -> SimulationResult:
+        """Run this spec in the current process."""
+        simulation = Simulation(self.config)
+        for entry in self.workload(self.config):
+            if isinstance(entry, tuple):
+                thread, depends_on = entry
+                simulation.add_thread(thread, depends_on=depends_on)
+            else:
+                simulation.add_thread(entry)
+        return simulation.run(max_time_ns=self.max_time_ns)
+
+
+def _execute_spec(spec: RunSpec) -> SimulationResult:
+    """Module-level worker entry point (picklable under every start
+    method)."""
+    return spec.execute()
+
+
+def default_workers() -> int:
+    """A sensible worker count for "use all cores": the CPU count."""
+    return os.cpu_count() or 1
+
+
+class SweepExecutor:
+    """Runs the independent simulations of a sweep, serially or across a
+    process pool.
+
+    ::
+
+        executor = SweepExecutor(workers=4)
+        results = executor.map(specs)          # sweep order preserved
+
+    ``workers=1`` executes in-process with no pickling, byte-for-byte
+    the historical serial path.  With ``workers > 1`` each spec is
+    pickled to a worker process; results stream back and are delivered
+    in spec order, so progress callbacks and result lists are
+    deterministic regardless of which worker finishes first.
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1 (got {workers})")
+        self.workers = workers
+
+    def map(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[Callable[[RunSpec, SimulationResult], None]] = None,
+    ) -> list[SimulationResult]:
+        """Execute every spec; return results in spec order.
+
+        ``progress`` is invoked in sweep order as each run's result
+        becomes available.  Any failing run aborts the sweep with a
+        :class:`SweepRunError` identifying it (outstanding runs are
+        cancelled where possible).
+        """
+        return list(self.imap(specs, progress=progress))
+
+    def imap(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[Callable[[RunSpec, SimulationResult], None]] = None,
+    ) -> Iterator[SimulationResult]:
+        """Like :meth:`map` but yields results lazily, in spec order."""
+        specs = list(specs)
+        if self.workers == 1 or len(specs) <= 1:
+            yield from self._run_serial(specs, progress)
+        else:
+            yield from self._run_parallel(specs, progress)
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _run_serial(self, specs, progress) -> Iterator[SimulationResult]:
+        for spec in specs:
+            try:
+                result = spec.execute()
+            except Exception as error:
+                raise SweepRunError(spec.index, spec.label, error) from error
+            if progress is not None:
+                progress(spec, result)
+            yield result
+
+    def _run_parallel(self, specs, progress) -> Iterator[SimulationResult]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(self.workers, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_spec, spec) for spec in specs]
+            try:
+                # Deliver strictly in sweep order: waiting on futures in
+                # submission order keeps results and progress callbacks
+                # deterministic while the pool completes out of order
+                # behind the scenes.
+                for spec, future in zip(specs, futures):
+                    try:
+                        result = future.result()
+                    except Exception as error:
+                        # A worker crash (BrokenProcessPool) or a
+                        # pickling failure lands here too: name the run
+                        # instead of hanging or dying anonymously.
+                        raise SweepRunError(spec.index, spec.label, error) from error
+                    if progress is not None:
+                        progress(spec, result)
+                    yield result
+            finally:
+                for future in futures:
+                    future.cancel()

@@ -73,9 +73,13 @@ class SimulationResult:
         self.outstanding_at_end = simulation.os.outstanding
         #: Filled only when ``host.retain_completed_ios`` is set.
         self.completed_ios = simulation.os.completed_ios
+        #: Cached :meth:`summary`; a result is immutable once built.
+        self._summary_cache: Optional[dict[str, float]] = None
 
     def summary(self) -> dict[str, float]:
         """Flat metrics dictionary: statistics plus internal activity."""
+        if self._summary_cache is not None:
+            return dict(self._summary_cache)
         summary = self.stats.summary()
         summary.update(
             {
@@ -105,7 +109,8 @@ class SimulationResult:
                 ),
             }
         )
-        return summary
+        self._summary_cache = summary
+        return dict(summary)
 
     def report(self) -> str:
         lines = [self.stats.report()]

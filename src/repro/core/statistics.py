@@ -18,7 +18,6 @@ This module provides both:
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 from typing import Optional
 
@@ -29,33 +28,64 @@ from repro.core.events import IoRequest, IoType
 
 
 class LatencyRecorder:
-    """Streaming collection of latency samples (integer nanoseconds)."""
+    """Streaming collection of latency samples (integer nanoseconds).
+
+    Samples live in a preallocated ``int64`` reservoir (grown by
+    doubling) rather than a list of boxed Python integers: recording is
+    one array store, memory is 8 bytes per sample, and the derived
+    statistics (stddev, percentiles) run vectorised over the filled
+    slice.  The summary dictionary is cached until the next sample
+    arrives, because experiment tables ask for it once per metric.
+    """
+
+    __slots__ = ("_reservoir", "_count", "_sum", "_min", "_max", "_summary")
+
+    #: Initial reservoir capacity (samples); doubles as needed.
+    _INITIAL_CAPACITY = 512
 
     def __init__(self) -> None:
-        self._samples: list[int] = []
+        self._reservoir: Optional[np.ndarray] = None
+        self._count = 0
         self._sum = 0
         self._min: Optional[int] = None
         self._max: Optional[int] = None
+        self._summary: Optional[dict[str, float]] = None
 
     def record(self, latency_ns: int) -> None:
         if latency_ns < 0:
             raise ValueError(f"negative latency {latency_ns}")
-        self._samples.append(latency_ns)
+        reservoir = self._reservoir
+        count = self._count
+        if reservoir is None:
+            self._reservoir = reservoir = np.empty(self._INITIAL_CAPACITY, dtype=np.int64)
+        elif count == len(reservoir):
+            grown = np.empty(len(reservoir) * 2, dtype=np.int64)
+            grown[:count] = reservoir
+            self._reservoir = reservoir = grown
+        reservoir[count] = latency_ns
+        self._count = count + 1
         self._sum += latency_ns
         if self._min is None or latency_ns < self._min:
             self._min = latency_ns
         if self._max is None or latency_ns > self._max:
             self._max = latency_ns
+        self._summary = None
+
+    def _view(self) -> np.ndarray:
+        """The filled slice of the reservoir (no copy)."""
+        if self._reservoir is None:
+            return np.empty(0, dtype=np.int64)
+        return self._reservoir[: self._count]
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def mean(self) -> float:
-        if not self._samples:
+        if not self._count:
             return 0.0
-        return self._sum / len(self._samples)
+        return self._sum / self._count
 
     @property
     def minimum(self) -> int:
@@ -69,41 +99,61 @@ class LatencyRecorder:
     def stddev(self) -> float:
         """Population standard deviation -- the paper's "latency
         variability" metric."""
-        n = len(self._samples)
-        if n < 2:
+        if self._count < 2:
             return 0.0
-        mean = self.mean
-        return math.sqrt(sum((s - mean) ** 2 for s in self._samples) / n)
+        return float(np.std(self._view()))
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0..100) of recorded samples."""
-        if not self._samples:
+        if not self._count:
             return 0.0
-        return float(np.percentile(np.asarray(self._samples, dtype=np.int64), q))
+        return float(np.percentile(self._view(), q))
 
     def samples(self) -> list[int]:
         """A copy of the raw samples (for histograms and plots)."""
-        return list(self._samples)
+        return self._view().tolist()
 
     def merge(self, other: "LatencyRecorder") -> None:
         """Fold ``other``'s samples into this recorder."""
-        for sample in other._samples:
-            self.record(sample)
+        if not other._count:
+            return
+        theirs = other._view()
+        count = self._count
+        needed = count + other._count
+        reservoir = self._reservoir
+        if reservoir is None or needed > len(reservoir):
+            capacity = max(self._INITIAL_CAPACITY, len(reservoir) if reservoir is not None else 0)
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.int64)
+            if reservoir is not None:
+                grown[:count] = reservoir[:count]
+            self._reservoir = reservoir = grown
+        reservoir[count:needed] = theirs
+        self._count = needed
+        self._sum += other._sum
+        if self._min is None or other._min < self._min:
+            self._min = other._min
+        if self._max is None or other._max > self._max:
+            self._max = other._max
+        self._summary = None
 
     def summary(self) -> dict[str, float]:
-        return {
-            "count": self.count,
-            "mean_ns": self.mean,
-            "stddev_ns": self.stddev,
-            "min_ns": float(self.minimum),
-            "p50_ns": self.percentile(50),
-            "p95_ns": self.percentile(95),
-            "p99_ns": self.percentile(99),
-            "max_ns": float(self.maximum),
-        }
+        if self._summary is None:
+            self._summary = {
+                "count": self.count,
+                "mean_ns": self.mean,
+                "stddev_ns": self.stddev,
+                "min_ns": float(self.minimum),
+                "p50_ns": self.percentile(50),
+                "p95_ns": self.percentile(95),
+                "p99_ns": self.percentile(99),
+                "max_ns": float(self.maximum),
+            }
+        return dict(self._summary)
 
     def describe(self) -> str:
-        if not self._samples:
+        if not self._count:
             return "no samples"
         return (
             f"n={self.count} mean={units.format_time(round(self.mean))} "
@@ -188,6 +238,8 @@ class StatisticsGatherer:
         self.first_completion_ns: Optional[int] = None
         self.last_completion_ns: Optional[int] = None
         self._completed = 0
+        #: Cached :meth:`summary` dict; recording anything invalidates it.
+        self._summary_cache: Optional[dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # Recording hooks
@@ -197,6 +249,7 @@ class StatisticsGatherer:
         if io.complete_time is None:
             raise ValueError(f"{io!r} has not completed")
         self._completed += 1
+        self._summary_cache = None
         if self.first_completion_ns is None:
             self.first_completion_ns = io.complete_time
         self.last_completion_ns = io.complete_time
@@ -213,6 +266,7 @@ class StatisticsGatherer:
     def record_flash_command(self, source_name: str, kind_name: str, time_ns: int) -> None:
         """Record a completed flash command (controller layer hook)."""
         self.flash_commands[(source_name, kind_name)] += 1
+        self._summary_cache = None
         if source_name in ("GC", "WEAR_LEVELING") and kind_name in ("PROGRAM", "COPYBACK"):
             self.gc_activity_over_time.add(time_ns)
 
@@ -256,9 +310,11 @@ class StatisticsGatherer:
 
     def summary(self) -> dict[str, float]:
         """Flat metric dictionary -- the rows experiment tables report."""
+        if self._summary_cache is not None:
+            return dict(self._summary_cache)
         reads = self.latency[IoType.READ]
         writes = self.latency[IoType.WRITE]
-        return {
+        self._summary_cache = {
             "completed_ios": float(self._completed),
             "completed_reads": float(reads.count),
             "completed_writes": float(writes.count),
@@ -281,6 +337,7 @@ class StatisticsGatherer:
                 sum(c for (src, _), c in self.flash_commands.items() if src == "MAPPING")
             ),
         }
+        return dict(self._summary_cache)
 
     def report(self) -> str:
         """Multi-line human-readable report (the demo's numeric panel)."""

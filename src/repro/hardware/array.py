@@ -167,12 +167,12 @@ class SsdArray:
             lun = self.lun_of(cmd)
             lun.busy_until = self.sim.now + duration
             lun.busy_ns += duration
-            self.sim.schedule(duration, self._run_phase, cmd, phases, index + 1)
+            self.sim.post(duration, self._run_phase, cmd, phases, index + 1)
             return
         # Bus phase.
         if not self.interleaving:
             # Channel was reserved for the whole command at start.
-            self.sim.schedule(duration, self._run_phase, cmd, phases, index + 1)
+            self.sim.post(duration, self._run_phase, cmd, phases, index + 1)
             return
         if self.pipelining and cmd.kind is CommandKind.READ and index == 2:
             # Cache register: the LUN can accept the next operation while
@@ -193,7 +193,7 @@ class SsdArray:
     def _occupy_bus(self, cmd: FlashCommand, phases: list, index: int, duration: int) -> None:
         channel = self.channels[cmd.address.channel]
         channel.occupy(self.sim.now, duration)
-        self.sim.schedule(duration, self._after_bus, cmd, phases, index)
+        self.sim.post(duration, self._after_bus, cmd, phases, index)
 
     def _after_bus(self, cmd: FlashCommand, phases: list, index: int) -> None:
         self._run_phase(cmd, phases, index + 1)
@@ -331,7 +331,7 @@ class SsdArray:
         if decode_ns > 0:
             # ECC decode: delay only the delivery -- the LUN and channel
             # are already free for the next operation.
-            self.sim.schedule(decode_ns, self._deliver_decoded, cmd)
+            self.sim.post(decode_ns, self._deliver_decoded, cmd)
         elif cmd.on_complete is not None:
             cmd.on_complete(cmd)
         self.on_resource_free()

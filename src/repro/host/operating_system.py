@@ -84,7 +84,7 @@ class ThreadContext:
     # ------------------------------------------------------------------
     def schedule(self, delay_ns: int, fn, *args: Any) -> None:
         """Run ``fn(*args)`` after a virtual delay (think time, timers)."""
-        self._os.sim.schedule(delay_ns, fn, *args)
+        self._os.sim.post(delay_ns, fn, *args)
 
     def finish(self) -> None:
         """Declare this thread done; dependent threads may now start."""
@@ -188,7 +188,7 @@ class OperatingSystem:
         self._started = True
         for record in self._records.values():
             if not record.depends_on:
-                self.sim.schedule(0, self._start_thread, record)
+                self.sim.post(0, self._start_thread, record)
 
     def _start_thread(self, record: _ThreadRecord) -> None:
         if record.started:
@@ -209,7 +209,7 @@ class OperatingSystem:
             if all(
                 self._records[name].finished for name in candidate.depends_on
             ):
-                self.sim.schedule(0, self._start_thread, candidate)
+                self.sim.post(0, self._start_thread, candidate)
 
     @property
     def all_finished(self) -> bool:

@@ -102,6 +102,85 @@ class TestCancellation:
         assert keep.pending
 
 
+class TestMassCancellation:
+    """Regression: pending_events used to scan the whole heap (O(n)),
+    making a cancel-heavy workload quadratic."""
+
+    def test_cancel_10k_events_without_quadratic_blowup(self):
+        import time as wallclock
+
+        sim = Simulator()
+        fired = []
+        keepers = [sim.schedule(10_000 + i, fired.append, i) for i in range(10)]
+        victims = [sim.schedule(i + 1, lambda: None) for i in range(10_000)]
+        start = wallclock.perf_counter()
+        for handle in victims:
+            handle.cancel()
+            # The O(n)-scan implementation made each of these a full heap
+            # walk; with the live counter the whole loop is O(n) total.
+            assert sim.pending_events >= len(keepers)
+        elapsed = wallclock.perf_counter() - start
+        assert elapsed < 2.0, f"mass cancellation took {elapsed:.1f}s"
+        assert sim.pending_events == len(keepers)
+        sim.run()
+        assert fired == list(range(10))
+        assert sim.processed_events == len(keepers)
+
+    def test_compaction_purges_dominating_cancelled_entries(self):
+        sim = Simulator()
+        keep = sim.schedule(99_999, lambda: None)
+        victims = [sim.schedule(i + 1, lambda: None) for i in range(5_000)]
+        for handle in victims:
+            handle.cancel()
+        # Far more entries were cancelled than remain live: the heap must
+        # have been compacted rather than retaining 5k dead tuples.
+        assert sim.pending_events == 1
+        assert len(sim._queue) < 2_500
+        sim.run()
+        assert keep.fired
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(5, lambda: None)
+        sim.run()
+        pending_before = sim.pending_events
+        handle.cancel()
+        assert sim.pending_events == pending_before == 0
+        assert handle.fired and not handle.cancelled
+
+
+class TestPost:
+    def test_post_fires_like_schedule(self):
+        sim = Simulator()
+        fired = []
+        sim.post(20, fired.append, "b")
+        sim.post(10, fired.append, "a")
+        sim.post_at(30, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.processed_events == 3
+
+    def test_post_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().post(-1, lambda: None)
+
+    def test_post_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.post(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.post_at(5, lambda: None)
+
+    def test_post_and_schedule_share_fifo_order(self):
+        sim = Simulator()
+        fired = []
+        sim.post(7, fired.append, "post-first")
+        sim.schedule(7, fired.append, "handle")
+        sim.post(7, fired.append, "post-last")
+        sim.run()
+        assert fired == ["post-first", "handle", "post-last"]
+
+
 class TestRun:
     def test_run_until_stops_clock_at_limit(self):
         sim = Simulator()

@@ -129,3 +129,33 @@ class TestCsvExport:
         result.to_csv(str(path))
         header = open(path).readline()
         assert "write_amplification" in header
+
+    def test_to_csv_empty_runs_writes_header_only(self, tmp_path):
+        """Regression: an empty sweep must export a header-only file, not
+        raise while probing runs[0] for the metric list."""
+        import csv
+
+        from repro import ExperimentResult
+
+        result = ExperimentResult(
+            "empty", Parameter("qd", path="host.max_outstanding"), []
+        )
+        path = tmp_path / "empty.csv"
+        result.to_csv(str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["qd"]]
+
+    def test_to_csv_empty_runs_with_explicit_metrics(self, tmp_path):
+        import csv
+
+        from repro import ExperimentResult
+
+        result = ExperimentResult(
+            "empty", Parameter("qd", path="host.max_outstanding"), []
+        )
+        path = tmp_path / "empty.csv"
+        result.to_csv(str(path), metrics=["throughput_iops", "write_amplification"])
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["qd", "throughput_iops", "write_amplification"]]

@@ -98,3 +98,23 @@ class TestGridCsv:
             rows = list(csv.reader(handle))
         assert rows[0] == ["greediness", "qd", "completed_ios"]
         assert len(rows) == 3
+
+    def test_to_csv_empty_runs_writes_header_only(self, tmp_path):
+        """Regression: a grid with no runs exports a header-only file."""
+        import csv
+
+        from repro import GridResult
+
+        result = GridResult(
+            "empty",
+            [
+                Parameter("greediness", path="controller.gc_greediness"),
+                Parameter("qd", path="host.max_outstanding"),
+            ],
+            [],
+        )
+        path = tmp_path / "empty.csv"
+        result.to_csv(str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["greediness", "qd"]]
