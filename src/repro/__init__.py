@@ -49,6 +49,7 @@ from repro.core.experiments import (
     Parameter,
 )
 from repro.core.parallel import RunSpec, SweepExecutor, SweepRunError
+from repro.core.sanitize import SanitizerError
 from repro.core.simulation import Simulation, SimulationResult
 from repro.reliability import FaultPlan
 
@@ -73,6 +74,7 @@ __all__ = [
     "Parameter",
     "ReliabilityConfig",
     "RunSpec",
+    "SanitizerError",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",

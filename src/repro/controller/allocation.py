@@ -34,7 +34,7 @@ from repro.core.config import AllocationPolicy, SimulationConfig
 from repro.hardware.addresses import PhysicalAddress, iter_luns
 from repro.hardware.array import SsdArray
 from repro.hardware.commands import CommandKind, FlashCommand
-from repro.hardware.flash import FlashStateError, Lun
+from repro.hardware.flash import Lun
 
 #: Streams allowed to dip into the per-LUN GC reserve block: every GC
 #: relocation stream ("gc", and "gc_hot"/"gc_cold" under temperature-
@@ -190,6 +190,8 @@ class WriteAllocator:
         one cannot open a fresh block (reserve exhausted mid-job) it
         spills into a sibling's open block rather than deadlocking.
         """
+        # simlint: disable=SIM003 -- open_blocks is a plain dict: insertion
+        # order is deterministic and favours the longest-open gc stream.
         for (key, stream), block_id in self.open_blocks.items():
             if key == lun_key and _is_gc_stream(stream):
                 if not lun.block(block_id).is_full:
@@ -297,7 +299,7 @@ class WriteAllocator:
         """Forget an open block registration."""
         stale = [
             key
-            for key, registered in self.open_blocks.items()
+            for key, registered in sorted(self.open_blocks.items())
             if key[0] == lun_key and registered == block_id
         ]
         for key in stale:

@@ -13,17 +13,6 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.core.config import SimulationConfig, TemperatureDetector
-from repro.core.engine import Simulator
-from repro.core.events import IoRequest, IoType
-from repro.reliability.recovery import ReliabilityManager
-from repro.core.rng import RandomSource
-from repro.core.statistics import StatisticsGatherer
-from repro.core.tracing import TraceRecorder
-from repro.hardware.array import SsdArray
-from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
-from repro.hardware.memory import MemoryManager
-
 from repro.controller.allocation import WriteAllocator
 from repro.controller.ftl import build_ftl
 from repro.controller.gc import GarbageCollector
@@ -31,6 +20,16 @@ from repro.controller.scheduler import SsdScheduler
 from repro.controller.temperature import build_detector
 from repro.controller.wear_leveling import WearLeveler
 from repro.controller.write_buffer import WriteBuffer
+from repro.core.config import SimulationConfig, TemperatureDetector
+from repro.core.engine import Simulator
+from repro.core.events import IoRequest, IoType
+from repro.core.rng import RandomSource
+from repro.core.statistics import StatisticsGatherer
+from repro.core.tracing import TraceRecorder
+from repro.hardware.array import SsdArray
+from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
+from repro.hardware.memory import MemoryManager
+from repro.reliability.recovery import ReliabilityManager
 
 
 class SsdController:
@@ -65,6 +64,7 @@ class SsdController:
             pipelining=config.controller.enable_pipelining,
             tracer=self.tracer,
             bad_blocks=self._draw_bad_blocks(config),
+            sanitize=config.sanitize,
         )
         self.temperature = build_detector(config.controller.temperature)
         self.allocator = WriteAllocator(
@@ -259,7 +259,7 @@ class SsdController:
             raise AssertionError(
                 f"live-page mismatch: array has {live}, FTL implies {expected}"
             )
-        for lun_key, lun in self.array.luns.items():
+        for lun_key, lun in sorted(self.array.luns.items()):
             for block_id, block in enumerate(lun.blocks):
                 if block.inflight_reads:
                     raise AssertionError(

@@ -17,7 +17,6 @@ from repro.controller.ftl.base import BaseFtl
 from repro.controller.ftl.dftl import DftlFtl
 from repro.controller.ftl.hybrid import HybridFtl
 from repro.controller.ftl.page_ftl import PageMapFtl
-
 from repro.core.config import FtlKind
 
 

@@ -37,11 +37,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
+from repro.controller.ftl.base import BaseFtl
 from repro.core.events import IoRequest
 from repro.hardware.addresses import PhysicalAddress
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
-
-from repro.controller.ftl.base import BaseFtl
 
 
 class _LbnState:

@@ -10,12 +10,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.controller.ftl.base import BaseFtl
 from repro.core.events import IoRequest
 from repro.hardware.addresses import PhysicalAddress
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
 from repro.hardware.flash import PageContent
-
-from repro.controller.ftl.base import BaseFtl
 
 
 class PageMapFtl(BaseFtl):

@@ -32,12 +32,12 @@ from repro.hardware.array import SsdArray
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
 
 #: Sources rotation order used by the FAIR policy.
-_FAIR_ORDER = [
+_FAIR_ORDER = (
     CommandSource.APPLICATION,
     CommandSource.MAPPING,
     CommandSource.GC,
     CommandSource.WEAR_LEVELING,
-]
+)
 
 
 class SsdScheduler:

@@ -21,9 +21,8 @@ blocks to cold streams -- lives in the allocator's free-block selection
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
 import math
+from typing import TYPE_CHECKING
 
 from repro.hardware.addresses import PhysicalAddress, iter_luns
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand

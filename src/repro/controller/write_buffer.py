@@ -21,7 +21,7 @@ Semantics:
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.core.events import IoRequest
 
@@ -143,6 +143,8 @@ class WriteBuffer:
         if not force and len(self._entries) <= high:
             return
         target = low if len(self._entries) > high else len(self._entries) - 1
+        # simlint: disable=SIM003 -- insertion order IS the FIFO eviction
+        # policy here; sorting by LPN would change which pages flush first.
         for lpn in list(self._entries):
             if len(self._entries) - len(self._flushing) <= target:
                 break

@@ -37,11 +37,13 @@ from repro.core.experiments import (
     Parameter,
 )
 from repro.core.parallel import RunSpec, SweepExecutor, SweepRunError
+from repro.core.sanitize import SanitizerError
 from repro.core.simulation import Simulation, SimulationResult
 from repro.core.statistics import StatisticsGatherer
 
 __all__ = [
     "ChipTimings",
+    "SanitizerError",
     "ControllerConfig",
     "ExperimentResult",
     "GridExperiment",

@@ -532,6 +532,12 @@ class SimulationConfig:
     max_time_ns: Optional[int] = None
     #: Record per-command trace events (memory-heavy; off by default).
     trace_enabled: bool = False
+    #: Runtime sanitizer (:mod:`repro.core.sanitize`): arm virtual-time
+    #: monotonicity, flash state-machine, event-handle-leak and RNG
+    #: stream-integrity checks.  Results are bit-identical either way;
+    #: invariant violations raise ``SanitizerError`` instead of silently
+    #: corrupting the run.
+    sanitize: bool = False
 
     @property
     def logical_pages(self) -> int:
@@ -610,7 +616,7 @@ class SimulationConfig:
         )
 
 
-def small_config(**overrides) -> SimulationConfig:
+def small_config(**overrides: object) -> SimulationConfig:
     """A tiny SSD for unit tests: fast to simulate, still parallel.
 
     Tiny LUNs make per-LUN slack proportionally expensive, so the
@@ -629,7 +635,7 @@ def small_config(**overrides) -> SimulationConfig:
     return _apply_overrides(config, overrides)
 
 
-def demo_config(**overrides) -> SimulationConfig:
+def demo_config(**overrides: object) -> SimulationConfig:
     """The configuration used by the demonstration experiments."""
     config = SimulationConfig(
         geometry=SsdGeometry(
@@ -651,7 +657,7 @@ def _apply_overrides(config: SimulationConfig, overrides: dict) -> SimulationCon
     return config
 
 
-def set_by_path(config: SimulationConfig, path: str, value) -> None:
+def set_by_path(config: SimulationConfig, path: str, value: object) -> None:
     """Set a (possibly nested) configuration field by dotted path.
 
     Used by experiment templates: ``set_by_path(cfg,
@@ -672,7 +678,7 @@ def set_by_path(config: SimulationConfig, path: str, value) -> None:
     setattr(target, leaf, value)
 
 
-def get_by_path(config: SimulationConfig, path: str):
+def get_by_path(config: SimulationConfig, path: str) -> object:
     """Read a (possibly nested) configuration field by dotted path."""
     target = config
     for part in path.split("."):

@@ -33,6 +33,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.core.sanitize import SanitizerError
+
 #: Compact the heap only once this many cancelled entries linger in it
 #: (and they outnumber the live entries) -- small queues never pay.
 _COMPACT_MIN_CANCELLED = 1024
@@ -59,7 +61,7 @@ class EventHandle:
         fn: Callable[..., Any],
         args: tuple,
         sim: Optional["Simulator"] = None,
-    ):
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -99,9 +101,18 @@ class Simulator:
         sim.run()
     """
 
-    __slots__ = ("_now", "_seq", "_queue", "_processed", "_live", "_cancelled")
+    __slots__ = (
+        "_now",
+        "_seq",
+        "_queue",
+        "_processed",
+        "_live",
+        "_cancelled",
+        "_sanitize",
+        "_handles",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: bool = False) -> None:
         self._now = 0
         self._seq = 0
         #: Heap entries: (time, seq, fn, args, handle-or-None).
@@ -111,6 +122,14 @@ class Simulator:
         self._live = 0
         #: Sequence numbers cancelled while still sitting in the heap.
         self._cancelled: set[int] = set()
+        #: Sanitizer mode (:mod:`repro.core.sanitize`): verify virtual-time
+        #: monotonicity on every fire and track outstanding EventHandles so
+        #: :meth:`drain_check` can detect leaked handles.  Checks are pure
+        #: observers -- a sanitized run is bit-identical to a plain one.
+        self._sanitize = sanitize
+        #: seq -> EventHandle for every handle that is still pending
+        #: (sanitize mode only; stays empty otherwise).
+        self._handles: dict[int, EventHandle] = {}
 
     @property
     def now(self) -> int:
@@ -148,6 +167,8 @@ class Simulator:
         handle = EventHandle(time, seq, fn, args, self)
         heapq.heappush(self._queue, (time, seq, fn, args, handle))
         self._live += 1
+        if self._sanitize:
+            self._handles[seq] = handle
         return handle
 
     def post(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
@@ -197,11 +218,14 @@ class Simulator:
             if seq in cancelled:
                 cancelled.discard(seq)
                 continue
+            if self._sanitize:
+                self._check_monotonic(time, seq, fn)
             self._now = time
             self._live -= 1
             self._processed += 1
             if handle is not None:
                 handle.fired = True
+                self._handles.pop(seq, None)
             fn(*args)
             return True
         return False
@@ -221,6 +245,7 @@ class Simulator:
         queue = self._queue
         cancelled = self._cancelled
         heappop = heapq.heappop
+        sanitize = self._sanitize
         fired = 0
         while queue:
             if max_events is not None and fired >= max_events:
@@ -235,12 +260,16 @@ class Simulator:
                 self._now = until
                 break
             heappop(queue)
+            if sanitize:
+                self._check_monotonic(time, entry[1], entry[2])
             self._now = time
             self._live -= 1
             self._processed += 1
             handle = entry[4]
             if handle is not None:
                 handle.fired = True
+                if sanitize:
+                    self._handles.pop(entry[1], None)
             entry[2](*entry[3])
             fired += 1
         if until is not None and self._live == 0 and self._now < until:
@@ -262,10 +291,73 @@ class Simulator:
             )
         self._now = time
 
+    def _check_monotonic(self, time: int, seq: int, fn: Callable[..., Any]) -> None:
+        """Sanitize mode: an event about to fire must not lie in the past."""
+        if time < self._now:
+            raise SanitizerError(
+                "virtual-time-monotonicity",
+                "event would fire in the past",
+                {
+                    "event_time": time,
+                    "now": self._now,
+                    "seq": seq,
+                    "fn": getattr(fn, "__qualname__", repr(fn)),
+                },
+            )
+
+    def drain_check(self) -> None:
+        """Sanitize mode: verify engine bookkeeping at a drained queue.
+
+        Call after :meth:`run` returned with no pending events.  Raises
+        :class:`~repro.core.sanitize.SanitizerError` when an
+        :class:`EventHandle` is still outstanding (it never fired and was
+        never cancelled even though the heap is empty -- the heap and the
+        handle accounting diverged), when the live counter disagrees with
+        the heap, or when cancelled sequence numbers outlived their heap
+        entries.
+        """
+        if not self._sanitize:
+            return
+        live_in_queue = sum(
+            1 for entry in self._queue if entry[1] not in self._cancelled
+        )
+        if live_in_queue != self._live:
+            raise SanitizerError(
+                "event-accounting",
+                "live-event counter disagrees with the heap",
+                {"counter": self._live, "heap": live_in_queue},
+            )
+        if self._queue:
+            return  # not drained: pending events legitimately remain
+        leaked = [
+            self._handles[seq]
+            for seq in sorted(self._handles)
+            if self._handles[seq].pending
+        ]
+        if leaked:
+            sample = leaked[0]
+            raise SanitizerError(
+                "event-handle-leak",
+                f"{len(leaked)} handle(s) neither fired nor cancelled at drain",
+                {
+                    "first_seq": sample.seq,
+                    "first_time": sample.time,
+                    "first_fn": getattr(sample.fn, "__qualname__", repr(sample.fn)),
+                },
+            )
+        if self._cancelled:
+            raise SanitizerError(
+                "event-accounting",
+                "cancelled sequence numbers outlived their heap entries",
+                {"count": len(self._cancelled)},
+            )
+
     def _cancel(self, seq: int) -> None:
         """Mark a queued entry cancelled (called by EventHandle.cancel)."""
         self._cancelled.add(seq)
         self._live -= 1
+        if self._sanitize:
+            self._handles.pop(seq, None)
         if (
             len(self._cancelled) >= _COMPACT_MIN_CANCELLED
             and len(self._cancelled) * 2 > len(self._queue)

@@ -51,6 +51,8 @@ class IoStatus(enum.Enum):
 
 
 #: Monotonically increasing request ids, unique within a process.
+# simlint: disable=SIM006 -- ids are only compared within one run, where
+# their relative order is deterministic; absolute values carry no meaning.
 _io_ids = itertools.count(1)
 
 
@@ -91,7 +93,7 @@ class IoRequest:
         lpn: int,
         thread_name: str = "?",
         hints: Optional[dict[str, Any]] = None,
-    ):
+    ) -> None:
         self.id = next(_io_ids)
         self.io_type = io_type
         self.lpn = lpn

@@ -43,7 +43,7 @@ class Parameter:
     path: Optional[str] = None
     setter: Optional[Callable[[SimulationConfig, object], None]] = None
 
-    def apply(self, config: SimulationConfig, value) -> None:
+    def apply(self, config: SimulationConfig, value: object) -> None:
         if self.setter is not None:
             self.setter(config, value)
         elif self.path is not None:
@@ -55,7 +55,7 @@ class Parameter:
 class ExperimentRun:
     """One point of the sweep: the value and its simulation result."""
 
-    def __init__(self, value, config: SimulationConfig, result: SimulationResult):
+    def __init__(self, value: object, config: SimulationConfig, result: SimulationResult) -> None:
         self.value = value
         self.config = config
         self.result = result
@@ -72,7 +72,7 @@ class ExperimentRun:
 class ExperimentResult:
     """The collected sweep, with series/table accessors."""
 
-    def __init__(self, name: str, parameter: Parameter, runs: list[ExperimentRun]):
+    def __init__(self, name: str, parameter: Parameter, runs: "list[ExperimentRun]") -> None:
         self.name = name
         self.parameter = parameter
         self.runs = runs
@@ -120,7 +120,7 @@ class ExperimentResult:
 class GridRun:
     """One cell of a multi-parameter grid."""
 
-    def __init__(self, values: tuple, config: SimulationConfig, result: SimulationResult):
+    def __init__(self, values: tuple, config: SimulationConfig, result: SimulationResult) -> None:
         self.values = values
         self.config = config
         self.result = result
@@ -135,7 +135,7 @@ class GridRun:
 class GridResult:
     """A full factorial sweep over several parameters."""
 
-    def __init__(self, name: str, parameters: Sequence[Parameter], runs: list[GridRun]):
+    def __init__(self, name: str, parameters: Sequence[Parameter], runs: "list[GridRun]") -> None:
         self.name = name
         self.parameters = list(parameters)
         self.runs = runs
@@ -144,7 +144,7 @@ class GridResult:
         chooser = max if maximize else min
         return chooser(self.runs, key=lambda run: run.metric(metric))
 
-    def slice(self, parameter_name: str, value) -> list[GridRun]:
+    def slice(self, parameter_name: str, value: object) -> "list[GridRun]":
         """Runs where the named parameter took ``value``."""
         index = self._index_of(parameter_name)
         return [run for run in self.runs if run.values[index] == value]
@@ -196,7 +196,7 @@ class GridExperiment:
         values: Sequence[Sequence],
         workload: WorkloadFactory,
         max_time_ns: Optional[int] = None,
-    ):
+    ) -> None:
         if len(parameters) != len(values):
             raise ValueError("one value list per parameter required")
         if not parameters:
@@ -265,7 +265,7 @@ class ExperimentTemplate:
         values: Sequence,
         workload: WorkloadFactory,
         max_time_ns: Optional[int] = None,
-    ):
+    ) -> None:
         self.name = name
         self.base_config = base_config
         self.parameter = parameter

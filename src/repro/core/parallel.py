@@ -44,7 +44,7 @@ class SweepRunError(RuntimeError):
     worker process).
     """
 
-    def __init__(self, index: int, label: object, cause: BaseException):
+    def __init__(self, index: int, label: object, cause: BaseException) -> None:
         self.index = index
         self.label = label
         self.cause = cause
@@ -111,7 +111,7 @@ class SweepExecutor:
     deterministic regardless of which worker finishes first.
     """
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1) -> None:
         if workers is None:
             workers = default_workers()
         if workers < 1:
@@ -147,7 +147,9 @@ class SweepExecutor:
     # ------------------------------------------------------------------
     # Execution strategies
     # ------------------------------------------------------------------
-    def _run_serial(self, specs, progress) -> Iterator[SimulationResult]:
+    def _run_serial(
+        self, specs: Sequence[RunSpec], progress: Optional[Callable[[int, int], None]]
+    ) -> Iterator[SimulationResult]:
         for spec in specs:
             try:
                 result = spec.execute()
@@ -157,7 +159,9 @@ class SweepExecutor:
                 progress(spec, result)
             yield result
 
-    def _run_parallel(self, specs, progress) -> Iterator[SimulationResult]:
+    def _run_parallel(
+        self, specs: Sequence[RunSpec], progress: Optional[Callable[[int, int], None]]
+    ) -> Iterator[SimulationResult]:
         from concurrent.futures import ProcessPoolExecutor
 
         workers = min(self.workers, len(specs))

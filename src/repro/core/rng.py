@@ -7,13 +7,22 @@ randomness: adding a new consumer of random numbers does not change the
 sequence another component observes, which keeps design-space sweeps
 comparable run-to-run (paper Section 2.3: "controlled, repeatable
 experiments").
+
+With ``sanitize=True`` (see :mod:`repro.core.sanitize`) every stream
+additionally guards its own integrity: a stream may only advance through
+its drawing methods, so re-seeding a live stream or perturbing its
+internal state from outside (one component contaminating another's
+stream) raises :class:`~repro.core.sanitize.SanitizerError`.  The guard
+never changes the drawn values -- a sanitized run is bit-identical.
 """
 
 from __future__ import annotations
 
 import hashlib
-import random
-from typing import Sequence
+import random  # simlint: disable=SIM001 -- this module IS the sanctioned wrapper around stdlib random
+from typing import Any, Sequence
+
+from repro.core.sanitize import SanitizerError
 
 
 class RandomStream(random.Random):
@@ -23,7 +32,7 @@ class RandomStream(random.Random):
     methods (``randrange``, ``random``, ``choice``, ...) are available.
     """
 
-    def __init__(self, seed: int, name: str):
+    def __init__(self, seed: int, name: str) -> None:
         self.name = name
         digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
         super().__init__(int.from_bytes(digest[:8], "big"))
@@ -50,17 +59,94 @@ class RandomStream(random.Random):
         return rank
 
 
-class RandomSource:
-    """Factory for :class:`RandomStream` objects sharing one base seed."""
+class SanitizedRandomStream(RandomStream):
+    """A :class:`RandomStream` with runtime integrity guards.
 
-    def __init__(self, seed: int):
+    All drawing ultimately funnels through :meth:`random` and
+    :meth:`getrandbits`; both verify that the generator state still
+    matches the snapshot taken after the previous guarded draw.  A
+    mismatch means some code advanced, re-seeded or overwrote this
+    stream without going through its own API -- the cross-contamination
+    the per-stream design exists to rule out.  Draw counts are kept for
+    diagnostics (:meth:`RandomSource.draw_counts`).
+
+    The guard compares full Mersenne-Twister state tuples, which costs a
+    few microseconds per draw -- acceptable for an opt-in sanitizer mode
+    (see docs/GUIDE.md "Determinism rules & static analysis").
+    """
+
+    def __init__(self, seed: int, name: str) -> None:
+        self._sealed = False
+        self.draws = 0
+        super().__init__(seed, name)
+        self._sealed = True
+        self._expected_state = super().getstate()
+
+    def _guard(self) -> None:
+        if super().getstate() != self._expected_state:
+            raise SanitizerError(
+                "rng-stream-integrity",
+                "stream state changed outside its own drawing methods",
+                {"stream": self.name, "draws": self.draws},
+            )
+
+    def _note_draw(self) -> None:
+        self.draws += 1
+        self._expected_state = super().getstate()
+
+    def random(self) -> float:
+        if self._sealed:
+            self._guard()
+        value = super().random()
+        if self._sealed:
+            self._note_draw()
+        return value
+
+    def getrandbits(self, k: int) -> int:
+        if self._sealed:
+            self._guard()
+        value = super().getrandbits(k)
+        if self._sealed:
+            self._note_draw()
+        return value
+
+    def seed(self, *args: Any, **kwargs: Any) -> None:
+        if getattr(self, "_sealed", False):
+            raise SanitizerError(
+                "rng-stream-integrity",
+                "re-seeding a live stream breaks run-to-run comparability",
+                {"stream": self.name},
+            )
+        super().seed(*args, **kwargs)
+
+    def setstate(self, state: Any) -> None:
+        if getattr(self, "_sealed", False):
+            raise SanitizerError(
+                "rng-stream-integrity",
+                "overwriting stream state breaks run-to-run comparability",
+                {"stream": self.name},
+            )
+        super().setstate(state)
+
+
+class RandomSource:
+    """Factory for :class:`RandomStream` objects sharing one base seed.
+
+    ``sanitize=True`` hands out :class:`SanitizedRandomStream` objects
+    instead; the drawn values are identical, only integrity violations
+    become loud.
+    """
+
+    def __init__(self, seed: int, sanitize: bool = False) -> None:
         self.seed = seed
+        self.sanitize = sanitize
         self._streams: dict[str, RandomStream] = {}
 
     def stream(self, name: str) -> RandomStream:
         """Return the stream for ``name``, creating it on first use."""
         if name not in self._streams:
-            self._streams[name] = RandomStream(self.seed, name)
+            factory = SanitizedRandomStream if self.sanitize else RandomStream
+            self._streams[name] = factory(self.seed, name)
         return self._streams[name]
 
     def shuffled(self, name: str, items: Sequence) -> list:
@@ -68,3 +154,15 @@ class RandomSource:
         result = list(items)
         self.stream(name).shuffle(result)
         return result
+
+    def draw_counts(self) -> dict[str, int]:
+        """Draws per sanitized stream (empty unless ``sanitize=True``).
+
+        Useful when comparing two runs: identical workloads must show
+        identical per-stream draw counts.
+        """
+        return {
+            name: stream.draws
+            for name, stream in sorted(self._streams.items())
+            if isinstance(stream, SanitizedRandomStream)
+        }

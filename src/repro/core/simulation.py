@@ -31,7 +31,7 @@ from repro.host.operating_system import OperatingSystem
 class SimulationResult:
     """Everything measured in one run."""
 
-    def __init__(self, simulation: "Simulation"):
+    def __init__(self, simulation: "Simulation") -> None:
         self.config = simulation.config
         self.stats = simulation.stats
         self.tracer = simulation.tracer
@@ -151,11 +151,11 @@ class SimulationResult:
 class Simulation:
     """One configured system: engine + array + controller + OS + threads."""
 
-    def __init__(self, config: SimulationConfig):
+    def __init__(self, config: SimulationConfig) -> None:
         config.validate()
         self.config = config
-        self.sim = Simulator()
-        self.rng = RandomSource(config.seed)
+        self.sim = Simulator(sanitize=config.sanitize)
+        self.rng = RandomSource(config.seed, sanitize=config.sanitize)
         self.tracer = TraceRecorder(enabled=config.trace_enabled)
         self.stats = StatisticsGatherer("global")
         self.controller = SsdController(
@@ -166,7 +166,9 @@ class Simulation:
         )
         self._ran = False
 
-    def add_thread(self, thread, depends_on: Iterable[str] = (), collect_stats: bool = True) -> None:
+    def add_thread(
+        self, thread: object, depends_on: Iterable[str] = (), collect_stats: bool = True
+    ) -> None:
         """Register a workload thread (see ``OperatingSystem.add_thread``)."""
         self.os.add_thread(thread, depends_on=depends_on, collect_stats=collect_stats)
 
@@ -182,4 +184,8 @@ class Simulation:
         limit = max_time_ns if max_time_ns is not None else self.config.max_time_ns
         self.os.start()
         self.sim.run(until=limit)
+        if self.config.sanitize:
+            # At a drained queue every EventHandle must have fired or been
+            # cancelled; anything else means engine bookkeeping diverged.
+            self.sim.drain_check()
         return SimulationResult(self)

@@ -171,7 +171,7 @@ class TimeSeries:
     GC activity per window, and so on.
     """
 
-    def __init__(self, bucket_ns: int = 10 * units.MILLISECOND):
+    def __init__(self, bucket_ns: int = 10 * units.MILLISECOND) -> None:
         if bucket_ns <= 0:
             raise ValueError("bucket_ns must be positive")
         self.bucket_ns = bucket_ns
@@ -208,7 +208,7 @@ class StatisticsGatherer:
     that thread's IO completions.
     """
 
-    def __init__(self, name: str = "global", bucket_ns: int = 10 * units.MILLISECOND):
+    def __init__(self, name: str = "global", bucket_ns: int = 10 * units.MILLISECOND) -> None:
         self.name = name
         #: End-to-end latency by IO type.
         self.latency: dict[IoType, LatencyRecorder] = {t: LatencyRecorder() for t in IoType}

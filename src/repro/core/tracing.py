@@ -43,7 +43,7 @@ class TraceRecorder:
     no-op with negligible cost.
     """
 
-    def __init__(self, enabled: bool = False, capacity: Optional[int] = None):
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
         self.enabled = enabled
         #: Optional cap on retained records; older records are dropped.
         self.capacity = capacity

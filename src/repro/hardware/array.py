@@ -52,6 +52,7 @@ class SsdArray:
         pipelining: bool = False,
         tracer: Optional[TraceRecorder] = None,
         bad_blocks: Optional[dict[tuple[int, int], set[int]]] = None,
+        sanitize: bool = False,
     ):
         self.sim = sim
         self.geometry = geometry
@@ -68,6 +69,7 @@ class SsdArray:
                 geometry.blocks_per_lun,
                 geometry.pages_per_block,
                 bad_block_ids=bad_blocks.get((c, l)),
+                sanitize=sanitize,
             )
             for c, l in iter_luns(geometry)
         }

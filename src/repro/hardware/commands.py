@@ -65,6 +65,8 @@ class CommandSource(enum.Enum):
         return self.value
 
 
+# simlint: disable=SIM006 -- ids break scheduler ties; only their relative
+# order within one run matters, and that is deterministic.
 _command_ids = itertools.count(1)
 
 

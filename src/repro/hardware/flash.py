@@ -19,6 +19,8 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from repro.core.sanitize import SanitizerError
+
 PageContent = tuple[int, int]
 """What a programmed page stores: an ``(lpn, version)`` token.
 
@@ -67,9 +69,11 @@ class Block:
         "live_count",
         "dead_count",
         "is_bad",
+        "sanitize",
+        "label",
     )
 
-    def __init__(self, num_pages: int):
+    def __init__(self, num_pages: int, sanitize: bool = False, label: str = "?"):
         self.num_pages = num_pages
         self.pages = [Page() for _ in range(num_pages)]
         #: Next page index to program (NAND sequential-program rule).
@@ -84,6 +88,11 @@ class Block:
         self.dead_count = 0
         #: Factory-bad or worn out; masked from allocation forever.
         self.is_bad = False
+        #: Sanitizer mode (:mod:`repro.core.sanitize`): verify the page
+        #: state machine and the live/dead counters on every mutation.
+        self.sanitize = sanitize
+        #: Physical identity for sanitizer diagnostics, e.g. "(c0,l1,b3)".
+        self.label = label
 
     # ------------------------------------------------------------------
     # Derived state
@@ -112,11 +121,19 @@ class Block:
     # ------------------------------------------------------------------
     def program_next(self, content: PageContent, now_ns: int) -> int:
         """Program the next sequential page; returns its index."""
+        if self.sanitize:
+            self._sanitize_check("program")
         if self.is_full:
             raise FlashStateError("program on a full block")
         index = self.write_pointer
         page = self.pages[index]
         if page.state is not PageState.FREE:
+            if self.sanitize:
+                raise SanitizerError(
+                    "erase-before-program",
+                    f"page {index} programmed twice without an intervening erase",
+                    {"block": self.label, "page": index, "state": page.state.value},
+                )
             raise FlashStateError(f"page {index} programmed twice without erase")
         page.state = PageState.LIVE
         page.content = content
@@ -127,12 +144,49 @@ class Block:
 
     def invalidate(self, page_index: int) -> None:
         """FTL hook: mark a superseded page as reclaimable."""
+        if self.sanitize:
+            self._sanitize_check("invalidate")
         page = self.pages[page_index]
         if page.state is not PageState.LIVE:
             raise FlashStateError(f"invalidate on non-live page {page_index}")
         page.state = PageState.DEAD
         self.live_count -= 1
         self.dead_count += 1
+
+    def _sanitize_check(self, operation: str, full: bool = False) -> None:
+        """Sanitize mode: counters and page states must agree.
+
+        The O(1) counter identity ``live + dead == write_pointer`` runs
+        before every mutation; erases additionally pay an O(pages) scan
+        verifying each page state (programmed strictly below the write
+        pointer, erased at and above it).
+        """
+        if self.live_count + self.dead_count != self.write_pointer:
+            raise SanitizerError(
+                "flash-page-state",
+                f"{operation}: live+dead != write_pointer",
+                {
+                    "block": self.label,
+                    "live": self.live_count,
+                    "dead": self.dead_count,
+                    "write_pointer": self.write_pointer,
+                },
+            )
+        if not full:
+            return
+        for index, page in enumerate(self.pages):
+            programmed = page.state is not PageState.FREE
+            if programmed != (index < self.write_pointer):
+                raise SanitizerError(
+                    "flash-page-state",
+                    f"{operation}: page state contradicts the write pointer",
+                    {
+                        "block": self.label,
+                        "page": index,
+                        "state": page.state.value,
+                        "write_pointer": self.write_pointer,
+                    },
+                )
 
     def read(self, page_index: int) -> PageContent:
         """Content of a programmed page (live or dead -- stale reads of
@@ -143,6 +197,8 @@ class Block:
         return page.content
 
     def erase(self, now_ns: int) -> None:
+        if self.sanitize:
+            self._sanitize_check("erase", full=True)
         if self.live_count:
             raise FlashStateError(f"erase would destroy {self.live_count} live pages")
         if self.inflight_reads:
@@ -191,10 +247,18 @@ class Lun:
         blocks_per_lun: int,
         pages_per_block: int,
         bad_block_ids: Optional[set[int]] = None,
+        sanitize: bool = False,
     ):
         self.channel_id = channel_id
         self.lun_id = lun_id
-        self.blocks = [Block(pages_per_block) for _ in range(blocks_per_lun)]
+        self.blocks = [
+            Block(
+                pages_per_block,
+                sanitize=sanitize,
+                label=f"(c{channel_id},l{lun_id},b{block_id})" if sanitize else "?",
+            )
+            for block_id in range(blocks_per_lun)
+        ]
         self.current_command = None  # type: Optional[object]
         self.busy_until = 0
         #: Blocks that are fully erased and not handed out as open blocks.

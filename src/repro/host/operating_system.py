@@ -179,6 +179,9 @@ class OperatingSystem:
         Dependencies may name threads registered in any order; they are
         validated here, once the full roster is known.
         """
+        # simlint: disable=SIM003 -- _records is a plain dict keyed by
+        # thread name; iteration follows add_thread() registration order,
+        # which is part of the experiment definition.
         for record in self._records.values():
             unknown = record.depends_on - set(self._records)
             if unknown:
@@ -186,6 +189,7 @@ class OperatingSystem:
                     f"unknown dependencies for {record.name!r}: {sorted(unknown)}"
                 )
         self._started = True
+        # simlint: disable=SIM003 -- registration order, as above.
         for record in self._records.values():
             if not record.depends_on:
                 self.sim.post(0, self._start_thread, record)
@@ -203,6 +207,7 @@ class OperatingSystem:
             return
         record.finished = True
         self.tracer.record(self.sim.now, "os", "thread-finish", record.name)
+        # simlint: disable=SIM003 -- registration order, as above.
         for candidate in self._records.values():
             if candidate.started or candidate.finished:
                 continue

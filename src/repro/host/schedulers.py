@@ -88,6 +88,8 @@ class FairOsScheduler(OsScheduler):
         self._queues.setdefault(io.thread_name, deque()).append(io)
 
     def pop(self, now: int) -> Optional[IoRequest]:
+        # simlint: disable=SIM003 -- the OrderedDict rotation IS the
+        # round-robin fairness policy; its order is explicitly managed.
         for thread_name, queue in self._queues.items():
             if queue:
                 io = queue.popleft()

@@ -1,0 +1,164 @@
+"""The ``python -m repro.lint`` command line.
+
+Usage::
+
+    python -m repro.lint src/                    # lint a tree
+    python -m repro.lint --format json src/      # machine-readable
+    python -m repro.lint --select SIM003 src/    # one rule only
+    python -m repro.lint --ignore SIM006 src/    # all but one
+    python -m repro.lint --list-rules            # rule table
+
+Exit codes: ``0`` no violations, ``1`` violations found, ``2`` bad
+usage or an unreadable/unparsable input file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Iterable, Optional, Sequence
+
+from repro.lint.config import path_is_globally_exempt, rule_applies
+from repro.lint.framework import LintContext, Rule, Violation, run_rules
+from repro.lint.reporting import format_json, format_text
+from repro.lint.rules import ALL_RULES, rule_by_id
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterable[str]:
+    """Expand files/directories into a sorted stream of ``*.py`` paths."""
+    collected: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                collected.extend(
+                    os.path.join(dirpath, name)
+                    for name in filenames
+                    if name.endswith(".py")
+                )
+        else:
+            collected.append(path)
+    return sorted(set(collected))
+
+
+def _select_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> tuple[Rule, ...]:
+    if select:
+        rules = tuple(rule_by_id(rule_id) for rule_id in select)
+    else:
+        rules = ALL_RULES
+    if ignore:
+        dropped = {rule_by_id(rule_id).id for rule_id in ignore}
+        rules = tuple(rule for rule in rules if rule.id not in dropped)
+    return rules
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    respect_scoping: bool = True,
+) -> tuple[list[Violation], int, int, list[str]]:
+    """Lint ``paths``; returns (violations, files_checked, suppressed, errors).
+
+    ``respect_scoping=False`` applies every rule to every file (used by
+    the fixture tests, where paths are temp files outside the tree).
+    """
+    rules = _select_rules(select, ignore)
+    violations: list[Violation] = []
+    errors: list[str] = []
+    files_checked = 0
+    suppressed_total = 0
+    for filename in iter_python_files(paths):
+        if respect_scoping and path_is_globally_exempt(filename):
+            continue
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            errors.append(f"{filename}: {exc}")
+            continue
+        try:
+            context = LintContext(filename, source)
+        except SyntaxError as exc:
+            errors.append(f"{filename}: syntax error: {exc}")
+            continue
+        files_checked += 1
+        if respect_scoping:
+            in_scope = tuple(r for r in rules if rule_applies(r, context.path))
+        else:
+            in_scope = rules
+        found, suppressed = run_rules(context, in_scope)
+        violations.extend(found)
+        suppressed_total += suppressed
+    violations.sort(key=Violation.sort_key)
+    return violations, files_checked, suppressed_total, errors
+
+
+def _print_rule_table() -> None:
+    width = max(len(rule.name) for rule in ALL_RULES)
+    for rule in ALL_RULES:
+        print(f"{rule.id}  {rule.name:<{width}}  {rule.description}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simulator-invariant static analysis for the repro codebase",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="output_format"
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="SIMxxx",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="SIMxxx",
+        help="skip these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--no-scoping",
+        action="store_true",
+        help="apply every rule to every file, ignoring path scoping",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rule_table()
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+
+    try:
+        violations, files_checked, suppressed, errors = lint_paths(
+            args.paths,
+            select=args.select,
+            ignore=args.ignore,
+            respect_scoping=not args.no_scoping,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    formatter = format_json if args.output_format == "json" else format_text
+    print(formatter(violations, files_checked, suppressed))
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        return 2
+    return 1 if violations else 0

@@ -1,0 +1,39 @@
+"""Output formatting for simlint: text and JSON reports."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.lint.framework import Violation
+
+
+def format_text(
+    violations: Iterable[Violation], files_checked: int, suppressed: int
+) -> str:
+    """The human-readable report: one ``path:line:col`` line per finding."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col}: {v.rule_id} ({v.rule_name}) {v.message}"
+        for v in violations
+    ]
+    count = len(lines)
+    noun = "violation" if count == 1 else "violations"
+    summary = f"simlint: {count} {noun} in {files_checked} files"
+    if suppressed:
+        summary += f" ({suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(
+    violations: Iterable[Violation], files_checked: int, suppressed: int
+) -> str:
+    """Machine-readable report (stable schema, one object)."""
+    materialised = list(violations)
+    payload = {
+        "violations": [v.as_dict() for v in materialised],
+        "files_checked": files_checked,
+        "suppressed": suppressed,
+        "count": len(materialised),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -80,6 +80,8 @@ class GeneratorThread(Thread):
     def on_io_completed(self, ctx: ThreadContext, io: IoRequest) -> None:
         self.in_flight -= 1
         if self.think_time_ns > 0:
+            # simlint: disable=SIM005 -- ThreadContext.schedule is already
+            # fire-and-forget (it posts internally and returns None).
             ctx.schedule(self.think_time_ns, self._pump, ctx)
         else:
             self._pump(ctx)

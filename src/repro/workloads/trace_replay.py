@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import csv
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Iterable, Optional
 
 from repro.core.events import IoType
 from repro.host.operating_system import ThreadContext
-from repro.workloads.threads import GeneratorThread, Op, Thread
+from repro.workloads.threads import GeneratorThread, Op
 
-_OP_CODES = {"R": IoType.READ, "W": IoType.WRITE, "T": IoType.TRIM}
+_OP_CODES = MappingProxyType({"R": IoType.READ, "W": IoType.WRITE, "T": IoType.TRIM})
 
 
 @dataclass(frozen=True)
@@ -135,6 +136,8 @@ class TraceReplayThread(GeneratorThread):
         assert self._start_ns is not None
         record = self.trace[self._cursor]
         due = self._start_ns + record.time_ns
+        # simlint: disable=SIM005 -- ThreadContext.schedule is already
+        # fire-and-forget (it posts internally and returns None).
         ctx.schedule(max(0, due - ctx.now), self._fire, ctx)
 
     def _fire(self, ctx: ThreadContext) -> None:

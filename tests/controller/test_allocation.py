@@ -1,6 +1,5 @@
 """Tests for the write allocator."""
 
-import pytest
 
 from repro.core.config import AllocationPolicy, TemperatureDetector
 from repro.hardware.addresses import PhysicalAddress

@@ -1,9 +1,7 @@
 """Tests for DFTL: cached mapping table, translation pages, evictions."""
 
-import pytest
 
 from repro.core.config import FtlKind
-from repro.core.events import IoType
 
 from tests.controller.conftest import ControllerHarness, make_harness
 

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.core.events import IoType
 from repro.hardware.memory import OutOfMemoryError
 
-from tests.controller.conftest import ControllerHarness, make_harness
+from tests.controller.conftest import make_harness
 
 
 class TestReadWrite:

@@ -1,8 +1,6 @@
 """Tests for the SSD-internal scheduling framework."""
 
-import pytest
 
-from repro.core import units
 from repro.core.config import SsdSchedulerPolicy
 from repro.core.events import IoRequest, IoType
 from repro.hardware.addresses import PhysicalAddress

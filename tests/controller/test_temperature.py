@@ -1,9 +1,8 @@
 """Tests for hot/cold data identification."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.core.config import TemperatureConfig, TemperatureDetector
 from repro.controller.temperature import (
     BloomFilterDetector,
     HintDetector,
@@ -12,6 +11,7 @@ from repro.controller.temperature import (
     _BloomFilter,
     build_detector,
 )
+from repro.core.config import TemperatureConfig, TemperatureDetector
 
 
 class TestBloomFilterPrimitive:

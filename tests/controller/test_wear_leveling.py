@@ -1,8 +1,6 @@
 """Tests for static wear leveling."""
 
-import pytest
 
-from repro.core import units
 
 from tests.controller.conftest import ControllerHarness, make_harness
 

@@ -1,0 +1,87 @@
+"""Property test: arbitrary legal schedule/post/cancel interleavings
+never trip the sanitizer.
+
+The sanitizer exists to catch *engine misuse*; anything expressible
+through the public Simulator API is by definition legal, so no
+interleaving of schedule(), schedule_at(), post(), post_at() and
+cancel() -- including operations performed from inside callbacks while
+the run is in flight -- may raise a monotonicity, handle-leak or
+accounting error.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import Simulator
+
+# One pre-run operation: (kind, delay, cancel_target).
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["schedule", "schedule_at", "post", "post_at", "cancel", "nested"]
+        ),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=30),
+    ),
+    max_size=40,
+)
+
+
+def _apply(sim: Simulator, handles: list, kind: str, delay: int, target: int) -> None:
+    def noop():
+        pass
+
+    def nested():
+        # In-flight behaviour: a firing event schedules more work and
+        # cancels an arbitrary still-pending handle.
+        handles.append(sim.schedule(delay, noop))
+        sim.post(delay // 2, noop)
+        pending = [h for h in handles if h.pending]
+        if pending:
+            pending[target % len(pending)].cancel()
+
+    if kind == "schedule":
+        handles.append(sim.schedule(delay, noop))
+    elif kind == "schedule_at":
+        handles.append(sim.schedule_at(sim.now + delay, noop))
+    elif kind == "post":
+        sim.post(delay, noop)
+    elif kind == "post_at":
+        sim.post_at(sim.now + delay, noop)
+    elif kind == "cancel":
+        if handles:
+            # Cancelling an already-fired or already-cancelled handle is
+            # legal and must stay inert.
+            handles[target % len(handles)].cancel()
+    elif kind == "nested":
+        sim.post(delay, nested)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ops)
+def test_interleavings_never_trip_sanitizer(ops):
+    sim = Simulator(sanitize=True)
+    handles: list = []
+    for kind, delay, target in ops:
+        _apply(sim, handles, kind, delay, target)
+    sim.run()
+    sim.drain_check()  # raises SanitizerError on any leak/accounting bug
+    for handle in handles:
+        assert handle.fired or handle.cancelled
+
+
+@settings(max_examples=100, deadline=None)
+@given(_ops, _ops)
+def test_sanitize_flag_never_changes_behaviour(first, second):
+    """The observer property, engine-level: identical op sequences give
+    identical timelines with the sanitizer on and off."""
+    results = []
+    for sanitize in (False, True):
+        sim = Simulator(sanitize=sanitize)
+        handles: list = []
+        for kind, delay, target in first + second:
+            _apply(sim, handles, kind, delay, target)
+        processed = sim.run()
+        results.append((processed, sim.now, sim.pending_events))
+    assert results[0] == results[1]

@@ -6,13 +6,12 @@ erase count across flash blocks and mask bad blocks."
 
 import pytest
 
-from repro.core.engine import Simulator
+from repro.hardware.addresses import PhysicalAddress
+from repro.hardware.commands import CommandKind
 from repro.hardware.flash import Lun
 
 from tests.controller.conftest import make_harness
 from tests.hardware.test_array import make_array, program_page, submit
-from repro.hardware.commands import CommandKind
-from repro.hardware.addresses import PhysicalAddress
 
 
 class TestLunBadBlockMasking:

@@ -4,9 +4,8 @@ DESIGN.md invariant 7; the foundation of "controlled, repeatable
 experiments" (paper Section 2.3).
 """
 
-import pytest
 
-from repro import FtlKind, Simulation, small_config
+from repro import FtlKind, small_config
 from repro.workloads import (
     FileSystemThread,
     GraceHashJoinThread,

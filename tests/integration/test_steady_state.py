@@ -1,6 +1,5 @@
 """Steady-state behaviour of the whole stack."""
 
-import pytest
 
 from repro import Simulation, small_config
 from repro.core import units

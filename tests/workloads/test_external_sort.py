@@ -1,6 +1,5 @@
 """Tests for the external merge sort workload."""
 
-import math
 
 import pytest
 

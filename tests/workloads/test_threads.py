@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Simulation, small_config
+from repro import Simulation
 from repro.core.events import IoType
 from repro.workloads import GeneratorThread
 
