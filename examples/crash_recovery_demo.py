@@ -1,0 +1,143 @@
+"""Crash recovery in action: power loss, remount and the durability audit.
+
+Three short scenes on the small test SSD (E19):
+
+1. **Pulling the plug** -- a power loss mid-workload: in-flight
+   programs tear, the device remounts by scanning every page's OOB
+   metadata, and the workload carries on.  The durability audit checks
+   that every acknowledged write survived.
+2. **The checkpoint trade** -- same crash, but the FTL checkpoints its
+   mapping periodically and journals updates in battery-backed RAM:
+   mounting replays a short journal instead of scanning the device,
+   at the price of mapping-page writes during the run.
+3. **Batteries matter** -- the write buffer with and without
+   battery-backed RAM: buffered data dies with the power unless the
+   battery holds, but acknowledged writes are never lost either way
+   (the volatile buffer is write-through).
+
+Run with::
+
+    python examples/crash_recovery_demo.py [--sanitize] [--json PATH]
+
+``--sanitize`` arms the full invariant sanitizer on every scene;
+``--json PATH`` writes the collected metrics for CI artifacts.
+"""
+
+import argparse
+import json
+
+from repro import FaultPlan, FtlKind, RecoveryStrategy, Simulation, small_config
+from repro.workloads import RandomWriterThread
+
+CRASH_NS = 3_000_000
+OUTAGE_NS = 500_000
+
+
+def crash_config(
+    strategy=RecoveryStrategy.OOB_SCAN,
+    battery=True,
+    sanitize=False,
+    ftl="page",
+):
+    config = small_config()
+    config.controller.ftl = FtlKind(ftl)
+    config.controller.write_buffer_pages = 16
+    config.controller.write_buffer_battery_backed = battery
+    config.crash.strategy = strategy
+    config.sanitize = sanitize
+    config.reliability.fault_plan = FaultPlan().power_loss(
+        at_ns=CRASH_NS, off_ns=OUTAGE_NS
+    )
+    return config
+
+
+def run_crash(config, count=800):
+    simulation = Simulation(config)
+    simulation.add_thread(RandomWriterThread("app", count=count))
+    return simulation.run()
+
+
+def scene_1_pulling_the_plug(sanitize: bool) -> dict:
+    print("-- scene 1: pulling the plug (OOB scan remount) " + "-" * 21)
+    result = run_crash(crash_config(sanitize=sanitize))
+    summary = result.summary()
+    report = result.mount_reports[0]
+    print(f"  power lost at       : {report.loss_ns / 1e6:.1f} ms")
+    print(f"  torn pages          : {summary['torn_pages']:.0f} "
+          "(programs caught mid-flight)")
+    print(f"  pages scanned       : {summary['recovery_scanned_pages']:.0f}")
+    print(f"  mount time          : {summary['mount_time_ms']:.3f} ms")
+    print(f"  unacked data lost   : {summary['lost_writes']:.0f} "
+          "(all unacknowledged -- the audit proves it)")
+    print(f"  workload finished   : {not result.incomplete}")
+    print()
+    return {f"scene1_{k}": summary[k] for k in (
+        "power_losses", "mount_time_ms", "recovery_scanned_pages",
+        "lost_writes", "torn_pages",
+    )}
+
+
+def scene_2_the_checkpoint_trade(sanitize: bool) -> dict:
+    print("-- scene 2: the checkpoint trade " + "-" * 36)
+    metrics = {}
+    for strategy in (RecoveryStrategy.OOB_SCAN, RecoveryStrategy.CHECKPOINT_JOURNAL):
+        summary = run_crash(
+            crash_config(strategy=strategy, sanitize=sanitize)
+        ).summary()
+        name = strategy.value
+        print(f"  [{name}]")
+        print(f"    mount time        : {summary['mount_time_ms']:.3f} ms")
+        print(f"    pages scanned     : {summary['recovery_scanned_pages']:.0f}")
+        print(f"    records replayed  : {summary['recovery_replayed_records']:.0f}")
+        print(f"    checkpoint pages  : {summary['checkpoint_pages_written']:.0f} "
+              "(runtime write amplification)")
+        metrics[f"scene2_{name}_mount_time_ms"] = summary["mount_time_ms"]
+        metrics[f"scene2_{name}_checkpoint_pages"] = summary[
+            "checkpoint_pages_written"
+        ]
+    print()
+    return metrics
+
+
+def scene_3_batteries_matter(sanitize: bool) -> dict:
+    print("-- scene 3: batteries matter " + "-" * 40)
+    metrics = {}
+    for battery in (True, False):
+        summary = run_crash(
+            crash_config(battery=battery, sanitize=sanitize)
+        ).summary()
+        name = "battery" if battery else "volatile"
+        print(f"  [{name} write buffer]")
+        print(f"    buffered loss     : "
+              f"{summary['lost_writes'] - summary['torn_pages']:.0f} pages")
+        print(f"    torn in-flight    : {summary['torn_pages']:.0f} pages")
+        metrics[f"scene3_{name}_lost_writes"] = summary["lost_writes"]
+        metrics[f"scene3_{name}_torn_pages"] = summary["torn_pages"]
+    print("  (acknowledged writes lost, either mode: 0 -- audited)")
+    print()
+    return metrics
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the runtime invariant sanitizer in every scene",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write collected metrics to PATH as JSON",
+    )
+    args = parser.parse_args(argv)
+    metrics = {}
+    metrics.update(scene_1_pulling_the_plug(args.sanitize))
+    metrics.update(scene_2_the_checkpoint_trade(args.sanitize))
+    metrics.update(scene_3_batteries_matter(args.sanitize))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+        print(f"metrics written to {args.json}")
+
+
+if __name__ == "__main__":
+    main()

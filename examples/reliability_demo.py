@@ -15,17 +15,24 @@ Three short scenes on the small test SSD:
 
 Run with::
 
-    python examples/reliability_demo.py
+    python examples/reliability_demo.py [--sanitize] [--json PATH]
+
+``--sanitize`` arms the runtime invariant sanitizer on every scene;
+``--json PATH`` writes the collected metrics for CI artifacts.
 """
+
+import argparse
+import json
 
 from repro import FaultPlan, IoStatus, Simulation, small_config
 from repro.analysis.metrics import mean_retries_per_read
 from repro.workloads import MixedWorkloadThread, RandomWriterThread
 
 
-def scene_1_living_with_bit_errors() -> None:
+def scene_1_living_with_bit_errors(sanitize: bool = False) -> dict:
     print("-- scene 1: living with bit errors " + "-" * 34)
     config = small_config()
+    config.sanitize = sanitize
     r = config.reliability
     r.enabled = True
     r.base_rber = 2.5e-4  # ~4 bit errors per 2 KiB page
@@ -43,9 +50,13 @@ def scene_1_living_with_bit_errors() -> None:
     print(f"  parity rebuilds     : {summary['parity_rebuilds']:.0f}")
     print(f"  data lost           : {summary['uncorrectable_reads']:.0f}")
     print()
+    return {f"scene1_{k}": summary[k] for k in (
+        "completed_reads", "corrected_reads", "read_retries",
+        "parity_rebuilds", "uncorrectable_reads",
+    )}
 
 
-def scene_2_a_scripted_disaster() -> None:
+def scene_2_a_scripted_disaster(sanitize: bool = False) -> dict:
     print("-- scene 2: a scripted disaster " + "-" * 37)
     plan = (
         FaultPlan()
@@ -53,6 +64,7 @@ def scene_2_a_scripted_disaster() -> None:
         .fail_erase(channel=0, lun=0, block=4, attempt=1)
     )
     config = small_config()
+    config.sanitize = sanitize
     r = config.reliability
     r.enabled = True
     r.parity = True
@@ -72,11 +84,16 @@ def scene_2_a_scripted_disaster() -> None:
     print(f"  blocks retired      : {summary['runtime_retired_blocks']:.0f}")
     print(f"  data lost           : {summary['uncorrectable_reads']:.0f}")
     print()
+    return {f"scene2_{k}": summary[k] for k in (
+        "parity_rebuilds", "erase_fails", "runtime_retired_blocks",
+        "uncorrectable_reads",
+    )}
 
 
-def scene_3_growing_old() -> None:
+def scene_3_growing_old(sanitize: bool = False) -> dict:
     print("-- scene 3: growing old (spares run dry) " + "-" * 28)
     config = small_config()
+    config.sanitize = sanitize
     config.controller.enable_copyback = False
     r = config.reliability
     r.enabled = True
@@ -96,12 +113,31 @@ def scene_3_growing_old() -> None:
     else:
         print("  read-only mode      : never (spares absorbed the damage)")
     print()
+    return {f"scene3_{k}": summary[k] for k in (
+        "program_fails", "runtime_retired_blocks", "writes_rejected",
+        "read_only_entry_ms",
+    )}
 
 
-def main() -> None:
-    scene_1_living_with_bit_errors()
-    scene_2_a_scripted_disaster()
-    scene_3_growing_old()
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the runtime invariant sanitizer in every scene",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write collected metrics to PATH as JSON",
+    )
+    args = parser.parse_args(argv)
+    metrics = {}
+    metrics.update(scene_1_living_with_bit_errors(args.sanitize))
+    metrics.update(scene_2_a_scripted_disaster(args.sanitize))
+    metrics.update(scene_3_growing_old(args.sanitize))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+        print(f"metrics written to {args.json}")
 
 
 if __name__ == "__main__":

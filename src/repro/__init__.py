@@ -28,10 +28,12 @@ from repro.core.config import (
     AllocationPolicy,
     ChipTimings,
     ControllerConfig,
+    CrashConfig,
     FtlKind,
     GcVictimPolicy,
     HostConfig,
     OsSchedulerPolicy,
+    RecoveryStrategy,
     ReliabilityConfig,
     SimulationConfig,
     SsdGeometry,
@@ -41,6 +43,12 @@ from repro.core.config import (
     small_config,
 )
 from repro.core.events import IoRequest, IoStatus, IoType
+from repro.core.power import (
+    CrashStats,
+    MountReport,
+    PowerLossEvent,
+    PowerRestoreEvent,
+)
 from repro.core.experiments import (
     ExperimentResult,
     ExperimentTemplate,
@@ -59,6 +67,8 @@ __all__ = [
     "AllocationPolicy",
     "ChipTimings",
     "ControllerConfig",
+    "CrashConfig",
+    "CrashStats",
     "ExperimentResult",
     "GridExperiment",
     "GridResult",
@@ -70,8 +80,12 @@ __all__ = [
     "IoRequest",
     "IoStatus",
     "IoType",
+    "MountReport",
     "OsSchedulerPolicy",
     "Parameter",
+    "PowerLossEvent",
+    "PowerRestoreEvent",
+    "RecoveryStrategy",
     "ReliabilityConfig",
     "RunSpec",
     "SanitizerError",

@@ -20,7 +20,7 @@ from repro.controller.scheduler import SsdScheduler
 from repro.controller.temperature import build_detector
 from repro.controller.wear_leveling import WearLeveler
 from repro.controller.write_buffer import WriteBuffer
-from repro.core.config import SimulationConfig, TemperatureDetector
+from repro.core.config import RecoveryStrategy, SimulationConfig, TemperatureDetector
 from repro.core.engine import Simulator
 from repro.core.events import IoRequest, IoType
 from repro.core.rng import RandomSource
@@ -29,7 +29,11 @@ from repro.core.tracing import TraceRecorder
 from repro.hardware.array import SsdArray
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
 from repro.hardware.memory import MemoryManager
-from repro.reliability.recovery import ReliabilityManager
+from repro.reliability.recovery import (
+    CheckpointManager,
+    MappingJournal,
+    ReliabilityManager,
+)
 
 
 class SsdController:
@@ -47,6 +51,8 @@ class SsdController:
         rng: Optional[RandomSource] = None,
         tracer: Optional[TraceRecorder] = None,
         stats: Optional[StatisticsGatherer] = None,
+        existing_array: Optional[SsdArray] = None,
+        crash_armed: bool = False,
     ):
         self.sim = sim
         self.config = config
@@ -56,16 +62,24 @@ class SsdController:
         self.memory = MemoryManager(
             config.controller.ram_bytes, config.controller.battery_ram_bytes
         )
-        self.array = SsdArray(
-            sim,
-            config.geometry,
-            config.timings,
-            interleaving=config.controller.enable_interleaving,
-            pipelining=config.controller.enable_pipelining,
-            tracer=self.tracer,
-            bad_blocks=self._draw_bad_blocks(config),
-            sanitize=config.sanitize,
-        )
+        if existing_array is not None:
+            # Remount after a power loss: flash contents are durable, so
+            # the array object survives the crash; only the controller's
+            # volatile modules are rebuilt around it.  The bad-block map
+            # is physical state -- never redrawn.
+            self.array = existing_array
+            self.array.reliability = None
+        else:
+            self.array = SsdArray(
+                sim,
+                config.geometry,
+                config.timings,
+                interleaving=config.controller.enable_interleaving,
+                pipelining=config.controller.enable_pipelining,
+                tracer=self.tracer,
+                bad_blocks=self._draw_bad_blocks(config),
+                sanitize=config.sanitize,
+            )
         self.temperature = build_detector(config.controller.temperature)
         self.allocator = WriteAllocator(
             self.array,
@@ -91,6 +105,17 @@ class SsdController:
         self.write_buffer: Optional[WriteBuffer] = None
         if config.controller.write_buffer_pages > 0:
             self.write_buffer = WriteBuffer(self, config.controller.write_buffer_pages)
+        #: Crash-consistency plumbing, armed only when the fault plan
+        #: schedules a power loss.  The journal lives in battery RAM; the
+        #: checkpoint manager restarts its periodic timer on every mount
+        #: (its pending tick dies with the device-event purge).
+        self.crash_armed = crash_armed
+        self.journal: Optional[MappingJournal] = None
+        self.checkpointer: Optional[CheckpointManager] = None
+        if crash_armed and config.crash.strategy is RecoveryStrategy.CHECKPOINT_JOURNAL:
+            self.journal = MappingJournal(self)
+            self.checkpointer = CheckpointManager(self)
+            self.checkpointer.start()
         #: Completion interrupt handler, installed by the OS layer.
         self.on_io_complete: Callable[[IoRequest], None] = lambda io: None
         self._open_interface = config.host.open_interface

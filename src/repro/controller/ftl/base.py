@@ -100,6 +100,45 @@ class BaseFtl(abc.ABC):
         """Flash pages holding FTL metadata (translation pages)."""
         return 0
 
+    # ------------------------------------------------------------------
+    # Crash consistency (armed only when a power loss is scheduled)
+    # ------------------------------------------------------------------
+    def snapshot_map(self) -> dict[int, tuple[PhysicalAddress, int]]:
+        """The committed logical mapping: ``lpn -> (address, version)``.
+
+        Used by the checkpoint manager (persist the mapping) and by the
+        crash coordinator (the ground truth a recovery must reproduce).
+        Only positive LPNs -- FTL metadata pages are not logical state.
+        """
+        raise NotImplementedError
+
+    def rebuild_from_recovery(
+        self,
+        mapping: dict[int, tuple[PhysicalAddress, int]],
+        issued_versions: dict[int, int],
+        committed_versions: dict[int, int],
+    ) -> None:
+        """Install a recovered mapping into a freshly-built FTL at mount.
+
+        ``issued_versions``/``committed_versions`` are carried over from
+        the pre-crash device as simulator bookkeeping: version numbers
+        stay monotonic across the crash so the in-flight-race arbitration
+        in :meth:`_commit_write` keeps working.
+        """
+        raise NotImplementedError
+
+    def _journal_commit(self, lpn: int, version: int, address: PhysicalAddress) -> None:
+        """Record a mapping change in the crash journal, if one is armed.
+        Negative (metadata pseudo-)LPNs are not logical state."""
+        journal = self.controller.journal
+        if journal is not None and lpn >= 0:
+            journal.record_write(lpn, version, address)
+
+    def _journal_trim(self, lpn: int) -> None:
+        journal = self.controller.journal
+        if journal is not None and lpn >= 0:
+            journal.record_trim(lpn)
+
     def expected_live_pages(self) -> int:
         """Live flash pages implied by the mapping state; equals the
         array's live-page count at quiescence (DESIGN.md invariant 3)."""
@@ -137,6 +176,7 @@ class BaseFtl(abc.ABC):
             self._committed_versions[lpn] = version
             if old_address is not None:
                 self._invalidate(old_address)
+            self._journal_commit(lpn, version, new_address)
             return True
         self._invalidate(new_address)
         return False
@@ -144,3 +184,4 @@ class BaseFtl(abc.ABC):
     def _supersede(self, lpn: int) -> None:
         """Trim support: mark every in-flight write of ``lpn`` stale."""
         self._committed_versions[lpn] = self._issued_versions.get(lpn, 0)
+        self._journal_trim(lpn)

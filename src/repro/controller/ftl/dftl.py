@@ -120,6 +120,8 @@ class DftlFtl(BaseFtl):
     ) -> None:
         if version is None:
             version = self.next_version(lpn)
+        if io is not None:
+            io.version = version
         lun_key, stream = self.controller.allocator.place_write(lpn, hints)
         cmd = FlashCommand(
             CommandKind.PROGRAM,
@@ -296,9 +298,45 @@ class DftlFtl(BaseFtl):
         if self._authoritative(lpn) == old_address:
             self._invalidate(old_address)
             self._update_mapping(lpn, new_address)
+            self._journal_commit(lpn, _version, new_address)
             return True
         self._invalidate(new_address)
         return False
+
+    # ------------------------------------------------------------------
+    # Crash consistency
+    # ------------------------------------------------------------------
+    def snapshot_map(self) -> dict[int, tuple[PhysicalAddress, int]]:
+        # The committed logical view: CMT entries overlay the persisted
+        # table (a dirty CMT entry is newer than its flash copy -- the
+        # data page itself is durable even when the mapping entry is not,
+        # which is exactly what recovery reconstructs).
+        snapshot: dict[int, tuple[PhysicalAddress, int]] = {}
+        for lpn in sorted(set(self.cmt) | set(self.persisted)):
+            address = self._authoritative(lpn)
+            if address is not None:
+                snapshot[lpn] = (address, self._committed_versions.get(lpn, 0))
+        return snapshot
+
+    def rebuild_from_recovery(
+        self,
+        mapping: dict[int, tuple[PhysicalAddress, int]],
+        issued_versions: dict[int, int],
+        committed_versions: dict[int, int],
+    ) -> None:
+        # Post-mount state: the whole recovered map counts as persisted
+        # (the mount wrote it back conceptually), the CMT starts cold --
+        # the post-crash miss storm is an observable of E19.  The old
+        # translation pages are never referenced again; the mount cleanup
+        # erased their blocks, and ``tp_locations`` stays empty until
+        # evictions write fresh ones.
+        self.persisted = {
+            lpn: address for lpn, (address, _version) in sorted(mapping.items())
+        }
+        self.tp_locations = {}
+        self.cmt = OrderedDict()
+        self._issued_versions = dict(issued_versions)
+        self._committed_versions = dict(committed_versions)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -107,6 +107,9 @@ class HybridFtl(BaseFtl):
         self.switch_merges = 0
         self.merged_pages = 0
         self.filler_pages = 0
+        #: Flash work done by mount-time log consolidation after a crash
+        #: (read by the crash coordinator to charge mount time).
+        self.mount_consolidation = {"reads": 0, "programs": 0, "erases": 0}
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -194,6 +197,8 @@ class HybridFtl(BaseFtl):
     ) -> None:
         if version is None:
             version = self.next_version(lpn)
+        if io is not None:
+            io.version = version
         slot = self._reserve_log_slot()
         if slot is None:
             self._pending_writes.append((io, lpn, hints, on_done, version))
@@ -402,6 +407,9 @@ class HybridFtl(BaseFtl):
                 self._invalidate(source)
                 self.log_map.pop(lpn, None)
                 state.data_bits |= 1 << offset
+                self._journal_commit(
+                    lpn, self._committed_versions.get(lpn, 0), new_address
+                )
             else:
                 # Overwritten or trimmed mid-merge: the merged copy is
                 # stale on arrival.
@@ -456,6 +464,194 @@ class HybridFtl(BaseFtl):
                 on_complete=self._log_write_done,
             )
             self.controller.enqueue_command(cmd)
+
+    # ------------------------------------------------------------------
+    # Crash consistency
+    # ------------------------------------------------------------------
+    def snapshot_map(self) -> dict[int, tuple[PhysicalAddress, int]]:
+        snapshot: dict[int, tuple[PhysicalAddress, int]] = {}
+        for lbn in sorted(self._lbns):
+            state = self._lbns[lbn]
+            if state.data_block is None:
+                continue
+            channel, lun, block = state.data_block
+            for offset in range(self.ppb):
+                if state.data_bits >> offset & 1:
+                    lpn = lbn * self.ppb + offset
+                    snapshot[lpn] = (
+                        PhysicalAddress(channel, lun, block, offset),
+                        self._committed_versions.get(lpn, 0),
+                    )
+        for lpn in sorted(self.log_map):
+            snapshot[lpn] = (self.log_map[lpn], self._committed_versions.get(lpn, 0))
+        return snapshot
+
+    def rebuild_from_recovery(
+        self,
+        mapping: dict[int, tuple[PhysicalAddress, int]],
+        issued_versions: dict[int, int],
+        committed_versions: dict[int, int],
+    ) -> None:
+        """Re-derive the block/log split from a flat recovered mapping.
+
+        The recovered map does not say which physical block was a data
+        block and which was a log block -- and it does not have to: a
+        block *is* a data block for lbn L exactly when every live entry
+        in it sits at its block-mapped position for L.  Everything else
+        is page-mapped state and goes back into the log pool.  Because
+        runtime merges can only victimise *full* log blocks, blocks that
+        cannot serve as the append tail are consolidated away here
+        (synchronous mount-time merges) so the device cannot restart
+        wedged.
+        """
+        self._issued_versions = dict(issued_versions)
+        self._committed_versions = dict(committed_versions)
+        self._lbns = {}
+        self.log_map = {}
+        self._log_blocks = []
+        self._log_assigned = {}
+        self._log_committed = {}
+        self._pending_writes.clear()
+        self._merging = False
+
+        # Group recovered entries by the physical block holding them.
+        by_block: dict[tuple[tuple[int, int], int], list[tuple[int, PhysicalAddress]]] = {}
+        for lpn in sorted(mapping):
+            address, _version = mapping[lpn]
+            key = ((address.channel, address.lun), address.block)
+            by_block.setdefault(key, []).append((lpn, address))
+
+        # A block qualifies as data-block candidate for one lbn when all
+        # of its entries sit at their block-mapped offset for that lbn.
+        candidates: dict[int, list[tuple[tuple[tuple[int, int], int], int]]] = {}
+        log_keys: list[tuple[tuple[int, int], int]] = []
+        for key in sorted(by_block):
+            entries = by_block[key]
+            lbns = {lpn // self.ppb for lpn, _ in entries}
+            aligned = len(lbns) == 1 and all(
+                address.page == lpn % self.ppb for lpn, address in entries
+            )
+            if aligned:
+                candidates.setdefault(lbns.pop(), []).append((key, len(entries)))
+            else:
+                log_keys.append(key)
+
+        # One data block per lbn: most entries, fullest, lowest id wins.
+        # In-order log blocks routinely qualify too; the losers rejoin
+        # the log pool as ordinary page-mapped blocks.
+        for lbn in sorted(candidates):
+            ranked = sorted(
+                candidates[lbn],
+                key=lambda item: (-item[1], -self._block(item[0]).write_pointer, item[0]),
+            )
+            winner_key, _count = ranked[0]
+            state = self._state(lbn)
+            (channel, lun), block_id = winner_key
+            state.data_block = (channel, lun, block_id)
+            for lpn, _address in by_block[winner_key]:
+                state.data_bits |= 1 << (lpn % self.ppb)
+            for loser_key, _count in ranked[1:]:
+                log_keys.append(loser_key)
+        log_keys.sort()
+        for key in log_keys:
+            for lpn, address in by_block[key]:
+                self.log_map[lpn] = address
+            self._log_blocks.append(key)
+            pointer = self._block(key).write_pointer
+            self._log_assigned[key] = pointer
+            self._log_committed[key] = pointer
+
+        # Full blocks first (merge-eligible), then at most one partial
+        # block as the append tail; every other partial block plus any
+        # pool overflow is consolidated away now.
+        self._log_blocks.sort(
+            key=lambda key: (not self._block(key).is_full, key)
+        )
+        self._consolidate_log_pool()
+
+    def _consolidate_log_pool(self) -> None:
+        def needs_consolidation() -> bool:
+            if len(self._log_blocks) > self.max_log_blocks:
+                return True
+            partial = [k for k in self._log_blocks if not self._block(k).is_full]
+            return len(partial) > 1 or (
+                bool(partial) and partial[0] != self._log_blocks[-1]
+            )
+
+        while needs_consolidation() and self.log_map:
+            per_lbn: dict[int, int] = {}
+            for lpn in sorted(self.log_map):
+                per_lbn[lpn // self.ppb] = per_lbn.get(lpn // self.ppb, 0) + 1
+            lbn = max(sorted(per_lbn), key=lambda candidate: per_lbn[candidate])
+            if not self._mount_merge_lbn(lbn):
+                return  # no free block: degrade gracefully, keep zombies
+
+    def _mount_merge_lbn(self, lbn: int) -> bool:
+        """Synchronously merge one lbn into a fresh data block at mount.
+
+        Equivalent to a runtime full merge, but performed directly on the
+        flash state machines (the event engine is frozen during a mount);
+        the coordinator charges the read/program/erase work to mount time
+        via ``mount_consolidation``.
+        """
+        array = self.controller.array
+        new_key = None
+        for lun_key in sorted(array.luns):
+            lun = array.luns[lun_key]
+            if lun.free_block_ids:
+                block_id = min(lun.free_block_ids)
+                lun.take_free_block(block_id)
+                new_key = (lun_key, block_id)
+                break
+        if new_key is None:
+            return False
+        now = self.controller.sim.now
+        state = self._state(lbn)
+        old_data = state.data_block
+        sources = [
+            self._current_address(lbn * self.ppb + offset) for offset in range(self.ppb)
+        ]
+        new_block = self._block(new_key)
+        (lun_key, block_id) = new_key
+        touched: set[tuple[tuple[int, int], int]] = set()
+        for offset, source in enumerate(sources):
+            lpn = lbn * self.ppb + offset
+            if source is None:
+                index = new_block.program_next((lpn, 0), now)
+                new_block.invalidate(index)
+                self.filler_pages += 1
+            else:
+                content = self._block(
+                    ((source.channel, source.lun), source.block)
+                ).read(source.page)
+                new_block.program_next(content, now)
+                self._invalidate(source)
+                self.log_map.pop(lpn, None)
+                state.data_bits |= 1 << offset
+                touched.add(((source.channel, source.lun), source.block))
+                self.mount_consolidation["reads"] += 1
+                self._journal_commit(
+                    lpn,
+                    self._committed_versions.get(lpn, 0),
+                    PhysicalAddress(lun_key[0], lun_key[1], block_id, offset),
+                )
+            self.mount_consolidation["programs"] += 1
+        state.data_block = (lun_key[0], lun_key[1], block_id)
+        self.merged_pages += sum(1 for source in sources if source is not None)
+        self.full_merges += 1
+        if old_data is not None:
+            touched.add(((old_data[0], old_data[1]), old_data[2]))
+        for key in sorted(touched):
+            block = self._block(key)
+            if block.erasable and not block.is_bad:
+                block.erase(now)
+                array.luns[key[0]].on_block_erased(key[1])
+                self.mount_consolidation["erases"] += 1
+                if key in self._log_assigned:
+                    self._log_blocks.remove(key)
+                    del self._log_assigned[key]
+                    del self._log_committed[key]
+        return True
 
     # ------------------------------------------------------------------
     # GC / WL cooperation (not applicable: merges ARE the reclamation)

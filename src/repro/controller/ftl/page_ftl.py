@@ -56,6 +56,8 @@ class PageMapFtl(BaseFtl):
     ) -> None:
         if version is None:
             version = self.next_version(lpn)
+        if io is not None:
+            io.version = version
         lun_key, stream = self.controller.allocator.place_write(lpn, hints)
         cmd = FlashCommand(
             CommandKind.PROGRAM,
@@ -96,13 +98,33 @@ class PageMapFtl(BaseFtl):
         old_address: PhysicalAddress,
         new_address: PhysicalAddress,
     ) -> bool:
-        lpn, _version = content
+        lpn, version = content
         if self._map.get(lpn) == old_address:
             self._invalidate(old_address)
             self._map[lpn] = new_address
+            self._journal_commit(lpn, version, new_address)
             return True
         self._invalidate(new_address)
         return False
+
+    # ------------------------------------------------------------------
+    # Crash consistency
+    # ------------------------------------------------------------------
+    def snapshot_map(self) -> dict[int, tuple[PhysicalAddress, int]]:
+        return {
+            lpn: (address, self._committed_versions.get(lpn, 0))
+            for lpn, address in sorted(self._map.items())
+        }
+
+    def rebuild_from_recovery(
+        self,
+        mapping: dict[int, tuple[PhysicalAddress, int]],
+        issued_versions: dict[int, int],
+        committed_versions: dict[int, int],
+    ) -> None:
+        self._map = {lpn: address for lpn, (address, _version) in sorted(mapping.items())}
+        self._issued_versions = dict(issued_versions)
+        self._committed_versions = dict(committed_versions)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -56,10 +56,20 @@ class WriteBuffer:
             raise ValueError("write buffer needs at least one page")
         self.controller = controller
         self.capacity = capacity_pages
+        #: E14 durability axis: battery-backed RAM admits-and-acks (the
+        #: buffer is durable), plain RAM defers the host acknowledgement
+        #: until the page is actually on flash -- a power loss may then
+        #: destroy buffered data, but never an acknowledged write.
+        self.battery_backed = controller.config.controller.write_buffer_battery_backed
         page_bytes = controller.config.geometry.page_size_bytes
-        controller.memory.allocate_battery_ram(
-            "write buffer", capacity_pages * page_bytes
-        )
+        if self.battery_backed:
+            controller.memory.allocate_battery_ram(
+                "write buffer", capacity_pages * page_bytes
+            )
+        else:
+            controller.memory.allocate_ram(
+                "write buffer", capacity_pages * page_bytes
+            )
         #: lpn -> _BufferedPage, in least-recently-written-first order.
         self._entries: OrderedDict[int, _BufferedPage] = OrderedDict()
         #: Pages whose flush program is in flight (still readable).
@@ -71,6 +81,9 @@ class WriteBuffer:
         self._pending_trims: dict[int, list[IoRequest]] = {}
         #: Writes waiting for a free slot: (io, hints, version).
         self._waiting: deque[tuple[IoRequest, dict, int]] = deque()
+        #: Volatile mode only: accepted-but-unacknowledged writes per
+        #: LPN, acknowledged once a flush covering their version lands.
+        self._pending_acks: dict[int, list[IoRequest]] = {}
         self.hits = 0
         self.absorbed_rewrites = 0
         self.flushed_pages = 0
@@ -80,6 +93,7 @@ class WriteBuffer:
     # ------------------------------------------------------------------
     def write(self, io: IoRequest, hints: dict) -> None:
         version = self.controller.ftl.next_version(io.lpn)
+        io.version = version
         if io.lpn in self._entries:
             # Absorb the rewrite in place.  If a flush of the old content
             # is in flight, remember that the entry must survive it.
@@ -88,7 +102,7 @@ class WriteBuffer:
             if io.lpn in self._flushing:
                 self._rewritten_during_flush.add(io.lpn)
             self.absorbed_rewrites += 1
-            self.controller.complete_quick(io)
+            self._ack_or_defer(io)
             return
         if len(self._entries) >= self.capacity:
             self._waiting.append((io, hints, version))
@@ -99,8 +113,22 @@ class WriteBuffer:
     def _admit(self, io: IoRequest, hints: dict, version: int) -> None:
         self._entries[io.lpn] = _BufferedPage(hints, version)
         self._entries.move_to_end(io.lpn)
-        self.controller.complete_quick(io)
+        self._ack_or_defer(io)
         self._maybe_flush()
+
+    def _ack_or_defer(self, io: IoRequest) -> None:
+        """Battery-backed: the buffer is durable, acknowledge now.
+        Volatile: hold the acknowledgement until the data is on flash --
+        and flush eagerly (write-through), otherwise writes below the
+        watermark would never be acknowledged.  The volatile buffer
+        keeps the read-cache and rewrite-coalescing wins but none of the
+        ack-latency win: that is the durability trade of E14/E19."""
+        if self.battery_backed:
+            self.controller.complete_quick(io)
+            return
+        self._pending_acks.setdefault(io.lpn, []).append(io)
+        if io.lpn not in self._flushing and io.lpn in self._entries:
+            self._flush_page(io.lpn)
 
     def serve_read(self, io: IoRequest) -> bool:
         """Complete ``io`` from the buffer if the page is buffered."""
@@ -122,6 +150,10 @@ class WriteBuffer:
             return True
         del self._entries[io.lpn]
         self._rewritten_during_flush.discard(io.lpn)
+        # The trim supersedes any accepted-but-unflushed writes of the
+        # page: acknowledge them (their data no longer has to reach
+        # flash) strictly before the trim's own completion below.
+        self._ack_all_pending(io.lpn)
         # An older version of the page may still be mapped on flash.
         self.controller.ftl.trim(io)
         self._admit_waiters()
@@ -159,13 +191,14 @@ class WriteBuffer:
             None,
             lpn,
             page.hints,
-            on_done=lambda lpn=lpn: self._flush_done(lpn),
+            on_done=lambda lpn=lpn, version=page.version: self._flush_done(lpn, version),
             version=page.version,
         )
 
-    def _flush_done(self, lpn: int) -> None:
+    def _flush_done(self, lpn: int, version: int) -> None:
         self._flushing.discard(lpn)
         self.flushed_pages += 1
+        self._ack_flushed(lpn, version)
         if lpn in self._rewritten_during_flush:
             # Newer content arrived mid-flush: the flash copy is already
             # stale, keep the buffered page.
@@ -175,8 +208,39 @@ class WriteBuffer:
         for trim_io in self._pending_trims.pop(lpn, []):
             self._entries.pop(lpn, None)
             self._rewritten_during_flush.discard(lpn)
+            self._ack_all_pending(lpn)
             self.controller.ftl.trim(trim_io)
+        if (
+            self._pending_acks.get(lpn)
+            and lpn in self._entries
+            and lpn not in self._flushing
+        ):
+            # Volatile mode: a rewrite landed mid-flush; its ack still
+            # waits on flash, so the newer version flushes right away.
+            self._flush_page(lpn)
         self._admit_waiters()
+
+    def _ack_flushed(self, lpn: int, version: int) -> None:
+        """Volatile mode: the flush put ``version`` on flash, so every
+        held write of the page up to that version is now durable.
+
+        Reentrancy: ``complete_io`` interrupts the OS, whose thread may
+        issue (and defer) a *new* write of this page synchronously -- so
+        the list is detached first and survivors reinstalled before any
+        completion fires; reentrant appends then extend a fresh list."""
+        waiting = self._pending_acks.pop(lpn, None)
+        if not waiting:
+            return
+        ready = [io for io in waiting if io.version is not None and io.version <= version]
+        newer = [io for io in waiting if io.version is None or io.version > version]
+        if newer:
+            self._pending_acks[lpn] = newer
+        for io in ready:
+            self.controller.complete_io(io)
+
+    def _ack_all_pending(self, lpn: int) -> None:
+        for io in self._pending_acks.pop(lpn, []):
+            self.controller.complete_io(io)
 
     def _admit_waiters(self) -> None:
         while self._waiting and len(self._entries) < self.capacity:
@@ -191,6 +255,26 @@ class WriteBuffer:
                     if io.lpn in self._flushing:
                         self._rewritten_during_flush.add(io.lpn)
                 self.absorbed_rewrites += 1
-                self.controller.complete_quick(io)
+                self._ack_or_defer(io)
             else:
                 self._admit(io, hints, version)
+
+    # ------------------------------------------------------------------
+    # Crash support
+    # ------------------------------------------------------------------
+    def snapshot_entries(self) -> list[tuple[int, dict, int]]:
+        """Battery-backed mode: the buffer contents that survive a power
+        loss, in eviction (least-recently-written-first) order."""
+        # simlint: disable=SIM003 -- insertion order is the FIFO state
+        # being preserved across the crash.
+        return [
+            (lpn, page.hints, page.version) for lpn, page in self._entries.items()
+        ]
+
+    def restore(self, entries: list[tuple[int, dict, int]]) -> None:
+        """Remount: re-install surviving buffer contents.  The writes
+        they came from were acknowledged before the crash -- nothing is
+        re-acknowledged here -- and normal watermark flushing resumes."""
+        for lpn, hints, version in entries:
+            self._entries[lpn] = _BufferedPage(hints, version)
+        self._maybe_flush()

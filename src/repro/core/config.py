@@ -111,6 +111,19 @@ class TemperatureDetector(enum.Enum):
     HINT = "hint"
 
 
+class RecoveryStrategy(enum.Enum):
+    """How the mapping table is reconstructed after a power loss
+    (:mod:`repro.reliability.recovery`)."""
+
+    #: Read every programmed page's out-of-band area and rebuild the map
+    #: from the (lpn, version) tokens.  No runtime cost, long mount.
+    OOB_SCAN = "oob_scan"
+    #: Periodic mapping-table checkpoint plus a battery-backed journal of
+    #: mapping commits; mount replays the journal tail.  Runtime write
+    #: amplification for a short mount.
+    CHECKPOINT_JOURNAL = "checkpoint_journal"
+
+
 @dataclass
 class ChipTimings:
     """Basic flash chip timings (paper: "to send a command, transfer data
@@ -369,6 +382,12 @@ class ControllerConfig:
     #: Pages of battery-backed RAM used by the write-buffer module
     #: (0 disables the module).
     write_buffer_pages: int = 0
+    #: Write-buffer durability (paper E14's battery-backed mode).  True:
+    #: the buffer lives in battery-backed RAM, writes are acknowledged at
+    #: admission and buffered data survives power loss.  False: the
+    #: buffer lives in plain RAM, acknowledgement is deferred until the
+    #: buffered page is durably flushed, and power loss discards it.
+    write_buffer_battery_backed: bool = True
     #: Controller RAM budget (mapping structures), bytes.
     ram_bytes: int = 32 * units.MIB
     #: Battery-backed RAM budget (write buffer), bytes.
@@ -394,10 +413,15 @@ class ControllerConfig:
         if self.write_buffer_pages < 0:
             raise ValueError("write_buffer_pages must be >= 0")
         buffer_bytes = self.write_buffer_pages * geometry.page_size_bytes
-        if buffer_bytes > self.battery_ram_bytes:
+        if self.write_buffer_battery_backed and buffer_bytes > self.battery_ram_bytes:
             raise ValueError(
                 "write buffer does not fit in battery-backed RAM "
                 f"({buffer_bytes}B > {self.battery_ram_bytes}B)"
+            )
+        if not self.write_buffer_battery_backed and buffer_bytes > self.ram_bytes:
+            raise ValueError(
+                "volatile write buffer does not fit in controller RAM "
+                f"({buffer_bytes}B > {self.ram_bytes}B)"
             )
 
 
@@ -497,6 +521,45 @@ class ReliabilityConfig:
 
 
 @dataclass
+class CrashConfig:
+    """Crash-consistency parameters (power loss, recovery, mount).
+
+    Only consulted when a :class:`~repro.reliability.inject.FaultPlan`
+    schedules at least one power loss; otherwise the machinery is never
+    armed and runs are bit-identical to a simulator without it.
+    """
+
+    #: Mapping reconstruction strategy used at every mount.
+    strategy: RecoveryStrategy = RecoveryStrategy.OOB_SCAN
+    #: CHECKPOINT_JOURNAL: virtual time between mapping-table checkpoints.
+    checkpoint_interval_ns: int = units.milliseconds(50)
+    #: CHECKPOINT_JOURNAL: battery-backed journal capacity in records;
+    #: filling it forces an immediate checkpoint.
+    journal_capacity_records: int = 4096
+    #: Bytes per journal record (battery RAM accounting).
+    journal_record_bytes: int = 16
+    #: CHECKPOINT_JOURNAL: mount cost per replayed journal record.
+    replay_ns_per_record: int = 50
+    #: OOB_SCAN: out-of-band bytes read per scanned page.
+    oob_bytes: int = 16
+    #: Fixed mount overhead (controller boot, device identification).
+    mount_base_ns: int = units.microseconds(100)
+
+    def validate(self) -> None:
+        for name in (
+            "checkpoint_interval_ns",
+            "journal_capacity_records",
+            "journal_record_bytes",
+            "oob_bytes",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"CrashConfig.{name} must be positive")
+        for name in ("replay_ns_per_record", "mount_base_ns"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"CrashConfig.{name} must be >= 0")
+
+
+@dataclass
 class HostConfig:
     """Operating-system layer configuration (paper Section 2.2 OS)."""
 
@@ -527,6 +590,7 @@ class SimulationConfig:
     controller: ControllerConfig = field(default_factory=ControllerConfig)
     host: HostConfig = field(default_factory=HostConfig)
     reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
+    crash: CrashConfig = field(default_factory=CrashConfig)
     seed: int = 42
     #: Hard stop for the virtual clock; ``None`` runs until workloads end.
     max_time_ns: Optional[int] = None
@@ -555,15 +619,20 @@ class SimulationConfig:
         self.controller.validate(self.geometry)
         self.host.validate()
         self.reliability.validate(self.geometry)
+        self.crash.validate()
         if self.logical_pages < 1:
             raise ValueError("overprovisioning leaves no logical space")
+        plan = self.reliability.fault_plan
+        plan_has_media_faults = plan is not None and (
+            getattr(plan, "erase_failures", None) or getattr(plan, "program_failures", None)
+        )
         if (
             self.reliability.enabled
             and self.controller.ftl is FtlKind.HYBRID
             and (
                 self.reliability.program_fail_probability > 0.0
                 or self.reliability.erase_fail_probability > 0.0
-                or self.reliability.fault_plan is not None
+                or plan_has_media_faults
             )
         ):
             raise ValueError(

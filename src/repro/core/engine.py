@@ -352,6 +352,49 @@ class Simulator:
                 {"count": len(self._cancelled)},
             )
 
+    def power_cycle_purge(
+        self, device_prefixes: tuple[str, ...], shift_ns: int
+    ) -> tuple[int, int]:
+        """Crash-consistency support: drop device events, delay host events.
+
+        A power loss destroys all device-side state, including every
+        scheduled continuation of the controller, flash array and
+        reliability layers; host-side events (thread timers, OS restarts)
+        survive but cannot make progress until the device has remounted.
+        Classification is by the ``__module__`` of the event callable --
+        closures and bound methods both carry their defining module.
+
+        Entries whose callable's module starts with one of
+        ``device_prefixes`` are discarded; every other live entry is
+        shifted ``shift_ns`` into the future (the outage plus mount
+        window).  Cancelled entries are physically removed.  Returns
+        ``(dropped, shifted)`` counts.
+        """
+        if shift_ns < 0:
+            raise ValueError(f"shift_ns must be >= 0 (got {shift_ns})")
+        dropped = 0
+        survivors: list[tuple] = []
+        for entry in self._queue:
+            time, seq, fn, args, handle = entry
+            if seq in self._cancelled:
+                continue  # physically drop stale cancelled entries
+            module = getattr(fn, "__module__", "") or ""
+            if module.startswith(device_prefixes):
+                dropped += 1
+                if handle is not None:
+                    handle.cancelled = True
+                    if self._sanitize:
+                        self._handles.pop(seq, None)
+                continue
+            if handle is not None:
+                handle.time = time + shift_ns
+            survivors.append((time + shift_ns, seq, fn, args, handle))
+        self._cancelled.clear()
+        self._live = len(survivors)
+        heapq.heapify(survivors)
+        self._queue[:] = survivors
+        return dropped, self._live
+
     def _cancel(self, seq: int) -> None:
         """Mark a queued entry cancelled (called by EventHandle.cancel)."""
         self._cancelled.add(seq)

@@ -45,6 +45,11 @@ class IoStatus(enum.Enum):
     READ_ONLY = "read_only"
     #: Read data lost: ECC failed and parity could not reconstruct it.
     UNCORRECTABLE = "uncorrectable"
+    #: The IO was in flight when the device lost power; it completes with
+    #: this status once the device is back (crash subsystem, PR 5).  The
+    #: operation may or may not have reached flash -- standard storage
+    #: ambiguity for unacknowledged requests.
+    POWER_FAIL = "power_fail"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -85,6 +90,7 @@ class IoRequest:
         "hints",
         "data",
         "status",
+        "version",
     )
 
     def __init__(
@@ -107,6 +113,11 @@ class IoRequest:
         self.data: Optional[tuple[int, int]] = None
         #: Completion status; only the reliability subsystem sets non-OK.
         self.status: IoStatus = IoStatus.OK
+        #: Write version assigned by the FTL / write buffer when the
+        #: request was accepted (None for reads and undispatched writes).
+        #: The durability audit compares acknowledged versions against
+        #: the recovered mapping after a power loss.
+        self.version: Optional[int] = None
 
     @property
     def is_read(self) -> bool:

@@ -28,6 +28,7 @@ naming the failing run -- never as a hung sweep.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence
 
@@ -36,21 +37,38 @@ from repro.core.simulation import Simulation, SimulationResult
 
 
 class SweepRunError(RuntimeError):
-    """One run of a parallel sweep failed.
+    """One run of a parallel sweep failed (its retry budget included).
 
-    Carries enough context to reproduce the failure serially:
-    ``index`` and ``label`` identify the run within the sweep, and
-    ``cause`` is the underlying exception (possibly re-raised from a
-    worker process).
+    Carries enough context to reproduce the failure serially --
+    ``index`` and ``label`` identify the run within the sweep, ``cause``
+    is the underlying exception (possibly re-raised from a worker
+    process) -- plus ``partial_results``: every run that *did* complete
+    before the sweep aborted, keyed by spec index, so hours of finished
+    simulations survive one bad grid cell.
     """
 
-    def __init__(self, index: int, label: object, cause: BaseException) -> None:
+    def __init__(
+        self,
+        index: int,
+        label: object,
+        cause: BaseException,
+        partial_results: Optional[dict[int, SimulationResult]] = None,
+    ) -> None:
         self.index = index
         self.label = label
         self.cause = cause
+        self.partial_results: dict[int, SimulationResult] = dict(
+            partial_results or {}
+        )
+        salvage = (
+            f" ({len(self.partial_results)} completed runs salvaged in"
+            " partial_results)"
+            if self.partial_results
+            else ""
+        )
         super().__init__(
             f"sweep run #{index} ({label!r}) failed: "
-            f"{type(cause).__name__}: {cause}"
+            f"{type(cause).__name__}: {cause}{salvage}"
         )
 
 
@@ -109,14 +127,51 @@ class SweepExecutor:
     pickled to a worker process; results stream back and are delivered
     in spec order, so progress callbacks and result lists are
     deterministic regardless of which worker finishes first.
+
+    Hardening (long unattended sweeps, see E19):
+
+    * ``timeout`` -- per-run wall-clock limit in seconds.  A run that
+      exceeds it counts as failed; its worker process is killed and the
+      pool recycled, so one hung simulation cannot wedge the sweep.
+      Only enforced with ``workers > 1`` (a single process cannot
+      preempt itself).
+    * ``retries`` -- how many times a failed run (crashed worker,
+      timeout, or raised exception) is re-executed before the sweep
+      gives up.  Retries back off exponentially: attempt *n* waits
+      ``retry_backoff * 2**(n-1)`` seconds.  Runs that were innocently
+      interrupted by another run's crash are re-queued without being
+      charged a retry.
+    * When the budget is exhausted the raised :class:`SweepRunError`
+      carries ``partial_results`` -- every completed
+      :class:`SimulationResult` so far, keyed by spec index.
+
+    With the default ``timeout=None, retries=0`` the executor behaves
+    exactly as it always has (streaming results lazily in spec order);
+    the hardened path buffers a pass before yielding.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        retry_backoff: float = 0.5,
+    ) -> None:
         if workers is None:
             workers = default_workers()
         if workers < 1:
             raise ValueError(f"workers must be >= 1 (got {workers})")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive (got {timeout})")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0 (got {retries})")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0 (got {retry_backoff})")
         self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
 
     def map(
         self,
@@ -141,8 +196,10 @@ class SweepExecutor:
         specs = list(specs)
         if self.workers == 1 or len(specs) <= 1:
             yield from self._run_serial(specs, progress)
-        else:
+        elif self.timeout is None and self.retries == 0:
             yield from self._run_parallel(specs, progress)
+        else:
+            yield from self._run_hardened(specs, progress)
 
     # ------------------------------------------------------------------
     # Execution strategies
@@ -150,11 +207,21 @@ class SweepExecutor:
     def _run_serial(
         self, specs: Sequence[RunSpec], progress: Optional[Callable[[int, int], None]]
     ) -> Iterator[SimulationResult]:
+        completed: dict[int, SimulationResult] = {}
         for spec in specs:
-            try:
-                result = spec.execute()
-            except Exception as error:
-                raise SweepRunError(spec.index, spec.label, error) from error
+            failures = 0
+            while True:
+                try:
+                    result = spec.execute()
+                    break
+                except Exception as error:
+                    failures += 1
+                    if failures > self.retries:
+                        raise SweepRunError(
+                            spec.index, spec.label, error, partial_results=completed
+                        ) from error
+                    time.sleep(self.retry_backoff * (2 ** (failures - 1)))
+            completed[spec.index] = result
             if progress is not None:
                 progress(spec, result)
             yield result
@@ -165,6 +232,7 @@ class SweepExecutor:
         from concurrent.futures import ProcessPoolExecutor
 
         workers = min(self.workers, len(specs))
+        completed: dict[int, SimulationResult] = {}
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_execute_spec, spec) for spec in specs]
             try:
@@ -178,11 +246,114 @@ class SweepExecutor:
                     except Exception as error:
                         # A worker crash (BrokenProcessPool) or a
                         # pickling failure lands here too: name the run
-                        # instead of hanging or dying anonymously.
-                        raise SweepRunError(spec.index, spec.label, error) from error
+                        # instead of hanging or dying anonymously, and
+                        # hand back everything that did finish.
+                        raise SweepRunError(
+                            spec.index, spec.label, error, partial_results=completed
+                        ) from error
+                    completed[spec.index] = result
                     if progress is not None:
                         progress(spec, result)
                     yield result
             finally:
                 for future in futures:
                     future.cancel()
+
+    def _run_hardened(
+        self, specs: Sequence[RunSpec], progress: Optional[Callable[[int, int], None]]
+    ) -> Iterator[SimulationResult]:
+        """Parallel execution with timeout enforcement and bounded
+        retries.  Runs in passes: each pass submits every still-pending
+        spec to a fresh pool; a hung or crashed worker aborts the pass
+        (finished runs are salvaged, innocents re-queued uncharged) and
+        the culprit is charged one failure.  A spec that exhausts
+        ``retries`` raises :class:`SweepRunError` with every completed
+        result attached."""
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+        from concurrent.futures.process import BrokenProcessPool
+
+        results: dict[int, SimulationResult] = {}
+        failures: dict[int, int] = {spec.index: 0 for spec in specs}
+        pending: list[RunSpec] = list(specs)
+        while pending:
+            pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
+            futures = [(spec, pool.submit(_execute_spec, spec)) for spec in pending]
+            requeue: list[RunSpec] = []
+            abort = False
+            try:
+                for spec, future in futures:
+                    if abort:
+                        # The pool is compromised; salvage runs that
+                        # already finished, re-queue the rest without
+                        # charging them a retry.
+                        if future.done() and not future.cancelled():
+                            try:
+                                results[spec.index] = future.result()
+                                continue
+                            except Exception:
+                                pass
+                        requeue.append(spec)
+                        continue
+                    try:
+                        results[spec.index] = future.result(timeout=self.timeout)
+                    except FutureTimeoutError:
+                        abort = True
+                        cause: BaseException = TimeoutError(
+                            f"run exceeded the {self.timeout:g}s"
+                            " wall-clock limit"
+                        )
+                        self._charge(spec, cause, failures, requeue, results)
+                    except BrokenProcessPool as error:
+                        abort = True
+                        self._charge(spec, error, failures, requeue, results)
+                    except Exception as error:
+                        self._charge(spec, error, failures, requeue, results)
+            finally:
+                self._teardown_pool(pool, abort)
+            if requeue:
+                charged = max(failures[spec.index] for spec in requeue)
+                if charged:
+                    time.sleep(self.retry_backoff * (2 ** (charged - 1)))
+            pending = requeue
+        for spec in specs:
+            result = results[spec.index]
+            if progress is not None:
+                progress(spec, result)
+            yield result
+
+    def _charge(
+        self,
+        spec: RunSpec,
+        cause: BaseException,
+        failures: dict[int, int],
+        requeue: list[RunSpec],
+        results: dict[int, SimulationResult],
+    ) -> None:
+        """Record one failure of ``spec``; re-queue it while budget
+        remains, abort the sweep (with partial results) otherwise."""
+        failures[spec.index] += 1
+        if failures[spec.index] > self.retries:
+            raise SweepRunError(
+                spec.index, spec.label, cause, partial_results=results
+            ) from cause
+        requeue.append(spec)
+
+    @staticmethod
+    def _teardown_pool(pool: object, abort: bool) -> None:
+        """Dispose of a pass's pool.  On abort the pool may hold a hung
+        worker: don't wait for it, kill its processes outright so an
+        unresponsive simulation cannot survive the sweep."""
+        from concurrent.futures.process import ProcessPoolExecutor
+
+        assert isinstance(pool, ProcessPoolExecutor)
+        if not abort:
+            pool.shutdown(wait=True, cancel_futures=True)
+            return
+        pool.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(pool, "_processes", None) or {}
+        for pid in sorted(processes):
+            try:
+                processes[pid].kill()
+            except Exception:  # pragma: no cover - process already gone
+                pass

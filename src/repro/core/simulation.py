@@ -22,10 +22,12 @@ from repro.controller import SsdController
 from repro.core import units
 from repro.core.config import SimulationConfig
 from repro.core.engine import Simulator
+from repro.core.power import CrashStats, PowerLossEvent
 from repro.core.rng import RandomSource
 from repro.core.statistics import StatisticsGatherer
 from repro.core.tracing import TraceRecorder
 from repro.host.operating_system import OperatingSystem
+from repro.reliability.crash import PowerCycleCoordinator
 
 
 class SimulationResult:
@@ -66,6 +68,17 @@ class SimulationResult:
         self.read_only_entry_ns = reliability.read_only_entry_ns if reliability else None
         self.channel_utilisation = controller.array.channel_utilisation()
         self.lun_utilisation = controller.array.lun_utilisation()
+        #: Crash/recovery accounting; an all-zero CrashStats when no
+        #: power loss was scheduled (pay-for-what-you-use).
+        coordinator = simulation._coordinator
+        crash = coordinator.stats if coordinator is not None else CrashStats()
+        if controller.checkpointer is not None:
+            crash.checkpoints_taken = controller.checkpointer.checkpoints_taken
+            crash.checkpoint_pages_written = (
+                controller.checkpointer.checkpoint_pages_written
+            )
+        self.crash_stats = crash
+        self.mount_reports = crash.reports
         self.flash_commands = dict(controller.stats.flash_commands)
         #: True when the run ended with IOs still outstanding: either the
         #: time limit cut the workload short, or the system stalled.
@@ -107,6 +120,18 @@ class SimulationResult:
                     if self.read_only_entry_ns is not None
                     else -1.0
                 ),
+                # Crash/recovery subsystem; all zero when no power loss
+                # was scheduled.
+                "power_losses": float(self.crash_stats.power_losses),
+                "mount_time_ms": units.to_milliseconds(self.crash_stats.mount_time_ns),
+                "recovery_scanned_pages": float(self.crash_stats.scanned_pages),
+                "recovery_replayed_records": float(self.crash_stats.replayed_records),
+                "lost_writes": float(self.crash_stats.lost_writes),
+                "torn_pages": float(self.crash_stats.torn_pages),
+                "checkpoints_taken": float(self.crash_stats.checkpoints_taken),
+                "checkpoint_pages_written": float(
+                    self.crash_stats.checkpoint_pages_written
+                ),
             }
         )
         self._summary_cache = summary
@@ -145,6 +170,13 @@ class SimulationResult:
                 f"{self.uncorrectable_reads} lost, "
                 f"{self.runtime_retired_blocks} blocks retired"
             )
+        if self.crash_stats.power_losses:
+            lines.append(
+                f"crashes       : {self.crash_stats.power_losses} power losses, "
+                f"{units.format_time(self.crash_stats.mount_time_ns)} mounting, "
+                f"{self.crash_stats.scanned_pages} pages scanned, "
+                f"{self.crash_stats.lost_writes} writes lost"
+            )
         return "\n".join(lines)
 
 
@@ -158,12 +190,33 @@ class Simulation:
         self.rng = RandomSource(config.seed, sanitize=config.sanitize)
         self.tracer = TraceRecorder(enabled=config.trace_enabled)
         self.stats = StatisticsGatherer("global")
+        #: Power losses scheduled by the fault plan (crash consistency is
+        #: a baseline-device property: it does NOT need
+        #: ``reliability.enabled``).  With none scheduled, nothing below
+        #: is armed and runs are bit-identical to a crash-free simulator.
+        plan = config.reliability.fault_plan
+        self._power_losses: list[PowerLossEvent] = (
+            sorted(plan.power_losses, key=lambda event: event.at_ns)
+            if plan is not None
+            else []
+        )
+        crash_armed = bool(self._power_losses)
         self.controller = SsdController(
-            self.sim, config, rng=self.rng, tracer=self.tracer, stats=self.stats
+            self.sim,
+            config,
+            rng=self.rng,
+            tracer=self.tracer,
+            stats=self.stats,
+            crash_armed=crash_armed,
         )
         self.os = OperatingSystem(
             self.sim, config, self.controller, self.stats, self.tracer, self.rng
         )
+        self._coordinator: Optional[PowerCycleCoordinator] = None
+        if crash_armed:
+            self._coordinator = PowerCycleCoordinator(self)
+            self.os.track_inflight = True
+            self.os.auditor = self._coordinator.auditor
         self._ran = False
 
     def add_thread(
@@ -183,6 +236,17 @@ class Simulation:
         self._ran = True
         limit = max_time_ns if max_time_ns is not None else self.config.max_time_ns
         self.os.start()
+        if self._coordinator is not None:
+            # Segmented execution: run to each scheduled power loss, tear
+            # the device down and remount it, then continue.  A loss that
+            # lands while the device is still off/mounting from the
+            # previous one fires immediately at the current instant.
+            for loss in self._power_losses:
+                if limit is not None and loss.at_ns >= limit:
+                    break
+                if loss.at_ns > self.sim.now:
+                    self.sim.run(until=loss.at_ns)
+                self._coordinator.power_cycle(loss)
         self.sim.run(until=limit)
         if self.config.sanitize:
             # At a drained queue every EventHandle must have fired or been

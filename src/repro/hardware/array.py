@@ -350,6 +350,43 @@ class SsdArray:
         self.on_resource_free()
 
     # ------------------------------------------------------------------
+    # Power loss
+    # ------------------------------------------------------------------
+    def power_loss(self) -> list[PhysicalAddress]:
+        """Destroy all volatile array state at a power cut.
+
+        Programs and copybacks mutate flash at command *start* (see
+        :meth:`_apply_start_effects`), so an in-flight one leaves a
+        partially-programmed page behind: it is marked torn (dead,
+        unreadable).  An in-flight erase applies at *completion*, so the
+        block simply keeps its old contents.  Command/phase bookkeeping
+        (LUN holds, channel occupancy, parked bus continuations,
+        in-flight read holds) evaporates -- the events driving it are
+        purged from the engine by the crash coordinator.
+
+        Returns the torn page addresses, channel-major order.
+        """
+        torn: list[PhysicalAddress] = []
+        for key in sorted(self.luns):
+            lun = self.luns[key]
+            cmd = lun.current_command
+            if cmd is not None and cmd.kind in (
+                CommandKind.PROGRAM,
+                CommandKind.COPYBACK,
+            ):
+                address = cmd.target_address or cmd.address
+                lun.block(address.block).mark_torn(address.page)
+                torn.append(address)
+            lun.current_command = None
+            lun.busy_until = 0
+            for block in lun.blocks:
+                block.inflight_reads = 0
+        for channel in self.channels:
+            channel.busy_until = 0
+            channel.continuations.clear()
+        return torn
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def total_live_pages(self) -> int:

@@ -43,11 +43,15 @@ class FlashStateError(RuntimeError):
 class Page:
     """One flash page."""
 
-    __slots__ = ("state", "content")
+    __slots__ = ("state", "content", "torn")
 
     def __init__(self) -> None:
         self.state = PageState.FREE
         self.content: Optional[PageContent] = None
+        #: Power was lost while this page was being programmed: the cells
+        #: hold an indeterminate mixture and any read would fail ECC.
+        #: Torn pages are dead space until the block is erased.
+        self.torn = False
 
 
 class Block:
@@ -153,6 +157,18 @@ class Block:
         self.live_count -= 1
         self.dead_count += 1
 
+    def mark_torn(self, page_index: int) -> None:
+        """Power-loss hook: the in-flight program writing this page was
+        interrupted.  The page was charged at command start (NAND
+        sequential-program bookkeeping), so it stays behind the write
+        pointer, but its content is unreadable -- it becomes dead space."""
+        page = self.pages[page_index]
+        page.torn = True
+        if page.state is PageState.LIVE:
+            page.state = PageState.DEAD
+            self.live_count -= 1
+            self.dead_count += 1
+
     def _sanitize_check(self, operation: str, full: bool = False) -> None:
         """Sanitize mode: counters and page states must agree.
 
@@ -206,6 +222,7 @@ class Block:
         for page in self.pages:
             page.state = PageState.FREE
             page.content = None
+            page.torn = False
         self.write_pointer = 0
         self.live_count = 0
         self.dead_count = 0

@@ -75,6 +75,11 @@ class OpenInterface:
         """Subscribe ``handler`` to messages of ``kind``."""
         self._handlers.setdefault(kind, []).append(handler)
 
+    def unregister(self, kind: str) -> None:
+        """Drop every handler of ``kind`` (used when the device-side
+        endpoint is replaced, e.g. at a post-crash remount)."""
+        self._handlers.pop(kind, None)
+
     def send(self, message: Message) -> list:
         """Deliver a message to all handlers of its kind.
 

@@ -21,7 +21,7 @@ from typing import Any, Iterable, Optional
 
 from repro.core.config import SimulationConfig
 from repro.core.engine import Simulator
-from repro.core.events import IoRequest, IoType
+from repro.core.events import IoRequest, IoStatus, IoType
 from repro.core.rng import RandomSource, RandomStream
 from repro.core.statistics import StatisticsGatherer
 from repro.core.tracing import TraceRecorder
@@ -153,6 +153,13 @@ class OperatingSystem:
         #: Completed IoRequest objects, kept only when configured.
         self.completed_ios: list[IoRequest] = []
         self._retain_ios = config.host.retain_completed_ios
+        #: Crash subsystem (both set by the simulation only when a power
+        #: loss is scheduled; plain no-ops otherwise).  ``_inflight``
+        #: tracks dispatched-but-uncompleted IOs so a power cut can fail
+        #: them; the auditor observes acknowledged writes.
+        self.track_inflight = False
+        self._inflight: dict[int, IoRequest] = {}
+        self.auditor = None
 
     # ------------------------------------------------------------------
     # Thread registration and lifecycle
@@ -246,6 +253,8 @@ class OperatingSystem:
                 return
             io.dispatch_time = self.sim.now
             self.outstanding += 1
+            if self.track_inflight:
+                self._inflight[io.id] = io
             self.tracer.record(
                 self.sim.now, "os", "dispatch", f"{io.io_type} lpn={io.lpn} #{io.id}"
             )
@@ -256,6 +265,10 @@ class OperatingSystem:
         self.outstanding -= 1
         if self.outstanding < 0:
             raise RuntimeError("completion interrupt without outstanding IO")
+        if self._inflight:
+            self._inflight.pop(io.id, None)
+        if self.auditor is not None:
+            self.auditor.on_completion(io)
         if self._retain_ios:
             self.completed_ios.append(io)
         self.stats.record_io(io)
@@ -267,3 +280,27 @@ class OperatingSystem:
             if not record.finished and record.context is not None:
                 record.thread.on_io_completed(record.context, io)
         self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Crash support (armed only when a power loss is scheduled)
+    # ------------------------------------------------------------------
+    def power_fail_inflight(self, ready_ns: int) -> int:
+        """Fail every dispatched-but-uncompleted IO with ``POWER_FAIL``.
+
+        Their completion events inside the device died with the power;
+        real hosts see such requests time out and error once the device
+        is back.  Delivery is deferred to ``ready_ns`` (device remounted)
+        through OS-module events, which survive the device-event purge.
+        Returns the number of failed IOs.
+        """
+        failed = 0
+        for io_id in sorted(self._inflight):
+            io = self._inflight[io_id]
+            io.status = IoStatus.POWER_FAIL
+            self.sim.post_at(ready_ns, self._deliver_power_fail, io)
+            failed += 1
+        return failed
+
+    def _deliver_power_fail(self, io: IoRequest) -> None:
+        io.complete_time = self.sim.now
+        self._interrupt(io)

@@ -14,24 +14,44 @@ axis to the simulator:
 * :mod:`repro.reliability.inject`   -- deterministic fault plans for
   targeted experiments and regression tests.
 * :mod:`repro.reliability.recovery` -- the manager orchestrating retries,
-  parity rebuilds, block condemnation and graceful degradation.
+  parity rebuilds, block condemnation and graceful degradation, plus the
+  crash-recovery strategies (OOB scan-rebuild and checkpoint+journal).
+* :mod:`repro.reliability.crash`    -- the power-cycle coordinator: tear
+  the device down at a scheduled power loss, remount it through a
+  recovery strategy, and audit durability afterwards.
 
-Everything is off by default (``ReliabilityConfig.enabled = False``):
-a default configuration runs bit-identically to a simulator without
-this package.
+Everything is off by default (``ReliabilityConfig.enabled = False``,
+no power losses in the fault plan): a default configuration runs
+bit-identically to a simulator without this package.
 """
 
 from repro.reliability.ecc import EccModel, ReadVerdict
 from repro.reliability.errors import BitErrorModel
 from repro.reliability.inject import FaultPlan
-from repro.reliability.recovery import ParityTracker, ReliabilityManager, pack_content
+from repro.reliability.recovery import (
+    CheckpointJournalRecovery,
+    CheckpointManager,
+    MappingJournal,
+    OobScanRecovery,
+    ParityTracker,
+    RecoveredState,
+    ReliabilityManager,
+    checkpoint_flash_pages,
+    pack_content,
+)
 
 __all__ = [
     "BitErrorModel",
+    "CheckpointJournalRecovery",
+    "CheckpointManager",
     "EccModel",
     "FaultPlan",
+    "MappingJournal",
+    "OobScanRecovery",
     "ParityTracker",
     "ReadVerdict",
+    "RecoveredState",
     "ReliabilityManager",
+    "checkpoint_flash_pages",
     "pack_content",
 ]

@@ -27,6 +27,8 @@ totals.
 
 from __future__ import annotations
 
+from repro.core.power import PowerLossEvent, PowerRestoreEvent
+
 
 class FaultPlan:
     """A declarative schedule of block failures and read corruptions."""
@@ -38,6 +40,11 @@ class FaultPlan:
         self.program_failures: dict[tuple[int, int, int], set[int]] = {}
         #: lpn -> number of upcoming reads forced uncorrectable.
         self.read_corruptions: dict[int, int] = {}
+        #: Scheduled power losses, each paired with its restore.  Read by
+        #: the simulation directly; unlike the media faults above these do
+        #: NOT require ``reliability.enabled`` -- crash consistency is a
+        #: property of the baseline device, not of the RAS add-ons.
+        self.power_losses: list[PowerLossEvent] = []
 
     # ------------------------------------------------------------------
     # Builders (fluent)
@@ -70,13 +77,32 @@ class FaultPlan:
         self.read_corruptions[lpn] = self.read_corruptions.get(lpn, 0) + count
         return self
 
+    def power_loss(self, at_ns: int, off_ns: int = 1_000_000) -> "FaultPlan":
+        """Cut device power at virtual time ``at_ns``; power returns
+        ``off_ns`` later and the device remounts (recovery strategy and
+        cost from ``config.crash``).  Multiple losses may be scheduled;
+        they are processed in time order."""
+        if at_ns < 0:
+            raise ValueError("power loss time must be >= 0")
+        if off_ns <= 0:
+            raise ValueError("outage duration must be positive")
+        restore = PowerRestoreEvent(at_ns=at_ns + off_ns)
+        self.power_losses.append(PowerLossEvent(at_ns=at_ns, restore=restore))
+        return self
+
     @property
     def is_empty(self) -> bool:
-        return not (self.erase_failures or self.program_failures or self.read_corruptions)
+        return not (
+            self.erase_failures
+            or self.program_failures
+            or self.read_corruptions
+            or self.power_losses
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"FaultPlan(erase={len(self.erase_failures)}, "
             f"program={len(self.program_failures)}, "
-            f"reads={len(self.read_corruptions)})"
+            f"reads={len(self.read_corruptions)}, "
+            f"power_losses={len(self.power_losses)})"
         )

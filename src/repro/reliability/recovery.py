@@ -118,6 +118,26 @@ class ParityTracker:
         entry = self._stripes.get((lun_id, block_id, page_index))
         return entry[0] if entry else 0
 
+    def resync(self, array: "SsdArray") -> None:
+        """Rebuild the signatures from scratch after a crash mount.
+
+        The incremental state died with the controller RAM; the flash
+        contents (including torn and retired-block pages, which
+        :meth:`on_program` always folded in) are the ground truth.
+        """
+        self._stripes = {}
+        for (_, lun_id), lun in sorted(array.luns.items()):
+            for block_id, block in enumerate(lun.blocks):
+                for page_index in range(block.write_pointer):
+                    content = block.pages[page_index].content
+                    if content is None:
+                        continue
+                    entry = self._stripes.setdefault(
+                        (lun_id, block_id, page_index), [0, 0]
+                    )
+                    entry[0] ^= pack_content(content)
+                    entry[1] += 1
+
     def check(self, array: "SsdArray") -> None:
         """Recompute every stripe from the array and compare."""
         recomputed: dict[tuple[int, int, int], list[int]] = {}
@@ -528,3 +548,254 @@ class ReliabilityManager:
             )
         if self.parity is not None:
             self.parity.check(self.controller.array)
+
+
+# ----------------------------------------------------------------------
+# Crash-consistent mapping persistence (PR 5)
+# ----------------------------------------------------------------------
+def checkpoint_flash_pages(entries: int, page_size_bytes: int) -> int:
+    """Flash pages one mapping checkpoint occupies: 8 bytes per entry
+    plus one root/header page (also the floor for an empty mapping)."""
+    return -(-entries * 8 // page_size_bytes) + 1
+
+
+class MappingJournal:
+    """A battery-backed RAM journal of committed mapping changes.
+
+    Every mapping commit (host write, relocation, merge move, trim)
+    appends one fixed-size record; recovery replays records newer than
+    the last checkpoint.  Capacity is bounded by the battery RAM the
+    configuration grants; filling up forces an immediate checkpoint
+    (scheduled at the current instant, so an in-progress commit finishes
+    updating its map before the snapshot is taken).
+    """
+
+    def __init__(self, controller: "SsdController"):
+        self.controller = controller
+        crash = controller.config.crash
+        self.capacity = crash.journal_capacity_records
+        controller.memory.allocate_battery_ram(
+            "mapping journal", self.capacity * crash.journal_record_bytes
+        )
+        #: (seq, kind, lpn, version, address); seq is monotonic across
+        #: clears so replay order is global.
+        self.records: list[tuple[int, str, int, int, Optional[PhysicalAddress]]] = []
+        self._seq = 0
+        self.total_records = 0
+
+    def record_write(self, lpn: int, version: int, address: PhysicalAddress) -> None:
+        self._append("write", lpn, version, address)
+
+    def record_trim(self, lpn: int) -> None:
+        self._append("trim", lpn, 0, None)
+
+    def _append(
+        self, kind: str, lpn: int, version: int, address: Optional[PhysicalAddress]
+    ) -> None:
+        self._seq += 1
+        self.records.append((self._seq, kind, lpn, version, address))
+        self.total_records += 1
+        checkpointer = self.controller.checkpointer
+        if checkpointer is not None:
+            checkpointer.ensure_timer()
+            if len(self.records) >= self.capacity:
+                checkpointer.request_checkpoint("journal-full")
+
+    def clear(self) -> None:
+        self.records = []
+
+
+class CheckpointManager:
+    """Periodic synchronous snapshots of the committed mapping.
+
+    The snapshot itself is a dictionary copy (instantaneous in virtual
+    time -- real controllers stage it through RAM); its flash footprint
+    is *accounted, not contended*: the MAPPING program commands are
+    charged to the statistics (so runtime write amplification shows the
+    checkpointing tax) without occupying flash blocks, which keeps the
+    checkpoint store out of the GC/WL design space.
+    """
+
+    def __init__(self, controller: "SsdController"):
+        self.controller = controller
+        self.interval_ns = controller.config.crash.checkpoint_interval_ns
+        #: Last persisted mapping: lpn -> (address, version).
+        self.checkpoint: dict[int, tuple[PhysicalAddress, int]] = {}
+        self.checkpoints_taken = 0
+        self.checkpoint_pages_written = 0
+        self._overflow_scheduled = False
+        self._timer_running = False
+
+    def start(self) -> None:
+        self._timer_running = True
+        self.controller.sim.post(self.interval_ns, self._tick)
+
+    def ensure_timer(self) -> None:
+        """Journal hook: (re)arm the periodic timer on the first commit
+        after an idle stretch."""
+        if not self._timer_running:
+            self.start()
+
+    def _tick(self) -> None:
+        journal = self.controller.journal
+        if journal is not None and not journal.records:
+            # Nothing committed since the last checkpoint: the timer goes
+            # idle instead of keeping the event queue alive forever; the
+            # next journal append re-arms it.
+            self._timer_running = False
+            return
+        self.checkpoint_now("periodic")
+        self.controller.sim.post(self.interval_ns, self._tick)
+
+    def request_checkpoint(self, reason: str) -> None:
+        """Checkpoint at the current instant, after the in-flight commit
+        chain unwinds (a synchronous snapshot from inside ``_append``
+        would capture a map whose caller has not finished updating it)."""
+        if self._overflow_scheduled:
+            return
+        self._overflow_scheduled = True
+        self.controller.sim.post(0, self.checkpoint_now, reason)
+
+    def checkpoint_now(self, reason: str) -> None:
+        controller = self.controller
+        self._overflow_scheduled = False
+        self.checkpoint = controller.ftl.snapshot_map()
+        if controller.journal is not None:
+            controller.journal.clear()
+        pages = checkpoint_flash_pages(
+            len(self.checkpoint), controller.config.geometry.page_size_bytes
+        )
+        self.checkpoints_taken += 1
+        self.checkpoint_pages_written += pages
+        now = controller.sim.now
+        for _ in range(pages):
+            controller.stats.record_flash_command("MAPPING", "PROGRAM", now)
+        controller.tracer.record(
+            now, "crash", "checkpoint",
+            f"{reason}: {len(self.checkpoint)} entries in {pages} pages",
+        )
+
+    def seed(self, mapping: dict[int, tuple[PhysicalAddress, int]]) -> None:
+        """Post-mount: the recovered mapping is the new baseline (the
+        mount conceptually rewrote it), with an empty journal."""
+        self.checkpoint = dict(mapping)
+
+
+class RecoveredState:
+    """What a recovery strategy hands back to the crash coordinator."""
+
+    __slots__ = ("mapping", "mount_ns", "scanned_pages", "replayed_records")
+
+    def __init__(
+        self,
+        mapping: dict[int, tuple[PhysicalAddress, int]],
+        mount_ns: int,
+        scanned_pages: int,
+        replayed_records: int,
+    ):
+        self.mapping = mapping
+        self.mount_ns = mount_ns
+        self.scanned_pages = scanned_pages
+        self.replayed_records = replayed_records
+
+
+class OobScanRecovery:
+    """Full-device scan of every programmed page's OOB token.
+
+    No mapping state needs to survive the crash at all: each programmed
+    page's out-of-band area durably carries its ``(lpn, version)`` token
+    plus the per-page validity mark the FTL maintained (real FTLs store
+    invalidation epochs or sequence numbers there).  The winners are the
+    live, non-torn pages -- exactly the committed pre-crash mapping.
+    The price is mount time proportional to the device's programmed
+    capacity: every page pays a read plus the OOB transfer, parallel
+    across LUNs.
+    """
+
+    name = "oob_scan"
+
+    def recover(self, controller: "SsdController") -> RecoveredState:
+        from repro.hardware.flash import PageState
+
+        config = controller.config
+        timings = config.timings
+        crash = config.crash
+        array = controller.array
+        mapping: dict[int, tuple[PhysicalAddress, int]] = {}
+        scanned = 0
+        per_page_ns = (
+            timings.t_cmd_ns
+            + timings.t_read_ns
+            + crash.oob_bytes * timings.bus_ns_per_byte
+        )
+        slowest_lun_ns = 0
+        for lun_key in sorted(array.luns):
+            lun = array.luns[lun_key]
+            lun_pages = 0
+            for block_id, block in enumerate(lun.blocks):
+                lun_pages += block.write_pointer
+                for page_index in range(block.write_pointer):
+                    page = block.pages[page_index]
+                    if page.state is not PageState.LIVE or page.torn:
+                        continue
+                    content = page.content
+                    if content is None or content[0] < 0:
+                        continue  # FTL metadata (DFTL translation pages)
+                    lpn, version = content
+                    known = mapping.get(lpn)
+                    if known is None or version > known[1]:
+                        mapping[lpn] = (
+                            PhysicalAddress(
+                                lun_key[0], lun_key[1], block_id, page_index
+                            ),
+                            version,
+                        )
+            scanned += lun_pages
+            slowest_lun_ns = max(slowest_lun_ns, lun_pages * per_page_ns)
+        mount_ns = crash.mount_base_ns + slowest_lun_ns
+        return RecoveredState(mapping, mount_ns, scanned, 0)
+
+
+class CheckpointJournalRecovery:
+    """Load the last mapping checkpoint, replay the battery-RAM journal.
+
+    Mount time is the checkpoint read (proportional to the *mapping*
+    size, not the device size) plus a per-record replay cost -- the
+    classic trade against :class:`OobScanRecovery`: pay MAPPING program
+    traffic at runtime to make mounts fast.
+    """
+
+    name = "checkpoint_journal"
+
+    def recover(self, controller: "SsdController") -> RecoveredState:
+        config = controller.config
+        timings = config.timings
+        crash = config.crash
+        checkpointer = controller.checkpointer
+        journal = controller.journal
+        if checkpointer is None or journal is None:
+            raise RuntimeError(
+                "checkpoint_journal recovery needs an armed checkpoint manager"
+            )
+        mapping = dict(checkpointer.checkpoint)
+        records = sorted(journal.records)
+        for _seq, kind, lpn, version, address in records:
+            if kind == "trim":
+                mapping.pop(lpn, None)
+            else:
+                assert address is not None
+                mapping[lpn] = (address, version)
+        checkpoint_pages = checkpoint_flash_pages(
+            len(checkpointer.checkpoint), config.geometry.page_size_bytes
+        )
+        page_ns = (
+            timings.t_cmd_ns
+            + timings.t_read_ns
+            + timings.transfer_ns(config.geometry.page_size_bytes)
+        )
+        mount_ns = (
+            crash.mount_base_ns
+            + checkpoint_pages * page_ns
+            + len(records) * crash.replay_ns_per_record
+        )
+        return RecoveredState(mapping, mount_ns, checkpoint_pages, len(records))

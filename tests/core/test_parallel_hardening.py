@@ -1,0 +1,210 @@
+"""Tests for the hardened sweep executor (timeout / retry / partial
+results).
+
+The contract: a sweep survives a crashed worker process and a hung run
+-- retrying within budget, recycling the pool -- and when the budget is
+exhausted the :class:`SweepRunError` hands back every run that *did*
+finish, so a week-long design-space exploration never loses completed
+work to one bad grid cell.
+"""
+
+import functools
+import os
+import time
+
+import pytest
+
+from repro import RunSpec, SweepExecutor, SweepRunError, small_config
+from repro.workloads import RandomWriterThread
+
+FAST_BACKOFF = 0.01
+
+
+def tiny_workload(config):
+    """Module-level factory: picklable by every start method."""
+    return [RandomWriterThread("writer", count=50, depth=8)]
+
+
+def crash_once_workload(config, sentinel=None):
+    """Hard-kill the worker process on first execution, succeed after.
+
+    ``os._exit`` (not an exception) models a real worker crash: the
+    parent sees a :class:`BrokenProcessPool`, never a traceback.
+    """
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("crashed")
+        os._exit(1)
+    return tiny_workload(config)
+
+
+def crash_always_workload(config, delay=0.0):
+    if delay:
+        time.sleep(delay)
+    os._exit(1)
+
+
+def hang_workload(config, seconds=30.0):
+    time.sleep(seconds)
+    return []
+
+
+def fail_n_times_workload(config, sentinel=None, failures=1):
+    """Raise (cleanly) until ``failures`` attempts have happened."""
+    attempts = 0
+    if os.path.exists(sentinel):
+        with open(sentinel) as handle:
+            attempts = int(handle.read())
+    with open(sentinel, "w") as handle:
+        handle.write(str(attempts + 1))
+    if attempts < failures:
+        raise RuntimeError(f"transient failure #{attempts + 1}")
+    return tiny_workload(config)
+
+
+class TestConstructor:
+    def test_defaults_are_backward_compatible(self):
+        executor = SweepExecutor(workers=2)
+        assert executor.timeout is None
+        assert executor.retries == 0
+        assert executor.retry_backoff == 0.5
+
+    def test_rejects_bad_hardening_parameters(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=2, timeout=0)
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=2, timeout=-1.0)
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=2, retries=-1)
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=2, retry_backoff=-0.1)
+
+
+class TestWorkerCrashRetry:
+    def test_sweep_survives_a_crashing_worker(self, tmp_path):
+        """A worker killed mid-run (BrokenProcessPool) is retried in a
+        fresh pool and the sweep completes with full results."""
+        sentinel = str(tmp_path / "crashed-once")
+        specs = [
+            RunSpec(
+                config=small_config(seed=1),
+                workload=functools.partial(crash_once_workload, sentinel=sentinel),
+                index=0,
+                label="crashy",
+            ),
+            RunSpec(
+                config=small_config(seed=2),
+                workload=tiny_workload,
+                index=1,
+                label="healthy",
+            ),
+        ]
+        results = SweepExecutor(
+            workers=2, retries=2, retry_backoff=FAST_BACKOFF
+        ).map(specs)
+        assert [r.config.seed for r in results] == [1, 2]
+        assert all(not r.incomplete for r in results)
+
+    def test_exhausted_retries_carry_partial_results(self):
+        """When the crashing run burns its whole budget, the error hands
+        back the runs that finished before the abort."""
+        specs = [
+            RunSpec(
+                config=small_config(seed=7),
+                workload=tiny_workload,
+                index=0,
+                label="healthy",
+            ),
+            RunSpec(
+                config=small_config(seed=8),
+                # The delay lets the healthy run finish first, so it is
+                # deterministically salvageable when the pool breaks.
+                workload=functools.partial(crash_always_workload, delay=2.0),
+                index=1,
+                label="doomed",
+            ),
+        ]
+        with pytest.raises(SweepRunError) as excinfo:
+            SweepExecutor(workers=2, retries=0, retry_backoff=FAST_BACKOFF).map(specs)
+        error = excinfo.value
+        assert error.index == 1
+        assert error.label == "doomed"
+        assert 0 in error.partial_results
+        assert error.partial_results[0].config.seed == 7
+        assert "salvaged" in str(error)
+
+    def test_serial_retry_recovers_from_transient_failure(self, tmp_path):
+        sentinel = str(tmp_path / "attempts")
+        specs = [
+            RunSpec(
+                config=small_config(seed=3),
+                workload=functools.partial(
+                    fail_n_times_workload, sentinel=sentinel, failures=2
+                ),
+                index=0,
+                label="flaky",
+            )
+        ]
+        results = SweepExecutor(
+            workers=1, retries=2, retry_backoff=FAST_BACKOFF
+        ).map(specs)
+        assert len(results) == 1
+        assert not results[0].incomplete
+
+    def test_serial_retry_budget_exhaustion_names_the_run(self, tmp_path):
+        sentinel = str(tmp_path / "attempts")
+        specs = [
+            RunSpec(
+                config=small_config(seed=4),
+                workload=functools.partial(
+                    fail_n_times_workload, sentinel=sentinel, failures=5
+                ),
+                index=0,
+                label="hopeless",
+            )
+        ]
+        with pytest.raises(SweepRunError, match="hopeless"):
+            SweepExecutor(workers=1, retries=1, retry_backoff=FAST_BACKOFF).map(specs)
+
+
+class TestTimeout:
+    def test_hung_run_times_out_instead_of_wedging(self):
+        """A run that never returns is killed at the wall-clock limit
+        and reported as a TimeoutError-caused SweepRunError."""
+        specs = [
+            RunSpec(
+                config=small_config(seed=5),
+                workload=tiny_workload,
+                index=0,
+                label="healthy",
+            ),
+            RunSpec(
+                config=small_config(seed=6),
+                workload=functools.partial(hang_workload, seconds=30.0),
+                index=1,
+                label="hung",
+            ),
+        ]
+        started = time.monotonic()
+        with pytest.raises(SweepRunError) as excinfo:
+            SweepExecutor(
+                workers=2, timeout=2.0, retries=0, retry_backoff=FAST_BACKOFF
+            ).map(specs)
+        elapsed = time.monotonic() - started
+        assert elapsed < 20.0, "the sweep must not wait out the hung worker"
+        assert excinfo.value.index == 1
+        assert isinstance(excinfo.value.cause, TimeoutError)
+        assert 0 in excinfo.value.partial_results
+
+    def test_fast_runs_are_untouched_by_the_timeout(self):
+        specs = [
+            RunSpec(
+                config=small_config(seed=seed),
+                workload=tiny_workload,
+                index=index,
+                label=seed,
+            )
+            for index, seed in enumerate([11, 12, 13])
+        ]
+        results = SweepExecutor(workers=2, timeout=120.0, retries=1).map(specs)
+        assert [r.config.seed for r in results] == [11, 12, 13]

@@ -1,0 +1,229 @@
+"""Tests for power-loss injection and crash-consistent FTL recovery.
+
+The durability contract under test (E19): after a power loss at *any*
+virtual instant, the remounted device serves every acknowledged write
+and never resurrects a half-written one -- for every FTL, with either
+recovery strategy, whether or not the write buffer is battery-backed.
+The simulator enforces the contract itself (the post-mount divergence
+check and durability audit raise :class:`SanitizerError`), so most of
+these tests simply drive a crash and assert the run completed.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ExperimentTemplate,
+    FaultPlan,
+    FtlKind,
+    Parameter,
+    RecoveryStrategy,
+    Simulation,
+    small_config,
+)
+from repro.core.experiments import ExperimentResult
+from repro.workloads import RandomWriterThread
+
+FTLS = ["page", "dftl", "hybrid"]
+STRATEGIES = [RecoveryStrategy.OOB_SCAN, RecoveryStrategy.CHECKPOINT_JOURNAL]
+
+
+def crash_config(
+    ftl="page",
+    strategy=RecoveryStrategy.OOB_SCAN,
+    battery=True,
+    at_ns=3_000_000,
+    off_ns=500_000,
+    seed=42,
+    sanitize=True,
+):
+    config = small_config(seed=seed)
+    config.controller.ftl = FtlKind(ftl)
+    config.controller.write_buffer_pages = 16
+    config.controller.write_buffer_battery_backed = battery
+    config.crash.strategy = strategy
+    config.sanitize = sanitize
+    config.reliability.fault_plan = FaultPlan().power_loss(
+        at_ns=at_ns, off_ns=off_ns
+    )
+    return config
+
+
+def run_crash(count=600, **kwargs):
+    simulation = Simulation(crash_config(**kwargs))
+    simulation.add_thread(RandomWriterThread("writer", count=count))
+    return simulation.run()
+
+
+def crash_workload(config):
+    """Module-level workload factory for sweep-based tests."""
+    return [RandomWriterThread("writer", count=400)]
+
+
+class TestEveryCombination:
+    @pytest.mark.parametrize("ftl", FTLS)
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("battery", [True, False])
+    def test_crash_recover_and_finish(self, ftl, strategy, battery):
+        """Every FTL x strategy x durability combination survives a
+        mid-workload power loss: the device remounts, the audit passes
+        (or SanitizerError would have been raised), and the workload
+        runs to completion afterwards."""
+        result = run_crash(ftl=ftl, strategy=strategy, battery=battery)
+        assert result.incomplete is False
+        assert result.crash_stats.power_losses == 1
+        assert len(result.mount_reports) == 1
+        report = result.mount_reports[0]
+        assert report.mapping_matches is True
+        assert report.mount_time_ns > 0
+        assert report.loss_ns == 3_000_000
+        assert report.ready_ns >= report.restore_ns
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_many_crash_points(self, strategy):
+        """The audit holds wherever the axe falls, including before the
+        first write completes and after the workload has drained."""
+        for at_ns in [50_000, 500_000, 1_000_000, 2_250_000, 4_000_000]:
+            result = run_crash(strategy=strategy, at_ns=at_ns, count=400)
+            assert result.incomplete is False
+            assert result.crash_stats.power_losses == 1
+
+    def test_multiple_losses_in_one_run(self):
+        config = crash_config()
+        config.reliability.fault_plan = (
+            FaultPlan()
+            .power_loss(at_ns=1_500_000, off_ns=200_000)
+            .power_loss(at_ns=4_000_000, off_ns=200_000)
+        )
+        simulation = Simulation(config)
+        simulation.add_thread(RandomWriterThread("writer", count=600))
+        result = simulation.run()
+        assert result.incomplete is False
+        assert result.crash_stats.power_losses == 2
+        assert len(result.mount_reports) == 2
+
+
+class TestRecoveryEconomics:
+    def test_checkpoint_mounts_faster_than_oob_scan(self):
+        """The whole point of checkpoint+journal: mount cost scales with
+        the journal, not with every written page."""
+        oob = run_crash(strategy=RecoveryStrategy.OOB_SCAN)
+        ckpt = run_crash(strategy=RecoveryStrategy.CHECKPOINT_JOURNAL)
+        assert (
+            ckpt.crash_stats.mount_time_ns < oob.crash_stats.mount_time_ns
+        )
+        assert oob.crash_stats.scanned_pages > 0
+        assert ckpt.crash_stats.replayed_records > 0
+        assert ckpt.crash_stats.checkpoints_taken > 0
+
+    def test_checkpointing_costs_runtime_write_amplification(self):
+        oob = run_crash(strategy=RecoveryStrategy.OOB_SCAN)
+        ckpt = run_crash(strategy=RecoveryStrategy.CHECKPOINT_JOURNAL)
+        assert (
+            ckpt.summary()["checkpoint_pages_written"]
+            > oob.summary()["checkpoint_pages_written"]
+        )
+
+    def test_battery_backed_buffer_loses_fewer_writes(self):
+        """E14's durability axis meets E19: volatile buffered writes die
+        with the power, battery-backed ones survive."""
+        durable = run_crash(battery=True)
+        volatile = run_crash(battery=False)
+        assert durable.crash_stats.lost_writes < volatile.crash_stats.lost_writes
+
+
+class TestPayForWhatYouUse:
+    def test_no_power_loss_means_nothing_armed(self):
+        config = small_config()
+        simulation = Simulation(config)
+        assert simulation._coordinator is None
+        assert simulation.controller.checkpointer is None
+        assert simulation.os.track_inflight is False
+
+    def test_summary_keys_always_present_and_zero_without_crash(self):
+        simulation = Simulation(small_config())
+        simulation.add_thread(RandomWriterThread("writer", count=200))
+        summary = simulation.run().summary()
+        for key in [
+            "power_losses",
+            "mount_time_ms",
+            "recovery_scanned_pages",
+            "recovery_replayed_records",
+            "lost_writes",
+            "torn_pages",
+            "checkpoints_taken",
+            "checkpoint_pages_written",
+        ]:
+            assert summary[key] == 0.0
+
+    def test_sanitize_is_bit_identical_with_recovery(self):
+        checked = run_crash(sanitize=True).summary()
+        unchecked = run_crash(sanitize=False).summary()
+        assert checked == unchecked
+
+
+class TestMetricsExport:
+    def test_to_csv_carries_recovery_counters(self, tmp_path):
+        template = ExperimentTemplate(
+            name="crash-export",
+            base_config=crash_config(strategy=RecoveryStrategy.CHECKPOINT_JOURNAL),
+            parameter=Parameter(
+                "interval", path="crash.checkpoint_interval_ns"
+            ),
+            values=[10_000_000, 50_000_000],
+            workload=crash_workload,
+        )
+        sweep = template.run()
+        path = tmp_path / "sweep.csv"
+        sweep.to_csv(str(path))
+        header = path.read_text().splitlines()[0].split(",")
+        for column in [
+            "power_losses",
+            "mount_time_ms",
+            "lost_writes",
+            "torn_pages",
+            "checkpoints_taken",
+        ]:
+            assert column in header
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_to_csv_with_no_runs_writes_a_bare_header(self, tmp_path):
+        """PR 2's empty-runs path: an aborted sweep still exports."""
+        empty = ExperimentResult(
+            "aborted", Parameter("x", path="seed"), runs=[]
+        )
+        path = tmp_path / "empty.csv"
+        empty.to_csv(str(path))
+        assert path.read_text().strip() == "x"
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    at_ns=st.integers(min_value=50_000, max_value=6_000_000),
+    ftl=st.sampled_from(FTLS),
+    strategy=st.sampled_from(STRATEGIES),
+    battery=st.booleans(),
+)
+def test_property_no_acknowledged_write_is_ever_lost(
+    at_ns, ftl, strategy, battery
+):
+    """Property: wherever the power fails, for any FTL and either
+    durability mode, the remounted device passes the durability audit
+    (every acknowledged write readable at its acknowledged version, no
+    torn page visible) -- the audit raises SanitizerError otherwise."""
+    result = run_crash(
+        ftl=ftl,
+        strategy=strategy,
+        battery=battery,
+        at_ns=at_ns,
+        count=300,
+        sanitize=True,
+    )
+    assert result.incomplete is False
+    assert result.crash_stats.power_losses == 1
+    assert result.mount_reports[0].mapping_matches is True

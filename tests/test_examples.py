@@ -21,6 +21,8 @@ ALL_EXAMPLES = [
     "design_sweep.py",
     "scheduling_game.py",
     "database_workloads.py",
+    "reliability_demo.py",
+    "crash_recovery_demo.py",
 ]
 
 
@@ -64,6 +66,22 @@ class TestExecution:
         assert proc.returncode == 0, proc.stderr
         assert "throughput" in proc.stdout
         assert "statistics: app" in proc.stdout
+
+    def test_crash_recovery_demo_runs_sanitized(self, tmp_path):
+        metrics_path = str(tmp_path / "metrics.json")
+        proc = self._run(
+            "crash_recovery_demo.py", "--sanitize", "--json", metrics_path
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "pulling the plug" in proc.stdout
+        import json
+
+        with open(metrics_path) as handle:
+            metrics = json.load(handle)
+        assert metrics["scene1_power_losses"] == 1.0
+        assert metrics["scene3_battery_lost_writes"] <= (
+            metrics["scene3_volatile_lost_writes"]
+        )
 
     def test_demo_console_runs_small(self):
         proc = self._run(
