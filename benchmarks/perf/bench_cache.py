@@ -1,0 +1,136 @@
+"""Result-cache benchmark: a 16-cell grid, cold vs warm.
+
+Submits the same grid to the :class:`repro.service.ExperimentService`
+twice against a fresh cache directory.  The cold pass simulates all 16
+cells and persists their summaries; the warm pass must serve every cell
+from disk (0 re-runs) with bit-identical summaries.  A third,
+*perturbed* pass changes one axis value and must re-run exactly the
+invalidated cells.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_cache.py
+    PYTHONPATH=src python benchmarks/perf/bench_cache.py --ios 3000
+
+Writes ``BENCH_cache.json`` at the repo root (override with
+``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.statistics import serialize_summary
+from repro.service import ExperimentService, ResultCache
+from repro.service.grids import grid_specs
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_DEFAULT_IOS = 2000  # per-cell IO count
+
+#: 4 x 4 = 16 cells: GC greediness x host queue depth.
+_AXES = (
+    ("controller.gc_greediness", (1, 2, 3, 4)),
+    ("host.max_outstanding", (4, 8, 16, 32)),
+)
+#: The perturbed grid swaps one queue-depth value: 4 of 16 cells change.
+_PERTURBED_AXES = (
+    ("controller.gc_greediness", (1, 2, 3, 4)),
+    ("host.max_outstanding", (4, 8, 16, 64)),
+)
+
+
+def _timed_pass(service: ExperimentService, axes, ios: int):
+    specs = grid_specs([(path, list(values)) for path, values in axes], ios=ios)
+    start = time.perf_counter()
+    job_id = service.submit(specs)
+    results = service.results(job_id)
+    elapsed = time.perf_counter() - start
+    status = service.status(job_id)
+    return results, status, elapsed
+
+
+def run_benchmark(ios: int, cache_dir: str) -> dict:
+    cache = ResultCache(cache_dir)
+    with ExperimentService(cache=cache) as service:
+        print(f"cold pass: 16-cell grid ({ios} IOs per cell) ...")
+        cold_results, cold_status, cold_s = _timed_pass(service, _AXES, ios)
+        print(f"  {cold_s:.1f}s  ({cold_status.cache_misses} simulated)")
+
+        print("warm pass: same grid ...")
+        warm_results, warm_status, warm_s = _timed_pass(service, _AXES, ios)
+        print(f"  {warm_s:.3f}s  ({warm_status.cache_hits} from cache)")
+
+        print("perturbed pass: one axis value changed ...")
+        _, perturbed_status, perturbed_s = _timed_pass(service, _PERTURBED_AXES, ios)
+        print(
+            f"  {perturbed_s:.1f}s  ({perturbed_status.cache_hits} from cache, "
+            f"{perturbed_status.cache_misses} re-simulated)"
+        )
+        stats = service.cache_stats()
+
+    identical = [serialize_summary(r.summary()) for r in cold_results] == [
+        serialize_summary(r.summary()) for r in warm_results
+    ]
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"bit-identical warm results: {identical}   speedup: {speedup:.0f}x")
+    return {
+        "benchmark": "cache",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "grid_cells": 16,
+        "ios_per_cell": ios,
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "speedup": round(speedup, 1),
+        "cold_hits": cold_status.cache_hits,
+        "cold_misses": cold_status.cache_misses,
+        "warm_hits": warm_status.cache_hits,
+        "warm_misses": warm_status.cache_misses,
+        "perturbed_hits": perturbed_status.cache_hits,
+        "perturbed_misses": perturbed_status.cache_misses,
+        "bit_identical": identical,
+        "cache_entries": stats["entries"],
+        "cache_entry_bytes": stats["entry_bytes"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ios", type=int, default=_DEFAULT_IOS,
+                        help=f"IOs per grid cell (default: {_DEFAULT_IOS})")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: a fresh temp dir)")
+    parser.add_argument("--output", default=str(_REPO_ROOT / "BENCH_cache.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args()
+
+    if args.cache_dir is not None:
+        report = run_benchmark(ios=args.ios, cache_dir=args.cache_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="bench-cache-") as cache_dir:
+            report = run_benchmark(ios=args.ios, cache_dir=cache_dir)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"-> {args.output}")
+    if report["warm_misses"] != 0:
+        raise SystemExit("warm pass re-ran cells that should have been cached")
+    if not report["bit_identical"]:
+        raise SystemExit("warm results diverged from the cold run")
+    if report["perturbed_misses"] != 4:
+        raise SystemExit(
+            "perturbed pass should re-run exactly the 4 invalidated cells "
+            f"(re-ran {report['perturbed_misses']})"
+        )
+
+
+if __name__ == "__main__":
+    main()

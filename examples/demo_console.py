@@ -5,28 +5,37 @@ Pick configuration parameters on the command line, run the simulator,
 and observe the numeric metrics, the throughput/latency/GC graphs over
 time, and an excerpt of the per-IO trace.
 
+Runs go through the experiment service, so repeated invocations with
+the same parameters are served from the content-addressed result cache
+(summary metrics only -- pass ``--no-cache`` or change a parameter to
+force a fresh run with the full timelines and trace).
+
 Examples::
 
     python examples/demo_console.py
     python examples/demo_console.py --channels 8 --ssd-scheduler priority
     python examples/demo_console.py --ftl dftl --gc-greediness 4 --trace
     python examples/demo_console.py --open-interface --workload hotcold
+    python examples/demo_console.py --no-cache   # always simulate
 """
 
 import argparse
+import functools
 
 from repro import (
+    CachedResult,
+    ExperimentService,
     FtlKind,
     OsSchedulerPolicy,
-    Simulation,
+    ResultCache,
+    RunSpec,
+    SimulationConfig,
     SsdSchedulerPolicy,
     demo_config,
 )
 from repro.analysis.reporting import ascii_histogram, ascii_timeline
-from repro.core import units
 from repro.core.events import IoType
-from repro.host.interface import temperature_hint
-from repro.workloads import MixedWorkloadThread, RandomWriterThread, precondition_sequential
+from repro.service.grids import demo_workload
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,10 +64,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ops", type=int, default=20_000)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--trace", action="store_true", help="show an IO trace excerpt")
+    parser.add_argument("--cache-dir", default=None, help="result-store directory")
+    parser.add_argument(
+        "--no-cache", action="store_true", help="always run the simulator"
+    )
     return parser
 
 
-def configure(args) -> Simulation:
+def configure(args) -> SimulationConfig:
     config = demo_config(seed=args.seed)
     config.geometry.channels = args.channels
     config.geometry.luns_per_channel = args.luns_per_channel
@@ -71,41 +84,22 @@ def configure(args) -> Simulation:
     config.trace_enabled = args.trace
     config.validate()
     print(config.describe())
-    return Simulation(config)
+    return config
 
 
-def add_workload(simulation: Simulation, args) -> str:
-    config = simulation.config
-    prep = precondition_sequential(config.logical_pages)
-    simulation.add_thread(prep)
-    if args.workload == "mixed":
-        thread = MixedWorkloadThread("app", count=args.ops, read_fraction=0.5, depth=16)
-    elif args.workload == "writes":
-        thread = RandomWriterThread("app", count=args.ops, depth=16)
-    else:  # hotcold: 90% of writes to 10% of the space, hinted when open
-        hot_span = config.logical_pages // 10
-
-        def hint_fn(io_type, lpn):
-            return temperature_hint(lpn < hot_span)
-
-        thread = RandomWriterThread(
-            "app", count=args.ops, depth=16, zipf_theta=0.9, hint_fn=hint_fn
-        )
-    simulation.add_thread(thread, depends_on=[prep.name])
-    return thread.name
-
-
-def main() -> None:
-    args = build_parser().parse_args()
-    simulation = configure(args)
-    thread_name = add_workload(simulation, args)
-    print("\nrunning in virtual time ...")
-    result = simulation.run()
-
+def show_cached(result: CachedResult) -> None:
+    print(result.report())
     print()
+    print(
+        "(served from the result cache -- summary metrics only; "
+        "run with --no-cache for timelines and traces)"
+    )
+
+
+def show_fresh(result, args) -> None:
     print(result.report())
 
-    app = result.thread_stats[thread_name]
+    app = result.thread_stats["app"]
     print()
     print(app.report())
 
@@ -129,6 +123,33 @@ def main() -> None:
     if args.trace:
         print()
         print(result.tracer.render(limit=40))
+
+
+def main() -> None:
+    args = build_parser().parse_args()
+    config = configure(args)
+    spec = RunSpec(
+        config=config,
+        workload=functools.partial(demo_workload, kind=args.workload, ops=args.ops),
+        label=f"demo {args.workload}",
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    print("\nrunning in virtual time ...")
+    with ExperimentService(cache=cache) as service:
+        job_id = service.submit([spec], name="demo console")
+        (result,) = service.results(job_id)
+        status = service.status(job_id)
+    print(
+        f"[service {job_id}: {status.cache_hits} cache hit, "
+        f"{status.cache_misses} simulated]"
+    )
+
+    print()
+    if isinstance(result, CachedResult):
+        show_cached(result)
+    else:
+        show_fresh(result, args)
 
 
 if __name__ == "__main__":

@@ -12,6 +12,8 @@ package reimplements it with the same four-layer architecture:
 * :mod:`repro.core`       -- event engine, configuration, statistics,
   tracing, and the experiment-template suite.
 * :mod:`repro.analysis`   -- metrics and terminal reporting.
+* :mod:`repro.service`    -- the experiment service: content-addressed
+  result cache, async job runner, live dashboard.
 
 Quickstart::
 
@@ -60,16 +62,25 @@ from repro.core.parallel import RunSpec, SweepExecutor, SweepRunError
 from repro.core.sanitize import SanitizerError
 from repro.core.simulation import Simulation, SimulationResult
 from repro.reliability import FaultPlan
+from repro.service import (
+    CachedResult,
+    ExperimentService,
+    JobState,
+    JobStatus,
+    ResultCache,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AllocationPolicy",
+    "CachedResult",
     "ChipTimings",
     "ControllerConfig",
     "CrashConfig",
     "CrashStats",
     "ExperimentResult",
+    "ExperimentService",
     "GridExperiment",
     "GridResult",
     "ExperimentTemplate",
@@ -80,6 +91,8 @@ __all__ = [
     "IoRequest",
     "IoStatus",
     "IoType",
+    "JobState",
+    "JobStatus",
     "MountReport",
     "OsSchedulerPolicy",
     "Parameter",
@@ -87,6 +100,7 @@ __all__ = [
     "PowerRestoreEvent",
     "RecoveryStrategy",
     "ReliabilityConfig",
+    "ResultCache",
     "RunSpec",
     "SanitizerError",
     "Simulation",

@@ -103,6 +103,92 @@ def ascii_histogram(
     return ascii_chart(series, title=title, width=width)
 
 
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """A one-line mini-chart of a metric series (the dashboard's
+    per-cell trend view).  Down-samples by averaging when the series is
+    longer than ``width``; scales to the series' own min..max."""
+    if not values:
+        return ""
+    values = [float(v) for v in values]
+    if len(values) > width:
+        stride = -(-len(values) // width)
+        values = [
+            sum(values[start : start + stride]) / len(values[start : start + stride])
+            for start in range(0, len(values), stride)
+        ]
+    low, high = min(values), max(values)
+    ramp = "▁▂▃▄▅▆▇█"
+    if high == low:
+        return ramp[0] * len(values)
+    span = high - low
+    return "".join(
+        ramp[min(len(ramp) - 1, int((value - low) / span * len(ramp)))]
+        for value in values
+    )
+
+
+class IncrementalTable:
+    """A table that renders row-by-row as results stream in.
+
+    :func:`format_table` needs every row up front to size its columns;
+    a live dashboard gets rows one at a time and must not re-flow what
+    is already on screen.  This table fixes column widths at
+    construction (header width plus ``min_width``), so
+    :meth:`header_lines` can be printed immediately and each
+    :meth:`add_row` returns one already-aligned line to append.
+    :meth:`render` re-renders everything seen so far (for full-screen
+    refreshes and the HTML exporter).
+    """
+
+    def __init__(
+        self,
+        headers: Sequence[str],
+        title: Optional[str] = None,
+        min_width: int = 12,
+    ) -> None:
+        self.headers = [str(header) for header in headers]
+        self.title = title
+        self.widths = [max(len(header), min_width) for header in self.headers]
+        self.rows: list[list[str]] = []
+
+    def header_lines(self) -> list[str]:
+        lines = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        lines.append(
+            "  ".join(h.ljust(self.widths[i]) for i, h in enumerate(self.headers))
+        )
+        lines.append("  ".join("-" * width for width in self.widths))
+        return lines
+
+    def _format_row(self, row: Sequence) -> list[str]:
+        cells = [_format_cell(value) for value in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        return cells
+
+    def add_row(self, row: Sequence) -> str:
+        """Record ``row``; returns its rendered line.  Cells wider than
+        the fixed column are left intact (the line bulges rather than
+        losing data)."""
+        cells = self._format_row(row)
+        self.rows.append(cells)
+        return self.render_row(cells)
+
+    def render_row(self, cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.rjust(self.widths[i]) for i, cell in enumerate(cells)
+        )
+
+    def render(self) -> str:
+        """The whole table so far (header + every added row)."""
+        return "\n".join(
+            self.header_lines() + [self.render_row(cells) for cells in self.rows]
+        )
+
+
 def ascii_timeline(
     series: Sequence[tuple[int, float]],
     title: Optional[str] = None,

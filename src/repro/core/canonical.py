@@ -1,0 +1,195 @@
+"""Canonical serialization of configurations and run specs.
+
+The experiment service (:mod:`repro.service`) keys its on-disk result
+store by *content*: two sweeps that materialise the same configuration,
+workload and time limit must produce the same key, in every process, on
+every machine, forever.  That requires a serialization with none of the
+usual Python ambiguities -- no dict insertion order, no ``repr`` of
+objects carrying memory addresses, no set iteration order.  This module
+defines it:
+
+* :func:`canonical_value` -- reduce a configuration tree (dataclasses,
+  enums, dicts, sequences, sets, numbers) to a deterministic structure
+  of JSON-safe primitives with every ordering made explicit.
+* :func:`canonical_workload` -- reduce a workload factory to a stable
+  identity (``module:qualname``, recursing through
+  ``functools.partial``).  Factories without a stable identity --
+  lambdas, closures, ``__main__`` functions -- raise
+  :class:`UncacheableWorkloadError` so callers can bypass the cache
+  instead of silently serving wrong results.
+* :func:`canonical_json` -- the one true byte encoding (sorted keys,
+  minimal separators, shortest-round-trip floats).
+* :func:`code_fingerprint` -- a SHA-256 over the simulator's source
+  code, so a code change invalidates every cached result computed by
+  the previous version.
+
+The identity deliberately mirrors the pickling rules of
+:class:`~repro.core.parallel.SweepExecutor` (docs/GUIDE.md "Running
+sweeps in parallel"): whatever can be shipped to a worker process can
+be hashed, and module-level state a factory reads behind the cache's
+back is out of scope the same way it is for pickling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "UncacheableWorkloadError",
+    "canonical_json",
+    "canonical_value",
+    "canonical_workload",
+    "code_fingerprint",
+    "content_hash",
+]
+
+
+class UncacheableWorkloadError(ValueError):
+    """The workload has no stable cross-process identity (lambda,
+    closure, ``__main__`` function, bound method or ad-hoc callable), so
+    results computed from it must not be cached."""
+
+
+def canonical_value(value: object) -> object:
+    """Reduce ``value`` to a deterministic JSON-safe structure.
+
+    Dataclasses become ``{"__type__": name, fields...}`` with fields in
+    name order; enums become ``"EnumClass.MEMBER"``; mappings and sets
+    are explicitly sorted; tuples and lists both become lists.  Objects
+    that know how to describe themselves expose a ``canonical()``
+    method (e.g. :class:`repro.reliability.inject.FaultPlan`), which is
+    honoured before any generic rule.  Anything else -- and any
+    non-finite float -- raises ``TypeError``/``ValueError`` so an
+    unstable key can never be built silently.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite float {value!r} has no canonical form")
+        return value
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    describe = getattr(value, "canonical", None)
+    if callable(describe):
+        return describe()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        record: dict[str, object] = {"__type__": type(value).__name__}
+        for field in sorted(dataclasses.fields(value), key=lambda f: f.name):
+            record[field.name] = canonical_value(getattr(value, field.name))
+        return record
+    if isinstance(value, dict):
+        pairs = [
+            [canonical_value(key), canonical_value(item)]
+            for key, item in value.items()
+        ]
+        pairs.sort(key=lambda pair: canonical_json(pair[0]))
+        return {"__mapping__": pairs}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        items = [canonical_value(item) for item in value]
+        items.sort(key=canonical_json)
+        return {"__set__": items}
+    raise TypeError(
+        f"{type(value).__name__} has no canonical form; give it a "
+        "canonical() method or keep it out of cache-keyed configuration"
+    )
+
+
+def canonical_workload(workload: Callable[..., object]) -> object:
+    """A stable cross-process identity for a workload factory.
+
+    Module-level functions reduce to ``"module:qualname"``;
+    ``functools.partial`` recurses into its target and canonicalises the
+    bound arguments.  Everything without an importable identity raises
+    :class:`UncacheableWorkloadError` -- the same boundary as the
+    executor's picklability rules, because an identity the worker cannot
+    re-import is also an identity a cache key cannot trust.
+    """
+    if isinstance(workload, functools.partial):
+        return {
+            "__partial__": canonical_workload(workload.func),
+            "args": [canonical_value(arg) for arg in workload.args],
+            "kwargs": canonical_value(dict(workload.keywords)),
+        }
+    module = getattr(workload, "__module__", None)
+    qualname = getattr(workload, "__qualname__", None)
+    if not module or not qualname:
+        raise UncacheableWorkloadError(
+            f"workload {workload!r} has no module-level identity"
+        )
+    if getattr(workload, "__self__", None) is not None:
+        raise UncacheableWorkloadError(
+            f"bound method {qualname!r} carries instance state the cache "
+            "key cannot see"
+        )
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        raise UncacheableWorkloadError(
+            f"workload {qualname!r} is a lambda or closure; only "
+            "module-level factories (or functools.partial of one) are "
+            "cacheable"
+        )
+    if module == "__main__":
+        raise UncacheableWorkloadError(
+            f"workload {qualname!r} lives in __main__; its identity "
+            "changes with the entry point, so results keyed on it would "
+            "collide across scripts"
+        )
+    return f"{module}:{qualname}"
+
+
+def canonical_json(value: object) -> str:
+    """The one byte encoding of a canonical structure: sorted keys,
+    minimal separators, no NaN/Infinity, shortest-round-trip floats."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def content_hash(value: object) -> str:
+    """SHA-256 hex digest of ``value``'s canonical JSON."""
+    encoded = canonical_json(canonical_value(value)).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+#: Subpackages whose source participates in the code fingerprint: the
+#: ones that determine simulation *results*.  Reporting, linting and the
+#: service itself are excluded so a dashboard tweak does not flush every
+#: cached simulation.
+_FINGERPRINTED_SUBPACKAGES = (
+    "core",
+    "hardware",
+    "controller",
+    "host",
+    "workloads",
+    "reliability",
+)
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over the simulator's own source files.
+
+    Covers every subpackage that can change simulation results (listed
+    in ``_FINGERPRINTED_SUBPACKAGES``), file paths included, so renames
+    invalidate too.  Cached per process: the source tree is assumed
+    frozen for the life of the interpreter.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for subpackage in _FINGERPRINTED_SUBPACKAGES:
+        for path in sorted((package_root / subpackage).rglob("*.py")):
+            relative = path.relative_to(package_root).as_posix()
+            digest.update(relative.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+    return digest.hexdigest()

@@ -20,8 +20,33 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.core.config import SimulationConfig, set_by_path
-from repro.core.parallel import RunSpec, SweepExecutor
+from repro.core.parallel import ResultSource, RunSpec, SweepExecutor, WorkerCount
 from repro.core.simulation import SimulationResult
+from repro.core.statistics import stable_number_text
+
+
+def _resolve_cache(cache: "object") -> Optional[ResultSource]:
+    """Accept a ready-made cache object or a directory path.
+
+    A string/``os.PathLike`` constructs a
+    :class:`repro.service.cache.ResultCache` rooted there (imported
+    lazily: the core never depends on the service layer unless a cache
+    is actually requested).  Anything exposing ``lookup``/``store`` is
+    used as-is.
+    """
+    if cache is None:
+        return None
+    if hasattr(cache, "lookup") and hasattr(cache, "store"):
+        return cache  # type: ignore[return-value]
+    import os
+
+    if isinstance(cache, (str, os.PathLike)):
+        from repro.service.cache import ResultCache
+
+        return ResultCache(cache)
+    raise TypeError(
+        f"cache must be a ResultCache, a directory path or None (got {cache!r})"
+    )
 
 #: Builds the threads of the workload for one run.  Receives the run's
 #: configuration so it can size itself to the logical space; returns
@@ -112,8 +137,12 @@ class ExperimentResult:
             writer = csv.writer(handle)
             writer.writerow([self.parameter.name] + list(metrics))
             for run in self.runs:
+                # Metric cells go through the canonical number formatter
+                # so exports are byte-stable across runs and platforms
+                # (cache hits must reproduce a cold export exactly).
                 writer.writerow(
-                    [run.value] + [run.metric(metric) for metric in metrics]
+                    [run.value]
+                    + [stable_number_text(run.metric(metric)) for metric in metrics]
                 )
 
 
@@ -179,7 +208,8 @@ class GridResult:
             writer.writerow([p.name for p in self.parameters] + list(metrics))
             for run in self.runs:
                 writer.writerow(
-                    list(run.values) + [run.metric(metric) for metric in metrics]
+                    list(run.values)
+                    + [stable_number_text(run.metric(metric)) for metric in metrics]
                 )
 
 
@@ -213,17 +243,10 @@ class GridExperiment:
 
         return list(itertools.product(*self.values))
 
-    def run(
-        self,
-        progress: Optional[Callable[[tuple, SimulationResult], None]] = None,
-        workers: int = 1,
-    ) -> GridResult:
-        """Run one simulation per grid cell.
-
-        ``workers > 1`` fans the cells out over a process pool (see
-        :class:`repro.core.parallel.SweepExecutor`); results come back
-        in grid order either way, and ``progress`` fires in grid order.
-        """
+    def specs(self) -> list[RunSpec]:
+        """The grid materialised as one :class:`RunSpec` per cell, in
+        grid order -- the unit the executor, the cache and the
+        experiment service all operate on."""
         specs = []
         for index, combination in enumerate(self.combinations()):
             config = self.base_config.copy()
@@ -238,6 +261,27 @@ class GridExperiment:
                     label=combination,
                 )
             )
+        return specs
+
+    def run(
+        self,
+        progress: Optional[Callable[[tuple, SimulationResult], None]] = None,
+        workers: WorkerCount = 1,
+        cache: Optional[object] = None,
+    ) -> GridResult:
+        """Run one simulation per grid cell.
+
+        ``workers > 1`` fans the cells out over a process pool (see
+        :class:`repro.core.parallel.SweepExecutor`); ``workers="auto"``
+        uses one worker per CPU (so a 1-CPU box falls back to the exact
+        serial path).  Results come back in grid order either way, and
+        ``progress`` fires in grid order.  ``cache`` -- a
+        :class:`repro.service.cache.ResultCache` or a cache-directory
+        path -- serves previously computed cells from the on-disk store
+        and persists fresh ones, so re-running a grid only simulates
+        invalidated cells.
+        """
+        specs = self.specs()
         executor = SweepExecutor(workers=workers)
         results = executor.map(
             specs,
@@ -246,6 +290,7 @@ class GridExperiment:
                 if progress is None
                 else lambda spec, result: progress(spec.label, result)
             ),
+            cache=_resolve_cache(cache),
         )
         runs = [
             GridRun(spec.label, spec.config, result)
@@ -273,17 +318,9 @@ class ExperimentTemplate:
         self.workload = workload
         self.max_time_ns = max_time_ns
 
-    def run(
-        self,
-        progress: Optional[Callable[[object, SimulationResult], None]] = None,
-        workers: int = 1,
-    ) -> ExperimentResult:
-        """Run one simulation per parameter value.
-
-        ``progress``, if given, is called after each run (live output in
-        the demo spirit); it fires in sweep order even when
-        ``workers > 1`` distributes the runs over a process pool.
-        """
+    def specs(self) -> list[RunSpec]:
+        """The sweep materialised as one :class:`RunSpec` per value, in
+        sweep order."""
         specs = []
         for index, value in enumerate(self.values):
             config = self.base_config.copy()
@@ -297,6 +334,24 @@ class ExperimentTemplate:
                     label=value,
                 )
             )
+        return specs
+
+    def run(
+        self,
+        progress: Optional[Callable[[object, SimulationResult], None]] = None,
+        workers: WorkerCount = 1,
+        cache: Optional[object] = None,
+    ) -> ExperimentResult:
+        """Run one simulation per parameter value.
+
+        ``progress``, if given, is called after each run (live output in
+        the demo spirit); it fires in sweep order even when
+        ``workers > 1`` (or ``workers="auto"``, one per CPU) distributes
+        the runs over a process pool.  ``cache`` -- a
+        :class:`repro.service.cache.ResultCache` or a cache-directory
+        path -- transparently reuses previously computed runs.
+        """
+        specs = self.specs()
         executor = SweepExecutor(workers=workers)
         results = executor.map(
             specs,
@@ -305,6 +360,7 @@ class ExperimentTemplate:
                 if progress is None
                 else lambda spec, result: progress(spec.label, result)
             ),
+            cache=_resolve_cache(cache),
         )
         runs = [
             ExperimentRun(spec.label, spec.config, result)

@@ -30,10 +30,30 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Sequence
+from typing import Callable, Iterator, Optional, Protocol, Sequence, Union
 
+from repro.core.canonical import canonical_value, canonical_workload, content_hash
 from repro.core.config import SimulationConfig
 from repro.core.simulation import Simulation, SimulationResult
+
+#: ``workers`` as accepted by sweeps: a positive int, ``"auto"`` (one
+#: worker per CPU) or ``None`` (same as ``"auto"``).
+WorkerCount = Union[int, str, None]
+
+
+class ResultSource(Protocol):
+    """What :class:`SweepExecutor` needs from a result cache.
+
+    Implemented by :class:`repro.service.cache.ResultCache`; defined
+    here as a protocol so the core never imports the service layer.
+    ``lookup`` returns a previously stored result for an equivalent spec
+    (or ``None``, including for specs it refuses to key); ``store``
+    persists a fresh result (and may decline silently).
+    """
+
+    def lookup(self, spec: "RunSpec") -> Optional[SimulationResult]: ...
+
+    def store(self, spec: "RunSpec", result: SimulationResult) -> None: ...
 
 
 class SweepRunError(RuntimeError):
@@ -101,6 +121,34 @@ class RunSpec:
                 simulation.add_thread(entry)
         return simulation.run(max_time_ns=self.max_time_ns)
 
+    def canonical(self) -> dict[str, object]:
+        """The deterministic content description this spec is keyed by.
+
+        Covers everything that determines the simulation's *results*:
+        the fully materialised configuration, the workload factory's
+        stable identity (with any ``functools.partial`` arguments) and
+        the time limit.  ``index`` and ``label`` are bookkeeping --
+        where a run sits within a sweep cannot change its numbers -- so
+        they are deliberately excluded: the same cell reached from two
+        different grids shares one key.  Raises
+        :class:`~repro.core.canonical.UncacheableWorkloadError` when the
+        workload has no stable identity (lambda/closure/``__main__``).
+        """
+        return {
+            "config": canonical_value(self.config),
+            "workload": canonical_workload(self.workload),
+            "max_time_ns": self.max_time_ns,
+        }
+
+    def cache_key(self, fingerprint: str = "") -> str:
+        """SHA-256 content key of this spec under ``fingerprint``.
+
+        ``fingerprint`` is mixed into the hash (the service passes
+        :func:`repro.core.canonical.code_fingerprint`), so results
+        computed by different simulator versions never collide.
+        """
+        return content_hash({"fingerprint": fingerprint, "spec": self.canonical()})
+
 
 def _execute_spec(spec: RunSpec) -> SimulationResult:
     """Module-level worker entry point (picklable under every start
@@ -111,6 +159,29 @@ def _execute_spec(spec: RunSpec) -> SimulationResult:
 def default_workers() -> int:
     """A sensible worker count for "use all cores": the CPU count."""
     return os.cpu_count() or 1
+
+
+def resolve_workers(workers: WorkerCount) -> int:
+    """Normalise a ``workers`` argument to a concrete positive count.
+
+    ``"auto"`` (or ``None``) selects :func:`default_workers` -- one
+    worker per CPU, which the executor further caps at the number of
+    specs.  On a single-CPU box ``"auto"`` therefore resolves to 1 and
+    takes the exact historical serial path (BENCH_sweep.json documents
+    that fan-out only pays off with real cores).  Sweep *ordering* is
+    unaffected either way: results always come back in spec order.
+    """
+    if workers is None:
+        return default_workers()
+    if isinstance(workers, str):
+        if workers == "auto":
+            return default_workers()
+        raise ValueError(f"workers must be a positive int or 'auto' (got {workers!r})")
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise TypeError(f"workers must be a positive int or 'auto' (got {workers!r})")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1 (got {workers})")
+    return workers
 
 
 class SweepExecutor:
@@ -152,14 +223,13 @@ class SweepExecutor:
 
     def __init__(
         self,
-        workers: int = 1,
+        workers: WorkerCount = 1,
         *,
         timeout: Optional[float] = None,
         retries: int = 0,
         retry_backoff: float = 0.5,
     ) -> None:
-        if workers is None:
-            workers = default_workers()
+        workers = resolve_workers(workers)
         if workers < 1:
             raise ValueError(f"workers must be >= 1 (got {workers})")
         if timeout is not None and timeout <= 0:
@@ -177,24 +247,30 @@ class SweepExecutor:
         self,
         specs: Sequence[RunSpec],
         progress: Optional[Callable[[RunSpec, SimulationResult], None]] = None,
+        cache: Optional[ResultSource] = None,
     ) -> list[SimulationResult]:
         """Execute every spec; return results in spec order.
 
         ``progress`` is invoked in sweep order as each run's result
         becomes available.  Any failing run aborts the sweep with a
         :class:`SweepRunError` identifying it (outstanding runs are
-        cancelled where possible).
+        cancelled where possible).  With a ``cache``, previously stored
+        results are served without re-running and fresh results are
+        stored back (see :meth:`imap`).
         """
-        return list(self.imap(specs, progress=progress))
+        return list(self.imap(specs, progress=progress, cache=cache))
 
     def imap(
         self,
         specs: Sequence[RunSpec],
         progress: Optional[Callable[[RunSpec, SimulationResult], None]] = None,
+        cache: Optional[ResultSource] = None,
     ) -> Iterator[SimulationResult]:
         """Like :meth:`map` but yields results lazily, in spec order."""
         specs = list(specs)
-        if self.workers == 1 or len(specs) <= 1:
+        if cache is not None:
+            yield from self._run_cached(specs, progress, cache)
+        elif self.workers == 1 or len(specs) <= 1:
             yield from self._run_serial(specs, progress)
         elif self.timeout is None and self.retries == 0:
             yield from self._run_parallel(specs, progress)
@@ -204,6 +280,44 @@ class SweepExecutor:
     # ------------------------------------------------------------------
     # Execution strategies
     # ------------------------------------------------------------------
+    def _run_cached(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[Callable[[RunSpec, SimulationResult], None]],
+        cache: ResultSource,
+    ) -> Iterator[SimulationResult]:
+        """Serve cache hits, execute the misses through the normal
+        strategies, deliver everything lazily in spec order.
+
+        Hits resolve up front; the misses keep their relative order, so
+        the recursive :meth:`imap` over them streams back exactly the
+        results the walk below needs next -- no buffering, and one hung
+        miss never delays a hit that precedes it in spec order.
+        """
+        hits: dict[int, SimulationResult] = {}
+        misses: list[RunSpec] = []
+        for position, spec in enumerate(specs):
+            found = cache.lookup(spec)
+            if found is None:
+                misses.append(spec)
+            else:
+                hits[position] = found
+        fresh = self.imap(misses) if misses else iter(())
+        try:
+            for position, spec in enumerate(specs):
+                if position in hits:
+                    result = hits[position]
+                else:
+                    result = next(fresh)
+                    cache.store(spec, result)
+                if progress is not None:
+                    progress(spec, result)
+                yield result
+        finally:
+            close = getattr(fresh, "close", None)
+            if close is not None:
+                close()
+
     def _run_serial(
         self, specs: Sequence[RunSpec], progress: Optional[Callable[[int, int], None]]
     ) -> Iterator[SimulationResult]:

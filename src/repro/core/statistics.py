@@ -18,8 +18,10 @@ This module provides both:
 
 from __future__ import annotations
 
+import json
+import numbers
 from collections import Counter
-from typing import Optional
+from typing import Mapping, Optional, Union
 
 import numpy as np
 
@@ -360,3 +362,65 @@ class StatisticsGatherer:
             for kind, count in sorted(self.reliability_events.items()):
                 lines.append(f"reliability {kind:<17}: {count}")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Round-trippable summary serialization
+# ----------------------------------------------------------------------
+#
+# The experiment service persists result summaries to an on-disk cache
+# and promises that a cache hit is *bit-identical* to a fresh run.  That
+# only holds if serialization is deterministic (sorted keys, one float
+# encoding) and lossless (floats survive a round trip exactly).  JSON
+# with shortest-round-trip float repr gives both; the helpers below are
+# the single sanctioned encoding, shared by the cache, ``to_csv`` and
+# the benchmarks.
+
+#: Summary values are metric numbers; ``count`` style entries stay int.
+SummaryValue = Union[int, float]
+
+
+def plain_number(value: object) -> SummaryValue:
+    """Normalise a metric value to a built-in ``int`` or ``float``.
+
+    Numpy scalars (``np.int64``, ``np.float64``) leak out of vectorised
+    statistics; they are not JSON-serializable and their ``str`` differs
+    from the built-ins' under some numpy printoptions, so every summary
+    value is funnelled through here before formatting or encoding.
+    """
+    if isinstance(value, bool):
+        raise TypeError("summary values are numbers, not booleans")
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    raise TypeError(f"summary value {value!r} is not a number")
+
+
+def stable_number_text(value: object) -> str:
+    """The canonical text of one metric value.
+
+    Integers print as integers; floats print with ``repr`` -- the
+    shortest string that round-trips to the exact same IEEE-754 double,
+    identical on every platform and process.
+    """
+    return repr(plain_number(value))
+
+
+def serialize_summary(summary: Mapping[str, object]) -> str:
+    """Encode a metric summary as canonical JSON: keys sorted, minimal
+    separators, shortest-round-trip floats, no NaN/Infinity.  Two equal
+    summaries always encode to identical bytes."""
+    normalised = {key: plain_number(summary[key]) for key in summary}
+    return json.dumps(
+        normalised, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def deserialize_summary(text: str) -> dict[str, SummaryValue]:
+    """Invert :func:`serialize_summary` exactly: every float comes back
+    as the identical double, every int as an int."""
+    decoded = json.loads(text)
+    if not isinstance(decoded, dict):
+        raise ValueError("serialized summary must decode to an object")
+    return {str(key): plain_number(value) for key, value in decoded.items()}

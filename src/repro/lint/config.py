@@ -38,15 +38,18 @@ RULE_EXEMPT_FRAGMENTS: Mapping[str, tuple[str, ...]] = MappingProxyType({
     # suppression anyway, this keeps the intent in one visible place.
     "SIM001": (),
     # The sweep executor runs on the host side of the process boundary:
-    # wall-clock timeouts and progress reporting are its job.
-    "SIM002": ("core/parallel.py",),
+    # wall-clock timeouts and progress reporting are its job.  The
+    # experiment service is entirely host-side (job timing, dashboard
+    # polling).
+    "SIM002": ("core/parallel.py", "service/"),
     "SIM004": (),
     "SIM005": (),
     "SIM006": (),
     "SIM007": (),
     # Host-side entry points may read the environment; the simulator
-    # proper must not.  The parallel executor sizes its worker pool.
-    "SIM008": ("core/parallel.py", "analysis/",),
+    # proper must not.  The parallel executor sizes its worker pool;
+    # the service locates its cache directory ($REPRO_CACHE_DIR).
+    "SIM008": ("core/parallel.py", "analysis/", "service/"),
     "SIM009": (),
 })
 

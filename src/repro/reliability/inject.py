@@ -46,6 +46,28 @@ class FaultPlan:
         #: property of the baseline device, not of the RAS add-ons.
         self.power_losses: list[PowerLossEvent] = []
 
+    def canonical(self) -> dict:
+        """Deterministic content description for result-cache keys
+        (:mod:`repro.core.canonical`): every dict/set ordering made
+        explicit, tuples flattened to lists."""
+        return {
+            "__type__": "FaultPlan",
+            "erase_failures": [
+                [list(address), sorted(attempts)]
+                for address, attempts in sorted(self.erase_failures.items())
+            ],
+            "program_failures": [
+                [list(address), sorted(attempts)]
+                for address, attempts in sorted(self.program_failures.items())
+            ],
+            "read_corruptions": [
+                [lpn, count] for lpn, count in sorted(self.read_corruptions.items())
+            ],
+            "power_losses": [
+                [loss.at_ns, loss.restore.at_ns] for loss in self.power_losses
+            ],
+        }
+
     # ------------------------------------------------------------------
     # Builders (fluent)
     # ------------------------------------------------------------------

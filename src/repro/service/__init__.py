@@ -1,0 +1,51 @@
+"""The experiment service: the paper's live demo, production-grade.
+
+EagleTree's headline artifact (Figure 2) is a demo that runs
+configurations and graphs metrics live.  This subsystem is the
+server-side version of that loop -- the first serving-shaped layer on
+the road from batch sweeps to continuous experiment traffic:
+
+* :mod:`repro.service.cache` -- a content-addressed result store: each
+  materialised :class:`~repro.core.parallel.RunSpec` hashes (with a
+  code-version fingerprint) to a SHA-256 key under which its summary is
+  persisted, so repeated sweep cells are served from disk and a config
+  or code change re-runs only the invalidated cells.
+* :mod:`repro.service.jobs` -- :class:`ExperimentService`, the async
+  runner: ``submit(specs | grid) -> job_id``, ``status``, ``results``,
+  ``cancel``, with PR 5's timeout/retry hardening underneath.
+* :mod:`repro.service.dashboard` -- live terminal and static-HTML views
+  of a running job.
+* ``python -m repro.service`` -- submit a grid from the command line,
+  watch it, and warm/inspect/clear the cache.
+"""
+
+from repro.service.cache import CachedResult, ResultCache, default_cache_root
+from repro.service.dashboard import render_job, render_job_html, watch, write_html
+from repro.service.jobs import (
+    CellState,
+    CellStatus,
+    ExperimentService,
+    JobFailedError,
+    JobState,
+    JobStatus,
+    UnknownJobError,
+    run_to_completion,
+)
+
+__all__ = [
+    "CachedResult",
+    "CellState",
+    "CellStatus",
+    "ExperimentService",
+    "JobFailedError",
+    "JobState",
+    "JobStatus",
+    "ResultCache",
+    "UnknownJobError",
+    "default_cache_root",
+    "render_job",
+    "render_job_html",
+    "run_to_completion",
+    "watch",
+    "write_html",
+]

@@ -1,0 +1,203 @@
+"""``python -m repro.service``: the experiment service from a shell.
+
+Submit a full-factorial grid to the :class:`~repro.service.jobs.
+ExperimentService`, watch it live, and manage the content-addressed
+result cache.  Re-running the same command is (almost) free: every cell
+already in the cache is served from disk.
+
+Examples::
+
+    # 16-cell grid, live dashboard, results cached under ~/.cache
+    python -m repro.service run \\
+        --axis controller.gc_greediness=1,2,3,4 \\
+        --axis host.max_outstanding=4,8,16,32 --ios 2000
+
+    # same grid again: all cells served from cache, near-instant
+    python -m repro.service run \\
+        --axis controller.gc_greediness=1,2,3,4 \\
+        --axis host.max_outstanding=4,8,16,32 --ios 2000
+
+    # inspect / clear the store
+    python -m repro.service cache stats
+    python -m repro.service cache clear
+
+``--cache-dir`` (or ``$REPRO_CACHE_DIR``) relocates the store;
+``--no-cache`` runs uncached.  ``--expect-min-hit-rate 0.9`` turns the
+run into an assertion (CI's warm-pass gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.service.cache import ResultCache
+from repro.service.dashboard import DEFAULT_METRICS, render_job, watch, write_html
+from repro.service.grids import grid_specs, parse_axis
+from repro.service.jobs import ExperimentService, JobState
+
+#: The paper-demo default: GC greediness x host queue depth, 16 cells.
+DEFAULT_AXES = (
+    "controller.gc_greediness=1,2,3,4",
+    "host.max_outstanding=4,8,16,32",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="submit a grid and watch it")
+    run.add_argument(
+        "--axis", action="append", default=None, metavar="PATH=V1,V2,...",
+        help="swept configuration axis; repeatable "
+             f"(default: {' + '.join(DEFAULT_AXES)})",
+    )
+    run.add_argument("--ios", type=int, default=2000, help="IOs per grid cell")
+    run.add_argument(
+        "--base", choices=["small", "demo"], default="small",
+        help="base configuration preset",
+    )
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument(
+        "--workers", default="1",
+        help="worker processes per job: a number or 'auto' (one per CPU)",
+    )
+    run.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock limit in seconds (workers > 1 only)",
+    )
+    run.add_argument("--retries", type=int, default=0, help="per-cell retry budget")
+    run.add_argument("--cache-dir", default=None, help="result-store directory")
+    run.add_argument(
+        "--no-cache", action="store_true", help="run without the result store"
+    )
+    run.add_argument(
+        "--no-watch", action="store_true",
+        help="skip the live dashboard; print only the final panel",
+    )
+    run.add_argument("--interval", type=float, default=0.5, help="dashboard refresh (s)")
+    run.add_argument("--html", default=None, metavar="FILE",
+                     help="also write the static HTML dashboard here")
+    run.add_argument("--json", default=None, metavar="FILE",
+                     help="write a machine-readable job report here")
+    run.add_argument(
+        "--metrics", default=",".join(DEFAULT_METRICS),
+        help="comma-separated summary metrics to display",
+    )
+    run.add_argument(
+        "--expect-min-hit-rate", type=float, default=None, metavar="R",
+        help="exit non-zero unless cache hits / cells >= R (CI gate)",
+    )
+
+    cache = commands.add_parser("cache", help="inspect or clear the result store")
+    cache.add_argument("action", choices=["stats", "clear", "path"])
+    cache.add_argument("--cache-dir", default=None, help="result-store directory")
+    cache.add_argument(
+        "--all-versions", action="store_true",
+        help="clear: also drop entries from older code fingerprints",
+    )
+    return parser
+
+
+def _workers(text: str) -> "int | str":
+    return text if text == "auto" else int(text)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    axes = [parse_axis(text) for text in (args.axis or list(DEFAULT_AXES))]
+    specs = grid_specs(axes, ios=args.ios, base=args.base, seed=args.seed)
+    metrics = [name.strip() for name in args.metrics.split(",") if name.strip()]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    axis_names = " x ".join(path for path, _ in axes)
+    print(f"grid {axis_names}: {len(specs)} cells, {args.ios} IOs each")
+    if cache is not None:
+        print(f"cache {cache.root} (version {cache.fingerprint[:16]})")
+
+    service = ExperimentService(
+        cache=cache,
+        workers=_workers(args.workers),
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    with service:
+        job_id = service.submit(specs, name=f"grid {axis_names}")
+        if args.no_watch:
+            status = service.wait(job_id)
+            if args.html:
+                write_html(status, args.html, metrics)
+            print(render_job(status, metrics))
+        else:
+            status = watch(
+                service, job_id, interval=args.interval,
+                metrics=metrics, html_path=args.html,
+            )
+
+    if args.json:
+        report = {
+            "job_id": status.job_id,
+            "name": status.name,
+            "state": status.state.value,
+            "total_cells": status.total_cells,
+            "completed_cells": status.completed_cells,
+            "cache_hits": status.cache_hits,
+            "cache_misses": status.cache_misses,
+            "elapsed_s": round(status.elapsed_s, 3),
+            "cells": [
+                {"label": cell.label, "state": cell.state.value, "summary": cell.summary}
+                for cell in status.cells
+            ],
+            "cache": service.cache_stats(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"-> {args.json}")
+
+    if status.state is not JobState.DONE:
+        print(f"job ended {status.state.value}: {status.error or ''}", file=sys.stderr)
+        return 1
+    if args.expect_min_hit_rate is not None:
+        rate = status.cache_hits / status.total_cells if status.total_cells else 0.0
+        if rate < args.expect_min_hit_rate:
+            print(
+                f"cache hit rate {rate:.0%} below required "
+                f"{args.expect_min_hit_rate:.0%}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"cache hit rate {rate:.0%} (>= {args.expect_min_hit_rate:.0%})")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "path":
+        print(cache.root)
+        return 0
+    if args.action == "clear":
+        removed = cache.clear(all_versions=args.all_versions)
+        scope = "all versions" if args.all_versions else f"version {cache.fingerprint[:16]}"
+        print(f"removed {removed} entries ({scope})")
+        return 0
+    stats = cache.stats()
+    width = max(len(key) for key in stats)
+    for key in sorted(stats):
+        print(f"{key:<{width}} : {stats[key]}")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_cache(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

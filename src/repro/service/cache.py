@@ -1,0 +1,320 @@
+"""The content-addressed result store.
+
+Every materialised :class:`~repro.core.parallel.RunSpec` reduces to a
+canonical description (:mod:`repro.core.canonical`) that is hashed --
+together with a fingerprint of the simulator's own source code -- into a
+SHA-256 key.  A completed run's summary is persisted under that key, so
+an *equivalent* run submitted later (same config, same workload
+identity, same time limit, same code version) is served from disk
+instead of being simulated again.
+
+Invalidation is entirely structural -- nothing expires by time:
+
+* change any configuration field -> different canonical form -> new key
+  (only the affected cells of a sweep re-run);
+* change the simulator's code -> new fingerprint -> every old key is
+  unreachable (stale entries linger on disk until ``clear(all_versions=
+  True)``, but can never be served);
+* ``clear()`` drops the current code version's entries explicitly.
+
+Layout on disk (human-greppable JSON, one file per result)::
+
+    <root>/<fingerprint[:16]>/<key>.json
+
+The payload stores the spec's canonical description next to the summary
+so entries are auditable, and files are written atomically (tmp +
+``os.replace``) so concurrent sweeps sharing one cache directory never
+observe a torn entry.  Payload bytes are deterministic: storing the same
+result twice writes identical files.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.core.canonical import (
+    UncacheableWorkloadError,
+    canonical_json,
+    code_fingerprint,
+)
+from repro.core.parallel import RunSpec
+from repro.core.simulation import SimulationResult
+from repro.core.statistics import (
+    SummaryValue,
+    deserialize_summary,
+    serialize_summary,
+)
+
+__all__ = ["CachedResult", "ResultCache", "default_cache_root"]
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-results``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-results"
+
+
+class CachedResult:
+    """A result summary served from the store.
+
+    Duck-types the slice of :class:`~repro.core.simulation.
+    SimulationResult` the experiment layer consumes -- ``summary()``
+    (bit-identical to the fresh run's, floats round-tripped exactly),
+    ``elapsed_ns`` and ``processed_events`` -- but carries no
+    time-series, traces or per-thread statistics: those are the price of
+    a fresh run.
+    """
+
+    def __init__(
+        self,
+        summary: dict[str, SummaryValue],
+        elapsed_ns: int,
+        processed_events: int,
+        key: str,
+    ) -> None:
+        self._summary = summary
+        self.elapsed_ns = elapsed_ns
+        self.processed_events = processed_events
+        #: The content key this result was served under.
+        self.key = key
+
+    def summary(self) -> dict[str, SummaryValue]:
+        return dict(self._summary)
+
+    def report(self) -> str:
+        lines = [f"== cached result {self.key[:16]} =="]
+        for name in ("completed_ios", "throughput_iops", "write_amplification"):
+            if name in self._summary:
+                lines.append(f"{name:<20}: {self._summary[name]}")
+        lines.append(f"{'virtual time ns':<20}: {self.elapsed_ns}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"CachedResult(key={self.key[:16]}..., metrics={len(self._summary)})"
+
+
+class ResultCache:
+    """Content-addressed, on-disk store of simulation result summaries.
+
+    Implements the :class:`repro.core.parallel.ResultSource` protocol
+    (``lookup``/``store``), so it plugs directly into
+    ``SweepExecutor.map(specs, cache=...)``, ``ExperimentTemplate.run
+    (cache=...)`` and the :class:`~repro.service.jobs.ExperimentService`.
+
+    A spec whose workload has no stable identity (lambda, closure,
+    ``__main__`` function) is *uncacheable*: ``lookup`` returns ``None``
+    and ``store`` declines, both counting ``uncacheable`` -- the sweep
+    still runs, it just never touches the store.
+
+    Hit/miss/store counters accumulate over the cache object's lifetime
+    and feed :meth:`stats` (the ``cache_stats`` report).
+    """
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str] | None" = None,
+        *,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        #: Code-version fingerprint mixed into every key.  Overridable
+        #: for tests; defaults to the hash of the simulator's sources.
+        self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.uncacheable = 0
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def key_for(self, spec: RunSpec) -> Optional[str]:
+        """The spec's content key, or ``None`` when it is uncacheable."""
+        try:
+            return spec.cache_key(self.fingerprint)
+        except UncacheableWorkloadError:
+            return None
+
+    def path_for(self, key: str) -> Path:
+        return self.root / self.fingerprint[:16] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # ResultSource protocol
+    # ------------------------------------------------------------------
+    def lookup(self, spec: RunSpec) -> Optional[CachedResult]:
+        """The stored result for an equivalent spec, or ``None``."""
+        key = self.key_for(spec)
+        if key is None:
+            self.uncacheable += 1
+            return None
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            entry = self._decode(text, key)
+        except (ValueError, KeyError, TypeError):
+            # A torn or hand-edited entry must never poison a sweep:
+            # treat it as a miss and let the fresh result overwrite it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, spec: RunSpec, result: SimulationResult) -> None:
+        """Persist ``result``'s summary under the spec's content key."""
+        if isinstance(result, CachedResult):
+            return  # already on disk; a hit re-stored would be a no-op
+        key = self.key_for(spec)
+        if key is None:
+            self.uncacheable += 1
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = self._encode(spec, result, key)
+        # Atomic publish: a concurrent reader sees the old entry or the
+        # new one, never a torn file.
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{key[:16]}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(payload)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode(spec: RunSpec, result: SimulationResult, key: str) -> str:
+        summary_text = serialize_summary(result.summary())
+        envelope = {
+            "version": 1,
+            "key": key,
+            "spec": spec.canonical(),
+            "elapsed_ns": int(result.elapsed_ns),
+            "processed_events": int(result.processed_events),
+            # Stored pre-serialized so the summary's byte encoding is
+            # exactly serialize_summary's, envelope formatting aside.
+            "summary": summary_text,
+        }
+        return canonical_json(envelope) + "\n"
+
+    @staticmethod
+    def _decode(text: str, key: str) -> CachedResult:
+        import json
+
+        envelope = json.loads(text)
+        if envelope.get("key") != key:
+            raise ValueError(f"entry key mismatch (expected {key})")
+        return CachedResult(
+            summary=deserialize_summary(envelope["summary"]),
+            elapsed_ns=int(envelope["elapsed_ns"]),
+            processed_events=int(envelope["processed_events"]),
+            key=key,
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance and reporting
+    # ------------------------------------------------------------------
+    def _version_dir(self) -> Path:
+        return self.root / self.fingerprint[:16]
+
+    def invalidate(self, spec: RunSpec) -> bool:
+        """Drop the entry for one spec; True when something was removed."""
+        key = self.key_for(spec)
+        if key is None:
+            return False
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self, *, all_versions: bool = False) -> int:
+        """Remove stored entries; returns how many files were deleted.
+
+        Default scope is the current code version; ``all_versions=True``
+        also sweeps entries stranded by old fingerprints.
+        """
+        roots = [self.root] if all_versions else [self._version_dir()]
+        removed = 0
+        for root in roots:
+            if not root.is_dir():
+                continue
+            for path in sorted(root.rglob("*.json")):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entries(self) -> int:
+        """Stored results for the current code version."""
+        version_dir = self._version_dir()
+        if not version_dir.is_dir():
+            return 0
+        return sum(1 for _ in version_dir.glob("*.json"))
+
+    def stats(self) -> dict[str, object]:
+        """The ``cache_stats`` report: store shape plus this object's
+        lifetime hit/miss counters."""
+        version_dir = self._version_dir()
+        entry_bytes = 0
+        entry_count = 0
+        stale = 0
+        if self.root.is_dir():
+            for child in self.root.iterdir():
+                if not child.is_dir():
+                    continue
+                count = sum(1 for _ in child.glob("*.json"))
+                if child == version_dir:
+                    entry_count = count
+                    entry_bytes = sum(
+                        path.stat().st_size for path in child.glob("*.json")
+                    )
+                else:
+                    stale += count
+        total = self.hits + self.misses
+        return {
+            "root": str(self.root),
+            "fingerprint": self.fingerprint,
+            "entries": entry_count,
+            "entry_bytes": entry_bytes,
+            "stale_entries": stale,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "uncacheable": self.uncacheable,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, "
+            f"fingerprint={self.fingerprint[:16]}..., "
+            f"hits={self.hits}, misses={self.misses})"
+        )

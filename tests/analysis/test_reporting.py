@@ -89,3 +89,63 @@ class TestAsciiHistogram:
 
         chart = ascii_histogram([1, 10], bins=2, label_fn=lambda e: f"<{e:.0f}>")
         assert "<1>" in chart
+
+
+class TestSparkline:
+    def test_scales_to_own_range(self):
+        from repro.analysis.reporting import sparkline
+
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series(self):
+        from repro.analysis.reporting import sparkline
+
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_empty_series(self):
+        from repro.analysis.reporting import sparkline
+
+        assert sparkline([]) == ""
+
+    def test_long_series_downsampled(self):
+        from repro.analysis.reporting import sparkline
+
+        assert len(sparkline(list(range(100)), width=24)) <= 24
+
+
+class TestIncrementalTable:
+    def test_widths_fixed_at_construction(self):
+        from repro.analysis.reporting import IncrementalTable
+
+        table = IncrementalTable(["cell", "iops"], min_width=8)
+        header = table.header_lines()
+        line_one = table.add_row(["(1, 4)", 34215.0])
+        line_two = table.add_row(["(1, 8)", 35711.0])
+        # Rows align with the header and with each other.
+        assert len(line_one) == len(line_two) == len(header[-2])
+
+    def test_render_replays_all_rows(self):
+        from repro.analysis.reporting import IncrementalTable
+
+        table = IncrementalTable(["a"], title="demo", min_width=4)
+        table.add_row([1])
+        table.add_row([2])
+        rendered = table.render()
+        assert rendered.splitlines()[0] == "== demo =="
+        assert len(rendered.splitlines()) == 5  # title + header + rule + 2 rows
+
+    def test_row_width_mismatch_rejected(self):
+        import pytest
+
+        from repro.analysis.reporting import IncrementalTable
+
+        with pytest.raises(ValueError):
+            IncrementalTable(["a", "b"]).add_row([1])
+
+    def test_oversized_cells_bulge_not_truncate(self):
+        from repro.analysis.reporting import IncrementalTable
+
+        table = IncrementalTable(["x"], min_width=2)
+        assert "very-long-label" in table.add_row(["very-long-label"])

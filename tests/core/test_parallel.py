@@ -201,3 +201,37 @@ class TestRunSpec:
             max_time_ns=1_000_000,
         ).execute()
         assert result.elapsed_ns == 1_000_000
+
+
+class TestWorkerResolution:
+    """``workers="auto"`` sizes the pool from the CPU count; ordering
+    guarantees are unchanged (spec order, bit-identical results)."""
+
+    def test_auto_and_none_resolve_to_cpu_count(self):
+        from repro.core.parallel import resolve_workers
+
+        assert resolve_workers("auto") == default_workers()
+        assert resolve_workers(None) == default_workers()
+        assert resolve_workers(3) == 3
+
+    def test_invalid_workers_rejected(self):
+        from repro.core.parallel import resolve_workers
+
+        with pytest.raises(ValueError):
+            resolve_workers("many")
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(TypeError):
+            resolve_workers(True)
+        with pytest.raises(TypeError):
+            resolve_workers(2.0)
+
+    def test_template_run_accepts_auto(self):
+        auto = _greediness_template(small_config()).run(workers="auto")
+        serial = _greediness_template(small_config()).run(workers=1)
+        for a, s in zip(auto.runs, serial.runs):
+            assert a.result.summary() == s.result.summary()
+
+    def test_executor_accepts_auto(self):
+        executor = SweepExecutor(workers="auto")
+        assert executor.workers == default_workers()

@@ -1,0 +1,140 @@
+"""Tests for the content-addressed result store (repro.service.cache).
+
+The contract: a stored result comes back with a bit-identical summary;
+a config or code-version change makes old entries unreachable; nothing
+uncacheable or corrupt ever poisons a sweep (both degrade to a miss).
+"""
+
+import functools
+
+import pytest
+
+from repro import RunSpec, small_config
+from repro.core.statistics import serialize_summary
+from repro.service import CachedResult, ResultCache
+from repro.service.grids import mixed_workload
+
+IOS = 150
+
+
+def make_spec(ios: int = IOS, greediness: int = 2) -> RunSpec:
+    config = small_config()
+    config.controller.gc_greediness = greediness
+    return RunSpec(
+        config=config, workload=functools.partial(mixed_workload, ios=ios)
+    )
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path, fingerprint="test-version")
+
+
+@pytest.fixture(scope="module")
+def fresh_result():
+    return make_spec().execute()
+
+
+def test_lookup_on_empty_store_is_a_miss(cache):
+    assert cache.lookup(make_spec()) is None
+    assert cache.misses == 1
+    assert cache.hits == 0
+
+
+def test_roundtrip_summary_is_bit_identical(cache, fresh_result):
+    spec = make_spec()
+    cache.store(spec, fresh_result)
+    cached = cache.lookup(spec)
+    assert isinstance(cached, CachedResult)
+    assert serialize_summary(cached.summary()) == serialize_summary(
+        fresh_result.summary()
+    )
+    assert cached.elapsed_ns == fresh_result.elapsed_ns
+    assert cached.processed_events == fresh_result.processed_events
+
+
+def test_stored_bytes_are_deterministic(cache, fresh_result):
+    spec = make_spec()
+    cache.store(spec, fresh_result)
+    path = cache.path_for(cache.key_for(spec))
+    first = path.read_bytes()
+    cache.store(spec, fresh_result)
+    assert path.read_bytes() == first
+
+
+def test_different_config_different_entry(cache, fresh_result):
+    cache.store(make_spec(greediness=2), fresh_result)
+    assert cache.lookup(make_spec(greediness=3)) is None
+
+
+def test_fingerprint_change_invalidates(tmp_path, fresh_result):
+    spec = make_spec()
+    old = ResultCache(tmp_path, fingerprint="version-1")
+    old.store(spec, fresh_result)
+    new = ResultCache(tmp_path, fingerprint="version-2")
+    assert new.lookup(spec) is None
+    assert new.stats()["stale_entries"] == 1
+
+
+def test_cached_result_is_not_restored(cache, fresh_result):
+    spec = make_spec()
+    cache.store(spec, fresh_result)
+    cached = cache.lookup(spec)
+    cache.store(spec, cached)  # a hit fed back in must not re-store
+    assert cache.stores == 1
+
+
+def test_uncacheable_workload_bypasses_the_store(cache, fresh_result):
+    spec = RunSpec(config=small_config(), workload=lambda config: [])
+    assert cache.key_for(spec) is None
+    assert cache.lookup(spec) is None
+    cache.store(spec, fresh_result)
+    assert cache.uncacheable == 2
+    assert cache.stores == 0
+    assert cache.entries() == 0
+
+
+def test_corrupt_entry_degrades_to_miss(cache, fresh_result):
+    spec = make_spec()
+    cache.store(spec, fresh_result)
+    cache.path_for(cache.key_for(spec)).write_text("{ not json", encoding="utf-8")
+    assert cache.lookup(spec) is None
+    # The fresh result overwrites the corrupt entry.
+    cache.store(spec, fresh_result)
+    assert cache.lookup(spec) is not None
+
+
+def test_invalidate_and_clear(cache, fresh_result):
+    a, b = make_spec(greediness=1), make_spec(greediness=2)
+    cache.store(a, fresh_result)
+    cache.store(b, fresh_result)
+    assert cache.entries() == 2
+    assert cache.invalidate(a) is True
+    assert cache.invalidate(a) is False  # already gone
+    assert cache.entries() == 1
+    assert cache.clear() == 1
+    assert cache.entries() == 0
+
+
+def test_clear_all_versions(tmp_path, fresh_result):
+    spec = make_spec()
+    ResultCache(tmp_path, fingerprint="version-1").store(spec, fresh_result)
+    new = ResultCache(tmp_path, fingerprint="version-2")
+    new.store(spec, fresh_result)
+    assert new.clear() == 1  # current version only
+    assert new.clear(all_versions=True) == 1  # the stranded old entry
+
+
+def test_stats_report(cache, fresh_result):
+    spec = make_spec()
+    cache.lookup(spec)  # miss
+    cache.store(spec, fresh_result)
+    cache.lookup(spec)  # hit
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["stores"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["entry_bytes"] > 0
+    assert stats["fingerprint"] == "test-version"

@@ -1,0 +1,214 @@
+"""Tests for canonical serialization and content keys (repro.core.canonical).
+
+The contract: a cache key is a pure function of the spec's *content* --
+same logical configuration and workload identity give the same key in
+every process forever, and any observable difference gives a different
+key.  Anything whose identity cannot be pinned down raises instead of
+hashing unstably.
+"""
+
+import functools
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, strategies as st
+
+import repro
+from repro import FtlKind, RunSpec, small_config
+from repro.core.canonical import (
+    UncacheableWorkloadError,
+    canonical_json,
+    canonical_value,
+    canonical_workload,
+    code_fingerprint,
+    content_hash,
+)
+from repro.core.config import set_by_path
+from repro.reliability import FaultPlan
+from repro.service.grids import mixed_workload
+
+
+def spec_for(config, workload=mixed_workload, max_time_ns=None) -> RunSpec:
+    return RunSpec(config=config, workload=workload, max_time_ns=max_time_ns)
+
+
+# ----------------------------------------------------------------------
+# canonical_value
+# ----------------------------------------------------------------------
+def test_primitives_pass_through():
+    assert canonical_value(None) is None
+    assert canonical_value(True) is True
+    assert canonical_value(42) == 42
+    assert canonical_value(1.5) == 1.5
+    assert canonical_value("x") == "x"
+
+
+def test_enum_is_named_not_valued():
+    assert canonical_value(FtlKind.PAGE) == "FtlKind.PAGE"
+
+
+def test_dict_order_is_erased():
+    a = canonical_json(canonical_value({"a": 1, "b": 2}))
+    b = canonical_json(canonical_value({"b": 2, "a": 1}))
+    assert a == b
+
+
+def test_set_order_is_erased():
+    assert canonical_value({3, 1, 2}) == canonical_value({2, 3, 1})
+
+
+def test_tuple_and_list_are_interchangeable():
+    assert canonical_value((1, 2)) == canonical_value([1, 2])
+
+
+def test_non_finite_floats_are_rejected():
+    with pytest.raises(ValueError):
+        canonical_value(float("nan"))
+    with pytest.raises(ValueError):
+        canonical_value(float("inf"))
+
+
+def test_unknown_objects_are_rejected():
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError):
+        canonical_value(Opaque())
+
+
+def test_fault_plan_uses_its_canonical_method():
+    plan = FaultPlan()
+    described = canonical_value(plan)
+    assert isinstance(described, dict)
+    assert canonical_json(described)  # JSON-safe
+
+
+def test_config_canonicalises_deterministically():
+    one = canonical_json(canonical_value(small_config()))
+    two = canonical_json(canonical_value(small_config()))
+    assert one == two
+
+
+# ----------------------------------------------------------------------
+# canonical_workload
+# ----------------------------------------------------------------------
+def test_module_function_identity():
+    identity = canonical_workload(mixed_workload)
+    assert identity == "repro.service.grids:mixed_workload"
+
+
+def test_partial_recurses_and_hashes_arguments():
+    a = canonical_workload(functools.partial(mixed_workload, ios=100))
+    b = canonical_workload(functools.partial(mixed_workload, ios=200))
+    assert a != b
+    assert a == canonical_workload(functools.partial(mixed_workload, ios=100))
+
+
+def test_lambda_is_uncacheable():
+    with pytest.raises(UncacheableWorkloadError):
+        canonical_workload(lambda config: [])
+
+
+def test_closure_is_uncacheable():
+    def make():
+        def factory(config):
+            return []
+
+        return factory
+
+    with pytest.raises(UncacheableWorkloadError):
+        canonical_workload(make())
+
+
+def test_bound_method_is_uncacheable():
+    class Holder:
+        def factory(self, config):
+            return []
+
+    with pytest.raises(UncacheableWorkloadError):
+        canonical_workload(Holder().factory)
+
+
+# ----------------------------------------------------------------------
+# Content keys
+# ----------------------------------------------------------------------
+def test_same_logical_spec_same_key():
+    assert spec_for(small_config()).cache_key("f") == spec_for(
+        small_config()
+    ).cache_key("f")
+
+
+def test_index_and_label_do_not_affect_the_key():
+    config = small_config()
+    a = RunSpec(config=config, workload=mixed_workload, index=0, label="cell-a")
+    b = RunSpec(config=config, workload=mixed_workload, index=7, label=(3, 4))
+    assert a.cache_key("f") == b.cache_key("f")
+
+
+def test_max_time_ns_affects_the_key():
+    config = small_config()
+    assert spec_for(config).cache_key("f") != spec_for(
+        config, max_time_ns=10**9
+    ).cache_key("f")
+
+
+def test_fingerprint_affects_the_key():
+    spec = spec_for(small_config())
+    assert spec.cache_key("version-1") != spec.cache_key("version-2")
+
+
+def test_code_fingerprint_is_stable_within_a_process():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
+
+
+#: Dotted config paths the perturbation test may poke, with values that
+#: stay type-correct (canonicalisation does not validate feasibility).
+_PERTURBABLE_PATHS = (
+    "seed",
+    "controller.gc_greediness",
+    "controller.overprovisioning",
+    "host.max_outstanding",
+    "geometry.channels",
+    "geometry.pages_per_block",
+)
+
+
+@given(
+    path=st.sampled_from(_PERTURBABLE_PATHS),
+    value=st.integers(min_value=1, max_value=64),
+)
+def test_any_config_perturbation_changes_the_hash(path, value):
+    base = small_config()
+    perturbed = small_config()
+    set_by_path(perturbed, path, value)
+    base_hash = content_hash(base)
+    if canonical_value(base) == canonical_value(perturbed):
+        assert content_hash(perturbed) == base_hash
+    else:
+        assert content_hash(perturbed) != base_hash
+
+
+def test_keys_are_stable_across_processes():
+    """The whole point of content addressing: a key computed here equals
+    the key computed by a fresh interpreter."""
+    local = spec_for(small_config()).cache_key("pinned-fingerprint")
+    script = (
+        "from repro import RunSpec, small_config\n"
+        "from repro.service.grids import mixed_workload\n"
+        "spec = RunSpec(config=small_config(), workload=mixed_workload)\n"
+        "print(spec.cache_key('pinned-fingerprint'))\n"
+    )
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ, PYTHONPATH=src)
+    remote = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    ).stdout.strip()
+    assert remote == local

@@ -1,0 +1,105 @@
+"""Tests for the live dashboard (repro.service.dashboard).
+
+Rendering is pure (snapshot in, text out), so most tests build
+synthetic :class:`JobStatus` snapshots; :func:`watch` is driven against
+a real service with a ``StringIO`` standing in for a CI log stream.
+"""
+
+import io
+
+from repro.service import (
+    CellState,
+    CellStatus,
+    ExperimentService,
+    JobState,
+    JobStatus,
+    ResultCache,
+    render_job,
+    render_job_html,
+    watch,
+    write_html,
+)
+from repro.service.grids import grid_specs
+
+METRICS = ["throughput_iops", "write_p99_ns"]
+
+
+def snapshot(state=JobState.RUNNING, completed=1) -> JobStatus:
+    cells = [
+        CellStatus(
+            index=0,
+            label="(1, 4)",
+            state=CellState.CACHED,
+            summary={"throughput_iops": 34215.0, "write_p99_ns": 708950.0},
+        ),
+        CellStatus(index=1, label="(1, 8)"),
+    ]
+    if completed > 1:
+        cells[1].state = CellState.COMPUTED
+        cells[1].summary = {"throughput_iops": 35711.0, "write_p99_ns": 886310.0}
+    return JobStatus(
+        job_id="job-0001",
+        name="demo grid",
+        state=state,
+        total_cells=2,
+        completed_cells=completed,
+        cache_hits=1,
+        cache_misses=completed - 1,
+        error=None,
+        elapsed_s=1.25,
+        cells=cells,
+    )
+
+
+def test_render_job_panel():
+    panel = render_job(snapshot(), METRICS)
+    assert "demo grid (job-0001)" in panel
+    assert "1/2 cells" in panel
+    assert "cache 1 hit / 0 miss" in panel
+    assert "cells c." in panel  # one cached, one pending
+    assert "(1, 4)" in panel and "cache" in panel
+    assert "708.950us" in panel  # _ns metrics formatted as time
+
+
+def test_render_job_shows_errors():
+    status = snapshot(state=JobState.FAILED)
+    status.error = "sweep run #1 failed"
+    assert "sweep run #1 failed" in render_job(status, METRICS)
+
+
+def test_html_refreshes_only_while_running(tmp_path):
+    running = render_job_html(snapshot(state=JobState.RUNNING), METRICS)
+    assert 'http-equiv="refresh"' in running
+    done = render_job_html(snapshot(state=JobState.DONE, completed=2), METRICS)
+    assert 'http-equiv="refresh"' not in done
+    assert "demo grid" in done
+    assert "35,711" in done
+
+    path = tmp_path / "dash.html"
+    write_html(snapshot(state=JobState.DONE, completed=2), path, METRICS)
+    assert path.read_text(encoding="utf-8") == done
+
+
+def test_html_escapes_labels():
+    status = snapshot()
+    status.cells[0].label = "<script>"
+    assert "<script>" not in render_job_html(status, METRICS)
+
+
+def test_watch_on_a_plain_stream(tmp_path):
+    specs = grid_specs(
+        [("controller.gc_greediness", [1, 2]), ("host.max_outstanding", [4])],
+        ios=150,
+    )
+    stream = io.StringIO()
+    with ExperimentService(cache=ResultCache(tmp_path)) as service:
+        job_id = service.submit(specs)
+        status = watch(
+            service, job_id, interval=0.01, stream=stream, metrics=METRICS
+        )
+    assert status.state is JobState.DONE
+    text = stream.getvalue()
+    # Append-only mode: header once, one row per cell, final panel.
+    assert text.count("throughput_iops") >= 2  # table header + final panel
+    assert "(1, 4)" in text and "(2, 4)" in text
+    assert "2/2 cells" in text

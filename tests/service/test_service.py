@@ -1,0 +1,230 @@
+"""Tests for the async experiment service (repro.service.jobs).
+
+The contract: a submitted job runs to completion in the background and
+returns results in spec order; resubmitting equivalent work is served
+entirely from the cache with bit-identical summaries; a failure or
+cancellation surfaces precisely (which cell, what survived) instead of
+hanging or vanishing.
+"""
+
+import functools
+
+import pytest
+
+from repro import (
+    ExperimentTemplate,
+    GridExperiment,
+    Parameter,
+    RunSpec,
+    small_config,
+)
+from repro.core.statistics import serialize_summary
+from repro.service import (
+    CachedResult,
+    CellState,
+    ExperimentService,
+    JobFailedError,
+    JobState,
+    ResultCache,
+    UnknownJobError,
+    run_to_completion,
+)
+from repro.service.grids import grid_specs, mixed_workload
+
+IOS = 150
+
+
+def failing_workload(config):
+    raise RuntimeError("boom in workload factory")
+
+
+def small_grid(ios: int = IOS, depths=(4, 8)) -> list:
+    return grid_specs(
+        [("controller.gc_greediness", [1, 2]), ("host.max_outstanding", list(depths))],
+        ios=ios,
+    )
+
+
+def summaries(results) -> list:
+    return [serialize_summary(result.summary()) for result in results]
+
+
+@pytest.fixture
+def service(tmp_path):
+    with ExperimentService(cache=ResultCache(tmp_path)) as svc:
+        yield svc
+
+
+def test_submit_runs_in_spec_order(service):
+    specs = small_grid()
+    job_id = service.submit(specs)
+    results = service.results(job_id)
+    assert len(results) == len(specs)
+    status = service.status(job_id)
+    assert status.state is JobState.DONE
+    assert status.completed_cells == len(specs)
+    assert [cell.label for cell in status.cells] == [
+        str(spec.label) for spec in specs
+    ]
+    assert all(cell.state is CellState.COMPUTED for cell in status.cells)
+
+
+def test_resubmission_is_served_from_cache(service):
+    first = service.results(service.submit(small_grid()))
+    job_id = service.submit(small_grid())
+    second = service.results(job_id)
+    status = service.status(job_id)
+    assert status.cache_hits == 4 and status.cache_misses == 0
+    assert all(isinstance(result, CachedResult) for result in second)
+    assert summaries(first) == summaries(second)
+
+
+def test_perturbation_reruns_exactly_the_changed_cells(service):
+    service.results(service.submit(small_grid()))
+    job_id = service.submit(small_grid(depths=(4, 16)))  # 8 -> 16: 2 of 4 cells
+    service.results(job_id)
+    status = service.status(job_id)
+    assert status.cache_hits == 2 and status.cache_misses == 2
+    states = {cell.label: cell.state for cell in status.cells}
+    assert states["(1, 4)"] is CellState.CACHED
+    assert states["(2, 4)"] is CellState.CACHED
+    assert states["(1, 16)"] is CellState.COMPUTED
+    assert states["(2, 16)"] is CellState.COMPUTED
+
+
+def test_submit_accepts_template_and_grid(service):
+    template = ExperimentTemplate(
+        name="greediness",
+        base_config=small_config(),
+        parameter=Parameter("greediness", path="controller.gc_greediness"),
+        values=[1, 2],
+        workload=functools.partial(mixed_workload, ios=IOS),
+    )
+    results = service.results(service.submit(template))
+    assert len(results) == 2
+
+    grid = GridExperiment(
+        name="grid",
+        base_config=small_config(),
+        parameters=[
+            Parameter("greediness", path="controller.gc_greediness"),
+            Parameter("qd", path="host.max_outstanding"),
+        ],
+        values=[[1, 2], [4, 8]],
+        workload=functools.partial(mixed_workload, ios=IOS),
+    )
+    job_id = service.submit(grid)
+    assert len(service.results(job_id)) == 4
+    # The template's greediness=1/2 cells differ from the grid's (the
+    # grid also pins max_outstanding), so hits come only from exact
+    # content matches.
+    assert service.status(job_id).name == "grid"
+
+
+def test_failure_surfaces_with_partial_results(service):
+    specs = small_grid()[:2] + [
+        RunSpec(config=small_config(), workload=failing_workload, index=2)
+    ]
+    job_id = service.submit(specs)
+    with pytest.raises(JobFailedError) as excinfo:
+        service.results(job_id)
+    assert len(excinfo.value.partial_results) == 2
+    status = service.status(job_id)
+    assert status.state is JobState.FAILED
+    assert "boom" in status.error
+    assert status.cells[2].state is CellState.FAILED
+
+
+def test_cancel_before_start(tmp_path):
+    with ExperimentService(cache=ResultCache(tmp_path)) as svc:
+        blocker = svc.submit(small_grid())
+        queued = svc.submit(small_grid(ios=IOS * 2))
+        assert svc.cancel(queued) is True
+        svc.wait(blocker)
+        status = svc.wait(queued)
+        assert status.state is JobState.CANCELLED
+        with pytest.raises(JobFailedError):
+            svc.results(queued)
+        assert svc.cancel(queued) is False  # already terminal
+
+
+def test_unknown_job_id(service):
+    with pytest.raises(UnknownJobError):
+        service.status("job-9999")
+
+
+def test_empty_submission_is_rejected(service):
+    with pytest.raises(ValueError):
+        service.submit([])
+
+
+def test_uncached_service_still_runs(tmp_path):
+    with ExperimentService(cache=None) as svc:
+        job_id = svc.submit(small_grid()[:1])
+        results = svc.results(job_id)
+        assert len(results) == 1
+        assert svc.status(job_id).cache_misses == 1
+        assert svc.cache_stats() == {"enabled": False}
+
+
+def test_run_to_completion_drives_the_poll_loop(service):
+    seen = []
+    status, results = run_to_completion(
+        service, small_grid()[:2], on_progress=seen.append, poll_s=0.01
+    )
+    assert status.state is JobState.DONE
+    assert len(results) == 2
+    assert seen and seen[-1].state is JobState.DONE
+
+
+def test_experiment_run_with_cache_path(tmp_path):
+    template = ExperimentTemplate(
+        name="greediness",
+        base_config=small_config(),
+        parameter=Parameter("greediness", path="controller.gc_greediness"),
+        values=[1, 2],
+        workload=functools.partial(mixed_workload, ios=IOS),
+    )
+    cold = template.run(cache=str(tmp_path))
+    warm = template.run(cache=str(tmp_path))
+    assert summaries(r.result for r in cold.runs) == summaries(
+        r.result for r in warm.runs
+    )
+    assert all(isinstance(r.result, CachedResult) for r in warm.runs)
+
+
+def test_grid_run_with_cache_object(tmp_path):
+    cache = ResultCache(tmp_path)
+    grid = GridExperiment(
+        name="grid",
+        base_config=small_config(),
+        parameters=[
+            Parameter("greediness", path="controller.gc_greediness"),
+            Parameter("qd", path="host.max_outstanding"),
+        ],
+        values=[[1, 2], [4, 8]],
+        workload=functools.partial(mixed_workload, ios=IOS),
+    )
+    grid.run(cache=cache)
+    assert cache.stores == 4
+    grid.run(cache=cache)
+    assert cache.hits == 4
+    assert cache.stores == 4
+
+
+def test_run_rejects_unknown_cache_types():
+    template = ExperimentTemplate(
+        name="greediness",
+        base_config=small_config(),
+        parameter=Parameter("greediness", path="controller.gc_greediness"),
+        values=[1],
+        workload=functools.partial(mixed_workload, ios=IOS),
+    )
+    with pytest.raises(TypeError):
+        template.run(cache=42)
+
+
+def test_service_accepts_workers_auto(tmp_path):
+    with ExperimentService(cache=ResultCache(tmp_path), workers="auto") as svc:
+        results = svc.results(svc.submit(small_grid()[:2]))
+        assert len(results) == 2

@@ -83,10 +83,21 @@ class TestExecution:
             metrics["scene3_volatile_lost_writes"]
         )
 
-    def test_demo_console_runs_small(self):
-        proc = self._run(
-            "demo_console.py", "--channels", "2", "--ops", "800", "--trace"
+    def test_demo_console_runs_small(self, tmp_path):
+        # An isolated cache dir: runs must never touch (or be served
+        # from) the user's real result store.
+        args = (
+            "--channels", "2", "--ops", "800", "--trace",
+            "--cache-dir", str(tmp_path),
         )
+        proc = self._run("demo_console.py", *args)
         assert proc.returncode == 0, proc.stderr
+        assert "0 cache hit, 1 simulated" in proc.stdout
         assert "write completions over time" in proc.stdout
         assert "trace" in proc.stdout
+
+        # The identical invocation is served from the result cache.
+        again = self._run("demo_console.py", *args)
+        assert again.returncode == 0, again.stderr
+        assert "1 cache hit, 0 simulated" in again.stdout
+        assert "served from the result cache" in again.stdout
