@@ -1,0 +1,275 @@
+"""Scale benchmark: device-state memory footprint and hot-path throughput.
+
+Three scenarios, each executed in its own subprocess so that
+``resource.getrusage(RUSAGE_SELF).ru_maxrss`` measures that scenario's
+peak resident set alone:
+
+* ``throughput`` -- write-heavy random traffic on the existing demo
+  geometry (the pre-refactor bench geometry).  Guards the hot path: the
+  array-backed state must not cost more than a few percent of events/sec
+  against the dict-backed implementation it replaced.
+* ``mid`` -- a few-million-page geometry (4 GB-class device) that both
+  implementations can build.  Shows the resident-memory win and is the
+  config the CI ``scale-smoke`` job runs under a hard RSS ceiling.
+* ``tera`` -- a terabyte-class geometry (2^28 pages ~ 1.1 TB of flash)
+  running a write-heavy workload.  Structurally impossible with
+  per-page Python objects; the flat numpy tables allocate lazily
+  (``np.zeros`` never touches untouched pages), so resident memory
+  scales with pages *written*, not pages *addressable*.
+
+The ``before`` numbers in ``BENCH_scale.json`` were captured on the
+dict-backed implementation immediately prior to the refactor and are
+kept in ``benchmarks/perf/baseline_dict_state.json`` -- they cannot be
+regenerated from this tree (the old state code is gone), so the file
+records the commit they were measured at.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_scale.py
+    PYTHONPATH=src python benchmarks/perf/bench_scale.py \
+        --scale-blocks 512 --scale-ios 20000 --rss-limit-mb 1024
+
+Writes ``BENCH_scale.json`` at the repo root (override with
+``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro import Simulation, demo_config
+from repro.core.config import SimulationConfig, SsdGeometry
+from repro.workloads import RandomWriterThread
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+_BASELINE_PATH = Path(__file__).resolve().parent / "baseline_dict_state.json"
+
+MIB = 1024 * 1024
+
+
+# --------------------------------------------------------------------------
+# Scenario configurations.
+# --------------------------------------------------------------------------
+
+
+def throughput_config() -> SimulationConfig:
+    """The pre-refactor bench geometry (demo experiments)."""
+    return demo_config(seed=42)
+
+
+def mid_config() -> SimulationConfig:
+    """4 GB-class: 2^21 pages, buildable by both implementations."""
+    config = demo_config(seed=42)
+    config.geometry = SsdGeometry(
+        channels=4,
+        luns_per_channel=4,
+        blocks_per_lun=512,
+        pages_per_block=256,
+        page_size_bytes=2048,
+    )
+    # The page-map FTL charges logical_pages * 8 bytes of simulated RAM.
+    config.controller.ram_bytes = 64 * MIB
+    return config
+
+
+def tera_config(blocks_per_lun: int = 16384) -> SimulationConfig:
+    """Terabyte-class: 8 ch x 8 LUN x blocks x 256 pages x 4 KiB.
+
+    At the default ``blocks_per_lun`` this is 2^28 = 268M pages
+    (~1.1 TB of flash).  ``--scale-blocks`` shrinks it for smoke runs.
+    """
+    config = demo_config(seed=42)
+    config.geometry = SsdGeometry(
+        channels=8,
+        luns_per_channel=8,
+        blocks_per_lun=blocks_per_lun,
+        pages_per_block=256,
+        page_size_bytes=4096,
+    )
+    config.controller.ram_bytes = 4 * 1024 * MIB
+    return config
+
+
+# --------------------------------------------------------------------------
+# Scenario runners (executed in a subprocess via --scenario).
+# --------------------------------------------------------------------------
+
+
+def _run_once(config: SimulationConfig, ios: int) -> dict:
+    simulation = Simulation(config)
+    simulation.add_thread(RandomWriterThread("writer", count=ios))
+    start = time.perf_counter()
+    result = simulation.run()
+    elapsed = time.perf_counter() - start
+    assert not result.incomplete, "benchmark run left outstanding IOs"
+    summary = result.summary()
+    return {
+        "ios": ios,
+        "events": result.processed_events,
+        "seconds": round(elapsed, 4),
+        "events_per_sec": round(result.processed_events / elapsed),
+        "device_memory_bytes": int(summary.get("device_memory_bytes", 0)),
+    }
+
+
+def _scenario_throughput(args: argparse.Namespace) -> dict:
+    best: dict = {}
+    for _ in range(args.repeats):
+        measured = _run_once(throughput_config(), args.ios)
+        if not best or measured["seconds"] < best["seconds"]:
+            best = measured
+    return best
+
+
+def _geometry_report(config: SimulationConfig) -> dict:
+    geometry = config.geometry
+    return {
+        "total_pages": geometry.total_pages,
+        "capacity_bytes": geometry.capacity_bytes,
+        "capacity_gb": round(geometry.capacity_bytes / 1e9, 1),
+        "geometry": dataclasses.asdict(geometry),
+    }
+
+
+def _scenario_mid(args: argparse.Namespace) -> dict:
+    config = mid_config()
+    report = _geometry_report(config)
+    report.update(_run_once(config, args.mid_ios))
+    report["max_rss_bytes"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    return report
+
+
+def _scenario_tera(args: argparse.Namespace) -> dict:
+    config = tera_config(blocks_per_lun=args.scale_blocks)
+    report = _geometry_report(config)
+    report.update(_run_once(config, args.scale_ios))
+    report["max_rss_bytes"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    return report
+
+
+_SCENARIOS = {
+    "throughput": _scenario_throughput,
+    "mid": _scenario_mid,
+    "tera": _scenario_tera,
+}
+
+
+def _run_in_subprocess(name: str, args: argparse.Namespace) -> dict:
+    """Re-exec this script for one scenario so ru_maxrss is isolated."""
+    command = [
+        sys.executable, os.path.abspath(__file__),
+        "--scenario", name,
+        "--ios", str(args.ios),
+        "--repeats", str(args.repeats),
+        "--mid-ios", str(args.mid_ios),
+        "--scale-ios", str(args.scale_ios),
+        "--scale-blocks", str(args.scale_blocks),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    output = subprocess.run(
+        command, check=True, capture_output=True, text=True, env=env
+    ).stdout
+    return json.loads(output)
+
+
+# --------------------------------------------------------------------------
+# Orchestration.
+# --------------------------------------------------------------------------
+
+
+def _load_baseline() -> dict:
+    if _BASELINE_PATH.exists():
+        with open(_BASELINE_PATH) as handle:
+            return json.load(handle)
+    return {}
+
+
+def run_benchmark(args: argparse.Namespace) -> dict:
+    baseline = _load_baseline()
+    report: dict = {
+        "benchmark": "scale",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "before": baseline,
+        "after": {},
+    }
+    for name in ("throughput", "mid", "tera"):
+        print(f"running scenario {name} ...", flush=True)
+        measured = _run_in_subprocess(name, args)
+        report["after"][name] = measured
+        rss = measured.get("max_rss_bytes")
+        rss_note = f"   maxrss {rss / MIB:,.0f} MiB" if rss else ""
+        print(f"{name:>12}: {measured['events_per_sec']:>10,} ev/s{rss_note}")
+
+    before_tp = baseline.get("throughput", {}).get("events_per_sec")
+    after_tp = report["after"]["throughput"]["events_per_sec"]
+    if before_tp:
+        ratio = after_tp / before_tp
+        report["throughput_ratio"] = round(ratio, 3)
+        print(f"throughput vs dict-backed baseline: {ratio:.3f}x")
+    before_rss = baseline.get("mid", {}).get("max_rss_bytes")
+    after_rss = report["after"]["mid"]["max_rss_bytes"]
+    if before_rss:
+        report["mid_rss_ratio"] = round(after_rss / before_rss, 3)
+        print(
+            f"mid-geometry maxrss: {before_rss / MIB:,.0f} MiB -> "
+            f"{after_rss / MIB:,.0f} MiB"
+        )
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", choices=sorted(_SCENARIOS),
+                        help="internal: run one scenario, print JSON to stdout")
+    parser.add_argument("--ios", type=int, default=60_000,
+                        help="write IOs for the throughput scenario")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="repeats for the throughput scenario, best taken "
+                             "(the shared-host timing noise exceeds the "
+                             "effect being measured; best-of-N cuts it)")
+    parser.add_argument("--mid-ios", type=int, default=50_000,
+                        help="write IOs for the mid-geometry scenario")
+    parser.add_argument("--scale-ios", type=int, default=200_000,
+                        help="write IOs for the terabyte scenario")
+    parser.add_argument("--scale-blocks", type=int, default=16384,
+                        help="blocks per LUN for the terabyte scenario "
+                             "(shrink for smoke runs)")
+    parser.add_argument("--rss-limit-mb", type=int, default=None,
+                        help="fail if any scenario's max RSS exceeds this")
+    parser.add_argument("--output", default=str(_REPO_ROOT / "BENCH_scale.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args()
+
+    if args.scenario:
+        print(json.dumps(_SCENARIOS[args.scenario](args)))
+        return
+
+    report = run_benchmark(args)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"-> {args.output}")
+
+    if args.rss_limit_mb is not None:
+        for name, measured in report["after"].items():
+            rss = measured.get("max_rss_bytes")
+            if rss is not None and rss > args.rss_limit_mb * MIB:
+                raise SystemExit(
+                    f"scenario {name!r} used {rss / MIB:,.0f} MiB resident, "
+                    f"over the {args.rss_limit_mb} MiB ceiling"
+                )
+
+
+if __name__ == "__main__":
+    main()

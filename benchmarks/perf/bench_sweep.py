@@ -62,17 +62,33 @@ def _grid(ios: int) -> GridExperiment:
 
 
 def _timed_run(ios: int, workers: int):
+    """Run the grid; returns (result, total_seconds, per_cell_seconds).
+
+    Per-cell times are deltas between ``progress`` firings.  Serially
+    that is each cell's own wall-clock; with workers it is the gap
+    between grid-order completions (cells overlap, so the per-cell list
+    is only reported for the serial run).
+    """
+    cell_marks = []
     start = time.perf_counter()
-    result = _grid(ios).run(workers=workers)
-    return result, time.perf_counter() - start
+    result = _grid(ios).run(
+        workers=workers,
+        progress=lambda values, res: cell_marks.append(time.perf_counter()),
+    )
+    total = time.perf_counter() - start
+    per_cell = [
+        round(mark - previous, 3)
+        for previous, mark in zip([start] + cell_marks[:-1], cell_marks)
+    ]
+    return result, total, per_cell
 
 
 def run_benchmark(workers: int, ios: int) -> dict:
     print(f"running 16-cell grid serially ({ios} IOs per cell) ...")
-    serial, serial_s = _timed_run(ios, workers=1)
+    serial, serial_s, serial_cells = _timed_run(ios, workers=1)
     print(f"  {serial_s:.1f}s")
     print(f"running the same grid on {workers} workers ...")
-    parallel, parallel_s = _timed_run(ios, workers=workers)
+    parallel, parallel_s, _ = _timed_run(ios, workers=workers)
     print(f"  {parallel_s:.1f}s")
 
     identical = all(
@@ -80,20 +96,34 @@ def run_benchmark(workers: int, ios: int) -> dict:
         for s, p in zip(serial.runs, parallel.runs)
     )
     speedup = serial_s / parallel_s
-    print(f"bit-identical results: {identical}   speedup: {speedup:.2f}x")
-    return {
+    cpu_count = os.cpu_count() or 1
+    # A 1-CPU box cannot demonstrate parallel speedup: the worker run
+    # measures process fan-out overhead, nothing else.  Say so in the
+    # report instead of publishing a meaningless "0.98x".
+    speedup_proven = cpu_count > 1
+    print(f"bit-identical results: {identical}   speedup: {speedup:.2f}x"
+          + ("" if speedup_proven else "   (unproven: single-CPU host)"))
+    report = {
         "benchmark": "sweep",
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "grid_cells": 16,
         "ios_per_cell": ios,
         "workers": workers,
         "serial_seconds": round(serial_s, 2),
+        "serial_cell_seconds": serial_cells,
         "parallel_seconds": round(parallel_s, 2),
         "speedup": round(speedup, 2),
+        "speedup_proven": speedup_proven,
         "bit_identical": identical,
     }
+    if not speedup_proven:
+        report["speedup_note"] = (
+            "cpu_count == 1: the parallel run only measures process "
+            "overhead; the speedup figure does not demonstrate scaling"
+        )
+    return report
 
 
 def main() -> None:

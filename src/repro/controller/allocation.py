@@ -30,7 +30,10 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.core.config import AllocationPolicy, SimulationConfig
+from repro.core.events import WriteHints
 from repro.hardware.addresses import PhysicalAddress, iter_luns
 from repro.hardware.array import SsdArray
 from repro.hardware.commands import CommandKind, FlashCommand
@@ -66,7 +69,7 @@ class WriteAllocator:
         self,
         array: SsdArray,
         config: SimulationConfig,
-        classify: Callable[[int, dict], str],
+        classify: Callable[[int, WriteHints], str],
         queue_depth: Callable[[tuple[int, int]], int],
     ):
         self.array = array
@@ -90,7 +93,7 @@ class WriteAllocator:
     # ------------------------------------------------------------------
     # LUN choice (at command creation)
     # ------------------------------------------------------------------
-    def place_write(self, lpn: int, hints: dict) -> tuple[tuple[int, int], str]:
+    def place_write(self, lpn: int, hints: WriteHints) -> tuple[tuple[int, int], str]:
         """Choose the (channel, lun) and allocation stream for a new
         application write."""
         stream = "app"
@@ -245,13 +248,18 @@ class WriteAllocator:
     def _pick_free_block(self, lun: Lun, stream: str) -> int:
         """Dynamic wear leveling: known-cold streams retire old blocks;
         everything else takes the youngest block (classic wear-aware
-        allocation)."""
-        candidates = lun.free_block_ids
+        allocation).  Vectorized over the LUN's free-block mask."""
+        state = lun.state
+        start, _ = state.block_range(lun.lun_index)
+        candidates = np.nonzero(lun.free_block_ids.mask())[0]
         if self._dynamic_wl and stream in _COLD_STREAMS:
-            return max(candidates, key=lambda b: (lun.block(b).erase_count, -b))
+            # max over (erase_count, -block_id): lowest id among maxima.
+            erases = state.erase_count[start + candidates]
+            return int(candidates[int(np.argmax(erases == erases.max()))])
         if self._dynamic_wl:
-            return min(candidates, key=lambda b: (lun.block(b).erase_count, b))
-        return min(candidates)
+            erases = state.erase_count[start + candidates]
+            return int(candidates[int(np.argmax(erases == erases.min()))])
+        return int(candidates[0])
 
     def gc_stream_for(self, lpn: int) -> str:
         """The relocation stream for a GC'd page: temperature-aware when

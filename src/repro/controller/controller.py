@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.controller.allocation import WriteAllocator
 from repro.controller.ftl import build_ftl
 from repro.controller.gc import GarbageCollector
@@ -22,7 +24,7 @@ from repro.controller.wear_leveling import WearLeveler
 from repro.controller.write_buffer import WriteBuffer
 from repro.core.config import RecoveryStrategy, SimulationConfig, TemperatureDetector
 from repro.core.engine import Simulator
-from repro.core.events import IoRequest, IoType
+from repro.core.events import IoRequest, IoType, WriteHints
 from repro.core.rng import RandomSource
 from repro.core.statistics import StatisticsGatherer
 from repro.core.tracing import TraceRecorder
@@ -170,12 +172,12 @@ class SsdController:
             return
         raise ValueError(f"unknown IO type {io.io_type!r}")
 
-    def hints_of(self, io: IoRequest) -> dict:
+    def hints_of(self, io: IoRequest) -> WriteHints:
         """The hints the device may act on: everything with the open
         interface, nothing through the plain block interface."""
         return io.hints if self._open_interface else {}
 
-    def _observe_write(self, lpn: int, hints: dict) -> None:
+    def _observe_write(self, lpn: int, hints: WriteHints) -> None:
         self.temperature.record_write(lpn)
         if "temperature" in hints and (
             self.config.controller.temperature.detector is TemperatureDetector.HINT
@@ -284,23 +286,40 @@ class SsdController:
             raise AssertionError(
                 f"live-page mismatch: array has {live}, FTL implies {expected}"
             )
-        for lun_key, lun in sorted(self.array.luns.items()):
-            for block_id, block in enumerate(lun.blocks):
-                if block.inflight_reads:
-                    raise AssertionError(
-                        f"in-flight reads remain on (c{lun_key[0]},l{lun_key[1]},"
-                        f"b{block_id}) at quiescence"
-                    )
-                in_free_set = block_id in lun.free_block_ids
-                if in_free_set and not block.is_empty:
-                    raise AssertionError(
-                        f"free set contains non-empty block b{block_id} on {lun_key}"
-                    )
-                if block.is_bad and block.live_count:
-                    raise AssertionError(
-                        f"retired block b{block_id} on {lun_key} still holds "
-                        f"{block.live_count} live pages"
-                    )
+        # Vectorized whole-device audits; on failure, locate the first
+        # offending block (lowest global block id) for the diagnostic.
+        state = self.array.state
+        geometry = self.config.geometry
+
+        def _locate(mask) -> tuple[tuple[int, int], int, int]:
+            global_id = int(np.argmax(mask))
+            lun_index, block_id = divmod(global_id, geometry.blocks_per_lun)
+            lun_key = (
+                lun_index // geometry.luns_per_channel,
+                lun_index % geometry.luns_per_channel,
+            )
+            return lun_key, block_id, global_id
+
+        inflight = state.inflight_reads != 0
+        if inflight.any():
+            lun_key, block_id, _ = _locate(inflight)
+            raise AssertionError(
+                f"in-flight reads remain on (c{lun_key[0]},l{lun_key[1]},"
+                f"b{block_id}) at quiescence"
+            )
+        free_not_empty = (state.block_free != 0) & (state.write_pointer != 0)
+        if free_not_empty.any():
+            lun_key, block_id, _ = _locate(free_not_empty)
+            raise AssertionError(
+                f"free set contains non-empty block b{block_id} on {lun_key}"
+            )
+        bad_with_live = (state.bad != 0) & (state.live_count != 0)
+        if bad_with_live.any():
+            lun_key, block_id, global_id = _locate(bad_with_live)
+            raise AssertionError(
+                f"retired block b{block_id} on {lun_key} still holds "
+                f"{int(state.live_count[global_id])} live pages"
+            )
         if self.gc._condemned:
             raise AssertionError(
                 f"{len(self.gc._condemned)} condemned blocks not yet retired "

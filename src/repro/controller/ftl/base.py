@@ -19,11 +19,12 @@ Subclasses implement the mapping-lookup side: in RAM for
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.core.events import IoRequest
+from repro.core.events import IoRequest, WriteHints
 from repro.hardware.addresses import PhysicalAddress
 from repro.hardware.flash import PageContent
+from repro.hardware.state import VersionTable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.controller.controller import SsdController
@@ -39,10 +40,17 @@ class BaseFtl(abc.ABC):
 
     def __init__(self, controller: "SsdController"):
         self.controller = controller
-        #: Highest version number issued per LPN.
-        self._issued_versions: dict[int, int] = {}
+        logical_pages = controller.config.logical_pages
+        pseudo = self._metadata_pseudo_lpns(controller)
+        #: Highest version number issued per LPN (flat array table; DFTL's
+        #: negative translation-page pseudo-LPNs fold into the tail).
+        self._issued_versions = VersionTable(logical_pages, pseudo)
         #: Highest version number that has won the mapping per LPN.
-        self._committed_versions: dict[int, int] = {}
+        self._committed_versions = VersionTable(logical_pages, pseudo)
+
+    def _metadata_pseudo_lpns(self, controller: "SsdController") -> int:
+        """Negative pseudo-LPN slots the scheme versions (DFTL overrides)."""
+        return 0
 
     # ------------------------------------------------------------------
     # Logical IO entry points (called by the controller)
@@ -52,7 +60,14 @@ class BaseFtl(abc.ABC):
         """Serve a logical read; ends with ``controller.complete_io``."""
 
     @abc.abstractmethod
-    def write(self, io, lpn: int, hints: dict, on_done=None, version=None) -> None:
+    def write(
+        self,
+        io: Optional[IoRequest],
+        lpn: int,
+        hints: WriteHints,
+        on_done: Optional[Callable[[], None]] = None,
+        version: Optional[int] = None,
+    ) -> None:
         """Serve a logical write.
 
         ``io`` may be ``None`` for internal writes (write-buffer
@@ -139,6 +154,26 @@ class BaseFtl(abc.ABC):
         if journal is not None and lpn >= 0:
             journal.record_trim(lpn)
 
+    def _load_version_tables(
+        self, issued_versions: dict[int, int], committed_versions: dict[int, int]
+    ) -> None:
+        """Install carried-over version counters at mount (shared by every
+        subclass's :meth:`rebuild_from_recovery`)."""
+        self._issued_versions.load_dict(issued_versions)
+        self._committed_versions.load_dict(committed_versions)
+
+    def table_memory_bytes(self) -> int:
+        """Bytes of the FTL's array-backed tables (device-memory report)."""
+        return (
+            self._issued_versions.memory_bytes()
+            + self._committed_versions.memory_bytes()
+            + self._mapping_memory_bytes()
+        )
+
+    def _mapping_memory_bytes(self) -> int:
+        """Bytes of the scheme-specific mapping structures."""
+        return 0
+
     def expected_live_pages(self) -> int:
         """Live flash pages implied by the mapping state; equals the
         array's live-page count at quiescence (DESIGN.md invariant 3)."""
@@ -148,9 +183,7 @@ class BaseFtl(abc.ABC):
     # Shared helpers
     # ------------------------------------------------------------------
     def next_version(self, lpn: int) -> int:
-        version = self._issued_versions.get(lpn, 0) + 1
-        self._issued_versions[lpn] = version
-        return version
+        return self._issued_versions.bump(lpn)
 
     def _invalidate(self, address: PhysicalAddress) -> None:
         lun = self.controller.array.luns[(address.channel, address.lun)]
@@ -173,7 +206,7 @@ class BaseFtl(abc.ABC):
         superseded while in flight; its page was invalidated as orphan).
         """
         if version > self._committed_versions.get(lpn, 0):
-            self._committed_versions[lpn] = version
+            self._committed_versions.set(lpn, version)
             if old_address is not None:
                 self._invalidate(old_address)
             self._journal_commit(lpn, version, new_address)
@@ -183,5 +216,5 @@ class BaseFtl(abc.ABC):
 
     def _supersede(self, lpn: int) -> None:
         """Trim support: mark every in-flight write of ``lpn`` stale."""
-        self._committed_versions[lpn] = self._issued_versions.get(lpn, 0)
+        self._committed_versions.set(lpn, self._issued_versions.get(lpn, 0))
         self._journal_trim(lpn)

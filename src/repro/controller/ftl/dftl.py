@@ -25,13 +25,17 @@ paper studies.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.controller.ftl.base import BaseFtl
-from repro.core.events import IoRequest
+from repro.core.events import IoRequest, WriteHints
 from repro.hardware.addresses import PhysicalAddress
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
 from repro.hardware.flash import PageContent
+from repro.hardware.state import MappingTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.controller import SsdController
 
 
 class _CmtEntry:
@@ -45,7 +49,7 @@ class _CmtEntry:
 class DftlFtl(BaseFtl):
     """Demand-paged page mapping with translation pages on flash."""
 
-    def __init__(self, controller):
+    def __init__(self, controller: "SsdController"):
         super().__init__(controller)
         config = controller.config
         dftl = config.controller.dftl
@@ -70,19 +74,31 @@ class DftlFtl(BaseFtl):
         #: LRU-ordered cached mapping table (MRU at the end).
         self.cmt: OrderedDict[int, _CmtEntry] = OrderedDict()
         #: Mapping content persisted in on-flash translation pages.
-        self.persisted: dict[int, PhysicalAddress] = {}
+        self.persisted = MappingTable(config.logical_pages, controller.array.codec)
         #: GTD: current flash location of each translation page.
-        self.tp_locations: dict[int, PhysicalAddress] = {}
+        self.tp_locations = MappingTable(self.num_tps, controller.array.codec)
         #: Coalesced outstanding fetches: tp -> [(lpn, continuation)].
         self._pending_fetches: dict[int, list[tuple[int, Callable[[], None]]]] = {}
 
         self.cmt_hits = 0
         self.cmt_misses = 0
+        assert self.num_tps == self._metadata_pseudo_lpns(controller)
         self.evictions = 0
         self.batched_flush_entries = 0
         #: Translation-page reads issued for CMT misses (excludes the
         #: read half of eviction read-modify-writes).
         self.tp_fetch_reads = 0
+
+    def _metadata_pseudo_lpns(self, controller: "SsdController") -> int:
+        """Version-table slots for the translation pages' pseudo-LPNs
+        (called by ``BaseFtl.__init__`` before this class's attributes
+        exist, hence the recomputation from the raw configuration)."""
+        config = controller.config
+        entries = max(
+            1,
+            config.geometry.page_size_bytes // config.controller.dftl.entry_bytes,
+        )
+        return -(-config.logical_pages // entries)
 
     # ------------------------------------------------------------------
     # Logical IO
@@ -111,12 +127,22 @@ class DftlFtl(BaseFtl):
         self.controller.complete_io(cmd.io)
 
     def write(
-        self, io: Optional[IoRequest], lpn: int, hints: dict, on_done=None, version=None
+        self,
+        io: Optional[IoRequest],
+        lpn: int,
+        hints: WriteHints,
+        on_done: Optional[Callable[[], None]] = None,
+        version: Optional[int] = None,
     ) -> None:
         self._with_entry(lpn, lambda: self._do_write(io, lpn, hints, on_done, version))
 
     def _do_write(
-        self, io: Optional[IoRequest], lpn: int, hints: dict, on_done, version=None
+        self,
+        io: Optional[IoRequest],
+        lpn: int,
+        hints: WriteHints,
+        on_done: Optional[Callable[[], None]],
+        version: Optional[int] = None,
     ) -> None:
         if version is None:
             version = self.next_version(lpn)
@@ -251,9 +277,9 @@ class DftlFtl(BaseFtl):
 
     def _persist(self, lpn: int, ppn: Optional[PhysicalAddress]) -> None:
         if ppn is None:
-            self.persisted.pop(lpn, None)
+            self.persisted.discard(lpn)
         else:
-            self.persisted[lpn] = ppn
+            self.persisted.set(lpn, ppn)
 
     def _write_tp(self, tp: int) -> None:
         pseudo = self._tp_pseudo_lpn(tp)
@@ -275,7 +301,7 @@ class DftlFtl(BaseFtl):
         tp = self._tp_from_pseudo(pseudo)
         old_address = self.tp_locations.get(tp)
         if self._commit_write(pseudo, version, cmd.address, old_address):
-            self.tp_locations[tp] = cmd.address
+            self.tp_locations.set(tp, cmd.address)
 
     # ------------------------------------------------------------------
     # GC / WL cooperation
@@ -291,7 +317,7 @@ class DftlFtl(BaseFtl):
             tp = self._tp_from_pseudo(lpn)
             if self.tp_locations.get(tp) == old_address:
                 self._invalidate(old_address)
-                self.tp_locations[tp] = new_address
+                self.tp_locations.set(tp, new_address)
                 return True
             self._invalidate(new_address)
             return False
@@ -312,7 +338,7 @@ class DftlFtl(BaseFtl):
         # data page itself is durable even when the mapping entry is not,
         # which is exactly what recovery reconstructs).
         snapshot: dict[int, tuple[PhysicalAddress, int]] = {}
-        for lpn in sorted(set(self.cmt) | set(self.persisted)):
+        for lpn in sorted(set(self.cmt) | set(self.persisted.mapped_lpns().tolist())):
             address = self._authoritative(lpn)
             if address is not None:
                 snapshot[lpn] = (address, self._committed_versions.get(lpn, 0))
@@ -330,13 +356,12 @@ class DftlFtl(BaseFtl):
         # translation pages are never referenced again; the mount cleanup
         # erased their blocks, and ``tp_locations`` stays empty until
         # evictions write fresh ones.
-        self.persisted = {
-            lpn: address for lpn, (address, _version) in sorted(mapping.items())
-        }
-        self.tp_locations = {}
+        self.persisted.clear()
+        for lpn in sorted(mapping):
+            self.persisted.set(lpn, mapping[lpn][0])
+        self.tp_locations.clear()
         self.cmt = OrderedDict()
-        self._issued_versions = dict(issued_versions)
-        self._committed_versions = dict(committed_versions)
+        self._load_version_tables(issued_versions, committed_versions)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -354,11 +379,16 @@ class DftlFtl(BaseFtl):
         count = sum(
             1 for lpn, entry in self.cmt.items() if entry.ppn is not None
         )
-        count += sum(1 for lpn in self.persisted if lpn not in self.cmt)
+        count += len(self.persisted) - sum(
+            1 for lpn in self.cmt if lpn in self.persisted
+        )
         return count
 
     def metadata_page_count(self) -> int:
         return len(self.tp_locations)
+
+    def _mapping_memory_bytes(self) -> int:
+        return self.persisted.memory_bytes() + self.tp_locations.memory_bytes()
 
     def hit_ratio(self) -> float:
         total = self.cmt_hits + self.cmt_misses

@@ -35,24 +35,20 @@ block-level map gives up in exchange for its tiny RAM footprint.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
 
 from repro.controller.ftl.base import BaseFtl
-from repro.core.events import IoRequest
+from repro.core.events import IoRequest, WriteHints
 from repro.hardware.addresses import PhysicalAddress
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
+from repro.hardware.state import iter_set_bits, popcounts, words_for
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.controller import SsdController
 
-class _LbnState:
-    """Mapping state of one logical block."""
-
-    __slots__ = ("data_block", "data_bits")
-
-    def __init__(self) -> None:
-        #: (channel, lun, block) of the data block, if one exists.
-        self.data_block: Optional[tuple[int, int, int]] = None
-        #: Bitmask of offsets whose current version lives in the data block.
-        self.data_bits = 0
+_WORD_MASK = 0xFFFFFFFFFFFFFFFF
 
 
 class HybridFtl(BaseFtl):
@@ -60,7 +56,7 @@ class HybridFtl(BaseFtl):
 
     manages_physical_space = True
 
-    def __init__(self, controller):
+    def __init__(self, controller: "SsdController"):
         super().__init__(controller)
         config = controller.config
         hybrid = config.controller.hybrid
@@ -88,7 +84,17 @@ class HybridFtl(BaseFtl):
             "hybrid log map", self.max_log_blocks * self.ppb * 8
         )
 
-        self._lbns: dict[int, _LbnState] = {}
+        # Block map as flat arrays (DESIGN.md "Array-backed device
+        # state"): per-lbn data block as ``global block id + 1`` (0 =
+        # none) plus a packed per-lbn bitmap of offsets whose current
+        # version lives in the data block.
+        self._luns_per_channel = geometry.luns_per_channel
+        self._blocks_per_lun = geometry.blocks_per_lun
+        self._lbn_words = words_for(self.ppb)
+        self._data_block = np.zeros(self.num_lbns, dtype=np.int64)
+        self._data_bits = np.zeros(self.num_lbns * self._lbn_words, dtype=np.uint64)
+        self._mv_data_block = memoryview(self._data_block)
+        self._mv_data_bits = memoryview(self._data_bits)
         #: lpn -> physical address of its current copy in a log block.
         self.log_map: dict[int, PhysicalAddress] = {}
         #: Log blocks in allocation (FIFO) order: (lun_key, block_id).
@@ -99,7 +105,15 @@ class HybridFtl(BaseFtl):
         #: block is only merge-eligible once every write committed.
         self._log_committed: dict[tuple[tuple[int, int], int], int] = {}
         #: Writes waiting for a merge to free log space.
-        self._pending_writes: deque = deque()
+        self._pending_writes: deque[
+            tuple[
+                Optional[IoRequest],
+                int,
+                WriteHints,
+                Optional[Callable[[], None]],
+                Optional[int],
+            ]
+        ] = deque()
         self._merging = False
         self._lun_rotation = 0
 
@@ -117,24 +131,52 @@ class HybridFtl(BaseFtl):
     def _split(self, lpn: int) -> tuple[int, int]:
         return lpn // self.ppb, lpn % self.ppb
 
-    def _state(self, lbn: int) -> _LbnState:
-        state = self._lbns.get(lbn)
-        if state is None:
-            state = _LbnState()
-            self._lbns[lbn] = state
-        return state
+    def _data_block_of(self, lbn: int) -> Optional[tuple[int, int, int]]:
+        """(channel, lun, block) of the lbn's data block, if one exists."""
+        encoded = self._mv_data_block[lbn]
+        if encoded == 0:
+            return None
+        lun_index, block = divmod(encoded - 1, self._blocks_per_lun)
+        channel, lun = divmod(lun_index, self._luns_per_channel)
+        return (channel, lun, block)
+
+    def _set_data_block(self, lbn: int, channel: int, lun: int, block: int) -> None:
+        lun_index = channel * self._luns_per_channel + lun
+        self._mv_data_block[lbn] = lun_index * self._blocks_per_lun + block + 1
+
+    def _data_bit(self, lbn: int, offset: int) -> int:
+        word = lbn * self._lbn_words + (offset >> 6)
+        return self._mv_data_bits[word] >> (offset & 63) & 1
+
+    def _set_data_bit(self, lbn: int, offset: int) -> None:
+        word = lbn * self._lbn_words + (offset >> 6)
+        self._mv_data_bits[word] |= 1 << (offset & 63)
+
+    def _clear_data_bit(self, lbn: int, offset: int) -> None:
+        word = lbn * self._lbn_words + (offset >> 6)
+        self._mv_data_bits[word] &= ~(1 << (offset & 63)) & _WORD_MASK
+
+    def _fill_data_bits(self, lbn: int) -> None:
+        """Mark every offset block-mapped (a switch merge's bitmap)."""
+        base = lbn * self._lbn_words
+        full_words, remainder = divmod(self.ppb, 64)
+        for i in range(full_words):
+            self._mv_data_bits[base + i] = _WORD_MASK
+        if remainder:
+            self._mv_data_bits[base + full_words] = (1 << remainder) - 1
 
     def _current_address(self, lpn: int) -> Optional[PhysicalAddress]:
         address = self.log_map.get(lpn)
         if address is not None:
             return address
         lbn, offset = self._split(lpn)
-        state = self._lbns.get(lbn)
-        if state is None or state.data_block is None:
+        encoded = self._mv_data_block[lbn]
+        if encoded == 0:
             return None
-        if not state.data_bits >> offset & 1:
+        if not self._data_bit(lbn, offset):
             return None
-        channel, lun, block = state.data_block
+        lun_index, block = divmod(encoded - 1, self._blocks_per_lun)
+        channel, lun = divmod(lun_index, self._luns_per_channel)
         return PhysicalAddress(channel, lun, block, offset)
 
     # ------------------------------------------------------------------
@@ -193,7 +235,12 @@ class HybridFtl(BaseFtl):
         self.controller.complete_io(cmd.io)
 
     def write(
-        self, io: Optional[IoRequest], lpn: int, hints: dict, on_done=None, version=None
+        self,
+        io: Optional[IoRequest],
+        lpn: int,
+        hints: WriteHints,
+        on_done: Optional[Callable[[], None]] = None,
+        version: Optional[int] = None,
     ) -> None:
         if version is None:
             version = self.next_version(lpn)
@@ -239,8 +286,7 @@ class HybridFtl(BaseFtl):
         old_address = self._current_address(lpn)
         if self._commit_write(lpn, version, cmd.address, old_address):
             lbn, offset = self._split(lpn)
-            state = self._state(lbn)
-            state.data_bits &= ~(1 << offset)
+            self._clear_data_bit(lbn, offset)
             self.log_map[lpn] = cmd.address
         if cmd.io is not None:
             self.controller.complete_io(cmd.io)
@@ -257,7 +303,7 @@ class HybridFtl(BaseFtl):
                 del self.log_map[io.lpn]
             else:
                 lbn, offset = self._split(io.lpn)
-                self._state(lbn).data_bits &= ~(1 << offset)
+                self._clear_data_bit(lbn, offset)
         self._supersede(io.lpn)
         self.controller.complete_quick(io)
 
@@ -316,11 +362,10 @@ class HybridFtl(BaseFtl):
         lbn = self._switchable_lbn(victim)
         assert lbn is not None
         self.switch_merges += 1
-        state = self._state(lbn)
-        old_data = state.data_block
+        old_data = self._data_block_of(lbn)
         (lun_key, block_id) = victim
-        state.data_block = (lun_key[0], lun_key[1], block_id)
-        state.data_bits = (1 << self.ppb) - 1
+        self._set_data_block(lbn, lun_key[0], lun_key[1], block_id)
+        self._fill_data_bits(lbn)
         for offset in range(self.ppb):
             self.log_map.pop(lbn * self.ppb + offset, None)
         self._log_blocks.remove(victim)
@@ -394,8 +439,7 @@ class HybridFtl(BaseFtl):
         self.controller.enqueue_command(cmd)
 
     def _commit_merge(self, lbn, new_key, snapshot, done) -> None:
-        state = self._state(lbn)
-        old_data = state.data_block
+        old_data = self._data_block_of(lbn)
         (lun_key, block_id) = new_key
         for offset in range(self.ppb):
             source = snapshot[offset]
@@ -406,7 +450,7 @@ class HybridFtl(BaseFtl):
             if self._current_address(lpn) == source:
                 self._invalidate(source)
                 self.log_map.pop(lpn, None)
-                state.data_bits |= 1 << offset
+                self._set_data_bit(lbn, offset)
                 self._journal_commit(
                     lpn, self._committed_versions.get(lpn, 0), new_address
                 )
@@ -414,7 +458,7 @@ class HybridFtl(BaseFtl):
                 # Overwritten or trimmed mid-merge: the merged copy is
                 # stale on arrival.
                 self._invalidate(new_address)
-        state.data_block = (lun_key[0], lun_key[1], block_id)
+        self._set_data_block(lbn, lun_key[0], lun_key[1], block_id)
         if old_data is not None:
             self._erase_detached(old_data)
         done()
@@ -470,13 +514,13 @@ class HybridFtl(BaseFtl):
     # ------------------------------------------------------------------
     def snapshot_map(self) -> dict[int, tuple[PhysicalAddress, int]]:
         snapshot: dict[int, tuple[PhysicalAddress, int]] = {}
-        for lbn in sorted(self._lbns):
-            state = self._lbns[lbn]
-            if state.data_block is None:
-                continue
-            channel, lun, block = state.data_block
-            for offset in range(self.ppb):
-                if state.data_bits >> offset & 1:
+        for lbn in np.nonzero(self._data_block)[0].tolist():
+            channel, lun, block = self._data_block_of(lbn)
+            base = lbn * self._lbn_words
+            for word_index in range(self._lbn_words):
+                word_base = word_index << 6
+                for bit in iter_set_bits(self._mv_data_bits[base + word_index]):
+                    offset = word_base + bit
                     lpn = lbn * self.ppb + offset
                     snapshot[lpn] = (
                         PhysicalAddress(channel, lun, block, offset),
@@ -504,9 +548,9 @@ class HybridFtl(BaseFtl):
         (synchronous mount-time merges) so the device cannot restart
         wedged.
         """
-        self._issued_versions = dict(issued_versions)
-        self._committed_versions = dict(committed_versions)
-        self._lbns = {}
+        self._load_version_tables(issued_versions, committed_versions)
+        self._data_block[:] = 0
+        self._data_bits[:] = 0
         self.log_map = {}
         self._log_blocks = []
         self._log_assigned = {}
@@ -545,11 +589,10 @@ class HybridFtl(BaseFtl):
                 key=lambda item: (-item[1], -self._block(item[0]).write_pointer, item[0]),
             )
             winner_key, _count = ranked[0]
-            state = self._state(lbn)
             (channel, lun), block_id = winner_key
-            state.data_block = (channel, lun, block_id)
+            self._set_data_block(lbn, channel, lun, block_id)
             for lpn, _address in by_block[winner_key]:
-                state.data_bits |= 1 << (lpn % self.ppb)
+                self._set_data_bit(lbn, lpn % self.ppb)
             for loser_key, _count in ranked[1:]:
                 log_keys.append(loser_key)
         log_keys.sort()
@@ -606,8 +649,7 @@ class HybridFtl(BaseFtl):
         if new_key is None:
             return False
         now = self.controller.sim.now
-        state = self._state(lbn)
-        old_data = state.data_block
+        old_data = self._data_block_of(lbn)
         sources = [
             self._current_address(lbn * self.ppb + offset) for offset in range(self.ppb)
         ]
@@ -627,7 +669,7 @@ class HybridFtl(BaseFtl):
                 new_block.program_next(content, now)
                 self._invalidate(source)
                 self.log_map.pop(lpn, None)
-                state.data_bits |= 1 << offset
+                self._set_data_bit(lbn, offset)
                 touched.add(((source.channel, source.lun), source.block))
                 self.mount_consolidation["reads"] += 1
                 self._journal_commit(
@@ -636,7 +678,7 @@ class HybridFtl(BaseFtl):
                     PhysicalAddress(lun_key[0], lun_key[1], block_id, offset),
                 )
             self.mount_consolidation["programs"] += 1
-        state.data_block = (lun_key[0], lun_key[1], block_id)
+        self._set_data_block(lbn, lun_key[0], lun_key[1], block_id)
         self.merged_pages += sum(1 for source in sources if source is not None)
         self.full_merges += 1
         if old_data is not None:
@@ -669,8 +711,18 @@ class HybridFtl(BaseFtl):
         return self._current_address(lpn)
 
     def mapped_page_count(self) -> int:
-        bits = sum(state.data_bits.bit_count() for state in self._lbns.values())
+        bits = int(popcounts(self._data_bits).sum())
         return len(self.log_map) + bits
+
+    def _mapping_memory_bytes(self) -> int:
+        # The log map is a bounded dict (at most log_blocks * ppb
+        # entries); its accounted footprint is the same 8-byte-per-slot
+        # bound charged to controller RAM at construction.
+        return (
+            int(self._data_block.nbytes)
+            + int(self._data_bits.nbytes)
+            + self.max_log_blocks * self.ppb * 8
+        )
 
     def log_utilisation(self) -> float:
         """Fraction of the log pool currently allocated."""

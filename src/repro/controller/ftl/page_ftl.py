@@ -8,13 +8,17 @@ accounted against the controller RAM budget through the memory manager.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.controller.ftl.base import BaseFtl
-from repro.core.events import IoRequest
+from repro.core.events import IoRequest, WriteHints
 from repro.hardware.addresses import PhysicalAddress
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
 from repro.hardware.flash import PageContent
+from repro.hardware.state import MappingTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.controller import SsdController
 
 
 class PageMapFtl(BaseFtl):
@@ -22,9 +26,9 @@ class PageMapFtl(BaseFtl):
 
     ENTRY_BYTES = 8
 
-    def __init__(self, controller):
+    def __init__(self, controller: "SsdController"):
         super().__init__(controller)
-        self._map: dict[int, PhysicalAddress] = {}
+        self._map = MappingTable(controller.config.logical_pages, controller.array.codec)
         controller.memory.allocate_ram(
             "page map", controller.config.logical_pages * self.ENTRY_BYTES
         )
@@ -52,7 +56,12 @@ class PageMapFtl(BaseFtl):
         self.controller.complete_io(cmd.io)
 
     def write(
-        self, io: Optional[IoRequest], lpn: int, hints: dict, on_done=None, version=None
+        self,
+        io: Optional[IoRequest],
+        lpn: int,
+        hints: WriteHints,
+        on_done: Optional[Callable[[], None]] = None,
+        version: Optional[int] = None,
     ) -> None:
         if version is None:
             version = self.next_version(lpn)
@@ -76,14 +85,14 @@ class PageMapFtl(BaseFtl):
         lpn, version = cmd.content
         old_address = self._map.get(lpn)
         if self._commit_write(lpn, version, cmd.address, old_address):
-            self._map[lpn] = cmd.address
+            self._map.set(lpn, cmd.address)
         if cmd.io is not None:
             self.controller.complete_io(cmd.io)
         if cmd.context is not None:
             cmd.context()
 
     def trim(self, io: IoRequest) -> None:
-        old_address = self._map.pop(io.lpn, None)
+        old_address = self._map.pop(io.lpn)
         if old_address is not None:
             self._invalidate(old_address)
         self._supersede(io.lpn)
@@ -101,7 +110,7 @@ class PageMapFtl(BaseFtl):
         lpn, version = content
         if self._map.get(lpn) == old_address:
             self._invalidate(old_address)
-            self._map[lpn] = new_address
+            self._map.set(lpn, new_address)
             self._journal_commit(lpn, version, new_address)
             return True
         self._invalidate(new_address)
@@ -113,7 +122,7 @@ class PageMapFtl(BaseFtl):
     def snapshot_map(self) -> dict[int, tuple[PhysicalAddress, int]]:
         return {
             lpn: (address, self._committed_versions.get(lpn, 0))
-            for lpn, address in sorted(self._map.items())
+            for lpn, address in self._map.items_sorted()
         }
 
     def rebuild_from_recovery(
@@ -122,9 +131,10 @@ class PageMapFtl(BaseFtl):
         issued_versions: dict[int, int],
         committed_versions: dict[int, int],
     ) -> None:
-        self._map = {lpn: address for lpn, (address, _version) in sorted(mapping.items())}
-        self._issued_versions = dict(issued_versions)
-        self._committed_versions = dict(committed_versions)
+        self._map.clear()
+        for lpn in sorted(mapping):
+            self._map.set(lpn, mapping[lpn][0])
+        self._load_version_tables(issued_versions, committed_versions)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -134,3 +144,6 @@ class PageMapFtl(BaseFtl):
 
     def mapped_page_count(self) -> int:
         return len(self._map)
+
+    def _mapping_memory_bytes(self) -> int:
+        return self._map.memory_bytes()

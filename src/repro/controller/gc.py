@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro.core.config import GcVictimPolicy
 from repro.hardware.addresses import PhysicalAddress
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
@@ -156,30 +158,69 @@ class GarbageCollector:
             for cmd in self.controller.scheduler.queues[lun_key]
         )
 
+    def _candidate_mask(
+        self, lun_key: tuple[int, int], lun: Lun, require_dead: bool
+    ) -> np.ndarray:
+        """Boolean victim-candidate mask over the LUN's local block ids.
+
+        Vectorized equivalent of the former per-block Python loop: a
+        candidate is occupied (not free), not open, not bad, programmed,
+        (optionally) holds dead pages, and is not already being collected
+        or migrated.  The exclusion sets are all small, so they are
+        cleared point-wise on top of the array reductions.
+        """
+        state = lun.state
+        start, stop = state.block_range(lun.lun_index)
+        mask = (
+            (state.block_free[start:stop] == 0)
+            & (state.bad[start:stop] == 0)
+            & (state.write_pointer[start:stop] > 0)
+        )
+        if require_dead:
+            mask &= state.dead_count[start:stop] > 0
+        for block_id in self.controller.allocator.open_block_ids(lun_key):
+            mask[block_id] = False
+        for key, block_id in sorted(self._erase_only):
+            if key == lun_key:
+                mask[block_id] = False
+        for key, block_id in sorted(self._condemned):
+            if key == lun_key:
+                mask[block_id] = False
+        job = self.active_jobs.get(lun_key)
+        if job is not None:
+            mask[job.block_id] = False
+        for key, block_id in self.controller.wear_leveler.active:
+            if key == lun_key:
+                mask[block_id] = False
+        return mask
+
     def _select_victim(self, lun_key: tuple[int, int], lun: Lun) -> Optional[int]:
-        open_blocks = self.controller.allocator.open_block_ids(lun_key)
-        candidates = [
-            block_id
-            for block_id, block in enumerate(lun.blocks)
-            if block_id not in lun.free_block_ids
-            and block_id not in open_blocks
-            and not block.is_bad
-            and block.write_pointer > 0
-            and block.dead_count > 0
-            and not self._being_collected(lun_key, block_id)
-            and not self.controller.wl_is_migrating(lun_key, block_id)
-        ]
-        if not candidates:
+        candidates = np.nonzero(self._candidate_mask(lun_key, lun, True))[0]
+        if candidates.size == 0:
             return None
+        state = lun.state
+        start, _ = state.block_range(lun.lun_index)
         now = self.controller.sim.now
         if self.policy is GcVictimPolicy.GREEDY:
-            return min(candidates, key=lambda b: (lun.block(b).live_count, b))
+            # min over (live_count, block_id): argmax of the first-min
+            # picks the lowest block id among minimal live counts.
+            live = state.live_count[start + candidates]
+            return int(candidates[int(np.argmax(live == live.min()))])
         if self.policy is GcVictimPolicy.COST_BENEFIT:
-            return max(candidates, key=lambda b: (self._cost_benefit(lun.block(b), now), -b))
+            # max over (cost_benefit, -block_id): float64 element-wise ops
+            # match the former per-block Python float arithmetic exactly.
+            live = state.live_count[start + candidates]
+            utilisation = live / float(self.controller.config.geometry.pages_per_block)
+            age = np.maximum(
+                1, now - state.last_write_ns[start + candidates]
+            ).astype(np.float64)
+            benefit = (1.0 - utilisation) / (1.0 + utilisation) * age
+            return int(candidates[int(np.argmax(benefit == benefit.max()))])
         if self.policy is GcVictimPolicy.RANDOM:
-            return self._rng.choice(sorted(candidates))
+            return self._rng.choice(candidates.tolist())
         if self.policy is GcVictimPolicy.OLDEST:
-            return min(candidates, key=lambda b: (lun.block(b).last_write_ns, b))
+            written = state.last_write_ns[start + candidates]
+            return int(candidates[int(np.argmax(written == written.min()))])
         raise ValueError(f"unknown GC victim policy {self.policy!r}")
 
     # ------------------------------------------------------------------
@@ -230,16 +271,20 @@ class GarbageCollector:
         )
 
     def _reclaim_fully_dead(self, lun_key: tuple[int, int], lun: Lun) -> None:
-        open_blocks = self.controller.allocator.open_block_ids(lun_key)
-        for block_id, block in enumerate(lun.blocks):
-            if block.write_pointer == 0 or block.live_count > 0:
-                continue
-            if block.is_bad:
-                # Runtime-retired blocks keep their dead contents (stale
-                # reads and parity stay valid); they are gone for good.
-                continue
-            if block_id in open_blocks or block_id in lun.free_block_ids:
-                continue
+        # Fully-dead = programmed but zero live pages.  Bad blocks are
+        # excluded: runtime-retired blocks keep their dead contents
+        # (stale reads and parity stay valid); they are gone for good.
+        state = lun.state
+        start, stop = state.block_range(lun.lun_index)
+        mask = state.write_pointer[start:stop] > 0
+        mask &= state.live_count[start:stop] == 0
+        if not mask.any():
+            return  # common case: nothing fully dead, skip the rest
+        mask &= state.bad[start:stop] == 0
+        mask &= state.block_free[start:stop] == 0
+        for block_id in self.controller.allocator.open_block_ids(lun_key):
+            mask[block_id] = False
+        for block_id in np.nonzero(mask)[0].tolist():
             if (lun_key, block_id) in self._erase_only:
                 continue
             if self._being_collected(lun_key, block_id):
@@ -262,20 +307,13 @@ class GarbageCollector:
         self.erase_only_reclaims += 1
 
     def _select_balancing_victim(self, lun_key: tuple[int, int], lun: Lun) -> Optional[int]:
-        open_blocks = self.controller.allocator.open_block_ids(lun_key)
-        candidates = [
-            block_id
-            for block_id, block in enumerate(lun.blocks)
-            if block_id not in lun.free_block_ids
-            and block_id not in open_blocks
-            and not block.is_bad
-            and block.write_pointer > 0
-            and not self._being_collected(lun_key, block_id)
-            and not self.controller.wl_is_migrating(lun_key, block_id)
-        ]
-        if not candidates:
+        candidates = np.nonzero(self._candidate_mask(lun_key, lun, False))[0]
+        if candidates.size == 0:
             return None
-        return min(candidates, key=lambda b: (lun.block(b).live_count, b))
+        state = lun.state
+        start, _ = state.block_range(lun.lun_index)
+        live = state.live_count[start + candidates]
+        return int(candidates[int(np.argmax(live == live.min()))])
 
     @staticmethod
     def _cost_benefit(block: Block, now: int) -> float:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import abc
 
 from repro.core.config import TemperatureConfig, TemperatureDetector
+from repro.core.events import WriteHints
 
 
 class TemperatureModule(abc.ABC):
@@ -38,7 +39,7 @@ class TemperatureModule(abc.ABC):
     def hint(self, lpn: int, hot: bool) -> None:
         """Open-interface hook: the OS communicated a temperature."""
 
-    def classify(self, lpn: int, hints: dict) -> str:
+    def classify(self, lpn: int, hints: WriteHints) -> str:
         """Allocation stream for a write: ``app_hot`` or ``app_cold``."""
         return "app_hot" if self.is_hot(lpn) else "app_cold"
 
@@ -52,7 +53,7 @@ class NullDetector(TemperatureModule):
     def is_hot(self, lpn: int) -> bool:
         return False
 
-    def classify(self, lpn: int, hints: dict) -> str:
+    def classify(self, lpn: int, hints: WriteHints) -> str:
         return "app"
 
 
@@ -179,7 +180,7 @@ class HintDetector(TemperatureModule):
     def is_hot(self, lpn: int) -> bool:
         return lpn in self._hot
 
-    def classify(self, lpn: int, hints: dict) -> str:
+    def classify(self, lpn: int, hints: WriteHints) -> str:
         if "temperature" in hints:
             return "app_hot" if hints["temperature"] == "hot" else "app_cold"
         return super().classify(lpn, hints)

@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.hardware.addresses import PhysicalAddress, iter_luns
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
 
@@ -98,24 +100,26 @@ class WearLeveler:
                 return
             lun_key = lun_keys[(start + offset) % len(lun_keys)]
             lun = array.luns[lun_key]
-            open_blocks = self.controller.allocator.open_block_ids(lun_key)
-            for block_id, block in enumerate(lun.blocks):
-                if block_id in lun.free_block_ids or block_id in open_blocks:
-                    continue
-                if block.write_pointer == 0 or block.live_count == 0:
-                    continue
+            state = lun.state
+            lo, hi = state.block_range(lun.lun_index)
+            # Under-erased occupied blocks whose data has sat cold for at
+            # least one idle interval.  A recently-written block holds
+            # fresh (likely hot) data; migrating it would pump hot pages
+            # onto old blocks and concentrate wear instead of leveling it.
+            mask = (
+                (state.block_free[lo:hi] == 0)
+                & (state.write_pointer[lo:hi] > 0)
+                & (state.live_count[lo:hi] > 0)
+                & (state.erase_count[lo:hi] < erase_floor)
+                & (now - state.last_erase_ns[lo:hi] > idle_floor)
+                & (now - state.last_write_ns[lo:hi] > idle_floor)
+            )
+            for block_id in self.controller.allocator.open_block_ids(lun_key):
+                mask[block_id] = False
+            for block_id in np.nonzero(mask)[0].tolist():
                 if (lun_key, block_id) in self.active:
                     continue
                 if self.controller.gc_is_collecting(lun_key, block_id):
-                    continue
-                if block.erase_count >= erase_floor:
-                    continue
-                if now - block.last_erase_ns <= idle_floor:
-                    continue
-                # A recently-written block holds fresh (likely hot) data;
-                # migrating it would pump hot pages onto old blocks and
-                # concentrate wear instead of leveling it.
-                if now - block.last_write_ns <= idle_floor:
                     continue
                 self._migrate(lun_key, block_id)
                 if len(self.active) >= self.config.max_concurrent_migrations:

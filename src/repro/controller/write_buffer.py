@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import TYPE_CHECKING
 
-from repro.core.events import IoRequest
+from repro.core.events import IoRequest, WriteHints
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.controller.controller import SsdController
@@ -38,7 +38,7 @@ class _BufferedPage:
 
     __slots__ = ("hints", "version")
 
-    def __init__(self, hints: dict, version: int):
+    def __init__(self, hints: WriteHints, version: int):
         self.hints = hints
         self.version = version
 
@@ -80,7 +80,7 @@ class WriteBuffer:
         #: Trims deferred until an in-flight flush of the page completes.
         self._pending_trims: dict[int, list[IoRequest]] = {}
         #: Writes waiting for a free slot: (io, hints, version).
-        self._waiting: deque[tuple[IoRequest, dict, int]] = deque()
+        self._waiting: deque[tuple[IoRequest, WriteHints, int]] = deque()
         #: Volatile mode only: accepted-but-unacknowledged writes per
         #: LPN, acknowledged once a flush covering their version lands.
         self._pending_acks: dict[int, list[IoRequest]] = {}
@@ -91,7 +91,7 @@ class WriteBuffer:
     # ------------------------------------------------------------------
     # IO paths (called by the controller)
     # ------------------------------------------------------------------
-    def write(self, io: IoRequest, hints: dict) -> None:
+    def write(self, io: IoRequest, hints: WriteHints) -> None:
         version = self.controller.ftl.next_version(io.lpn)
         io.version = version
         if io.lpn in self._entries:
@@ -110,7 +110,7 @@ class WriteBuffer:
             return
         self._admit(io, hints, version)
 
-    def _admit(self, io: IoRequest, hints: dict, version: int) -> None:
+    def _admit(self, io: IoRequest, hints: WriteHints, version: int) -> None:
         self._entries[io.lpn] = _BufferedPage(hints, version)
         self._entries.move_to_end(io.lpn)
         self._ack_or_defer(io)
@@ -262,7 +262,7 @@ class WriteBuffer:
     # ------------------------------------------------------------------
     # Crash support
     # ------------------------------------------------------------------
-    def snapshot_entries(self) -> list[tuple[int, dict, int]]:
+    def snapshot_entries(self) -> list[tuple[int, WriteHints, int]]:
         """Battery-backed mode: the buffer contents that survive a power
         loss, in eviction (least-recently-written-first) order."""
         # simlint: disable=SIM003 -- insertion order is the FIFO state
@@ -271,7 +271,7 @@ class WriteBuffer:
             (lpn, page.hints, page.version) for lpn, page in self._entries.items()
         ]
 
-    def restore(self, entries: list[tuple[int, dict, int]]) -> None:
+    def restore(self, entries: list[tuple[int, WriteHints, int]]) -> None:
         """Remount: re-install surviving buffer contents.  The writes
         they came from were acknowledged before the crash -- nothing is
         re-acknowledged here -- and normal watermark flushing resumes."""

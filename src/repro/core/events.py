@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Any, Optional
+from typing import Optional, TypedDict
 
 
 class IoType(enum.Enum):
@@ -61,6 +61,23 @@ class IoStatus(enum.Enum):
 _io_ids = itertools.count(1)
 
 
+class WriteHints(TypedDict, total=False):
+    """Open-interface per-IO metadata (every key optional).
+
+    The typed shape of the hint dictionaries built by
+    :mod:`repro.host.interface` and the workload generators; the
+    controller-side consumers (allocator, temperature model, FTLs,
+    scheduler) key on exactly these fields.
+    """
+
+    #: OS/SSD scheduling priority; smaller is more urgent.
+    priority: int
+    #: Application temperature claim: ``"hot"`` or ``"cold"``.
+    temperature: str
+    #: Update-locality group for the LOCALITY allocation policy.
+    locality: int
+
+
 class IoRequest:
     """A single-page logical IO request.
 
@@ -98,7 +115,7 @@ class IoRequest:
         io_type: IoType,
         lpn: int,
         thread_name: str = "?",
-        hints: Optional[dict[str, Any]] = None,
+        hints: Optional[WriteHints] = None,
     ) -> None:
         self.id = next(_io_ids)
         self.io_type = io_type
@@ -107,7 +124,7 @@ class IoRequest:
         self.issue_time: Optional[int] = None
         self.dispatch_time: Optional[int] = None
         self.complete_time: Optional[int] = None
-        self.hints: dict[str, Any] = hints or {}
+        self.hints: WriteHints = hints or {}
         #: Payload returned by reads: the (lpn, version) token last written.
         #: Used by integrity checks; the simulator stores tokens, not bytes.
         self.data: Optional[tuple[int, int]] = None

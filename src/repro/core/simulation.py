@@ -68,6 +68,12 @@ class SimulationResult:
         self.read_only_entry_ns = reliability.read_only_entry_ns if reliability else None
         self.channel_utilisation = controller.array.channel_utilisation()
         self.lun_utilisation = controller.array.lun_utilisation()
+        #: Bytes held by the array-backed device state: FTL mapping and
+        #: version tables plus the flash-array bitmaps and per-block
+        #: metadata (scale regressions show up in every run summary).
+        self.device_memory_bytes = (
+            controller.array.state.memory_bytes() + controller.ftl.table_memory_bytes()
+        )
         #: Crash/recovery accounting; an all-zero CrashStats when no
         #: power loss was scheduled (pay-for-what-you-use).
         coordinator = simulation._coordinator
@@ -105,6 +111,7 @@ class SimulationResult:
                 "mean_channel_utilisation": (
                     sum(self.channel_utilisation) / len(self.channel_utilisation)
                 ),
+                "device_memory_bytes": float(self.device_memory_bytes),
                 # Reliability subsystem; all zero (and entry -1) when the
                 # subsystem is disabled.
                 "corrected_reads": float(self.corrected_reads),
@@ -156,6 +163,10 @@ class SimulationResult:
         lines.append(
             "channel util  : "
             + " ".join(f"{u:.0%}" for u in self.channel_utilisation)
+        )
+        lines.append(
+            f"device memory : {self.device_memory_bytes / (1 << 20):.1f} MiB "
+            "(mapping tables + bitmaps + block metadata)"
         )
         if (
             self.corrected_reads

@@ -33,6 +33,7 @@ from repro.hardware.addresses import PhysicalAddress, iter_luns, validate_addres
 from repro.hardware.channel import Channel
 from repro.hardware.commands import CommandKind, CommandOutcome, FlashCommand
 from repro.hardware.flash import FlashStateError, Lun
+from repro.hardware.state import AddressCodec, FlashState
 
 
 class _Phase(enum.Enum):
@@ -62,6 +63,18 @@ class SsdArray:
         self.tracer = tracer if tracer is not None else TraceRecorder(enabled=False)
         self.channels = [Channel(i) for i in range(geometry.channels)]
         bad_blocks = bad_blocks or {}
+        #: The device-wide structure-of-arrays state every LUN views into.
+        self.state = FlashState(
+            geometry.total_luns,
+            geometry.blocks_per_lun,
+            geometry.pages_per_block,
+            sanitize=sanitize,
+        )
+        self.codec = AddressCodec(
+            geometry.luns_per_channel,
+            geometry.blocks_per_lun,
+            geometry.pages_per_block,
+        )
         self.luns: dict[tuple[int, int], Lun] = {
             (c, l): Lun(
                 c,
@@ -70,6 +83,8 @@ class SsdArray:
                 geometry.pages_per_block,
                 bad_block_ids=bad_blocks.get((c, l)),
                 sanitize=sanitize,
+                state=self.state,
+                lun_index=c * geometry.luns_per_channel + l,
             )
             for c, l in iter_luns(geometry)
         }
@@ -379,8 +394,7 @@ class SsdArray:
                 torn.append(address)
             lun.current_command = None
             lun.busy_until = 0
-            for block in lun.blocks:
-                block.inflight_reads = 0
+        self.state.inflight_reads[:] = 0
         for channel in self.channels:
             channel.busy_until = 0
             channel.continuations.clear()
@@ -390,14 +404,11 @@ class SsdArray:
     # Introspection
     # ------------------------------------------------------------------
     def total_live_pages(self) -> int:
-        return sum(lun.total_live_pages() for lun in self.luns.values())
+        return int(self.state.live_count.sum())
 
     def erase_counts(self) -> list[int]:
         """Erase count of every block (wear histogram input)."""
-        counts: list[int] = []
-        for lun in self.luns.values():
-            counts.extend(lun.erase_counts())
-        return counts
+        return self.state.erase_count.tolist()
 
     def channel_utilisation(self) -> list[float]:
         return [channel.utilisation(self.sim.now) for channel in self.channels]

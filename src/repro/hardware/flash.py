@@ -12,6 +12,17 @@ Validity is split between layers exactly as in a real SSD: the *array*
 knows whether a page holds data (``LIVE``) or is erased (``FREE``); the
 *FTL* decides when data becomes stale and calls :meth:`Block.invalidate`
 (``DEAD``).
+
+Since the array-backed refactor the actual state lives in flat numpy
+arrays (:class:`repro.hardware.state.FlashState`): one structure-of-
+arrays per device, shared by every LUN.  :class:`Page`, :class:`Block`
+and :class:`Lun` are flyweight *views* into those arrays -- they keep
+the exact pre-refactor interface (including attribute assignment, which
+the sanitizer tests use to corrupt state on purpose) while bulk
+consumers (GC victim selection, recovery scans, audits) read the arrays
+directly.  Constructing a :class:`Block` or :class:`Lun` without an
+explicit state builds a private single-LUN :class:`FlashState`, so the
+classes remain usable standalone.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ import enum
 from typing import Optional
 
 from repro.core.sanitize import SanitizerError
+from repro.hardware.state import FlashState, FreeBlockSet, iter_set_bits
 
 PageContent = tuple[int, int]
 """What a programmed page stores: an ``(lpn, version)`` token.
@@ -28,6 +40,8 @@ The simulator does not shuffle real bytes around; the token is sufficient
 for the read-your-writes integrity oracle used by the test suite.
 Translation pages (DFTL) use negative pseudo-LPNs.
 """
+
+_WORD_MASK = 0xFFFFFFFFFFFFFFFF
 
 
 class PageState(enum.Enum):
@@ -41,57 +55,115 @@ class FlashStateError(RuntimeError):
 
 
 class Page:
-    """One flash page."""
+    """View of one flash page (three packed bits + the content token)."""
 
-    __slots__ = ("state", "content", "torn")
+    __slots__ = ("_state", "_block_id", "_page")
 
-    def __init__(self) -> None:
-        self.state = PageState.FREE
-        self.content: Optional[PageContent] = None
-        #: Power was lost while this page was being programmed: the cells
-        #: hold an indeterminate mixture and any read would fail ECC.
-        #: Torn pages are dead space until the block is erased.
-        self.torn = False
+    def __init__(
+        self,
+        state: Optional[FlashState] = None,
+        block_id: int = 0,
+        page: int = 0,
+    ) -> None:
+        if state is None:
+            state = FlashState(1, 1, 1)
+        self._state = state
+        self._block_id = block_id
+        self._page = page
+
+    @property
+    def state(self) -> PageState:
+        return PageState(self._state.page_state_name(self._block_id, self._page))
+
+    @state.setter
+    def state(self, value: PageState) -> None:
+        s, b, p = self._state, self._block_id, self._page
+        if value is PageState.FREE:
+            s.clear_page_bit(s.mv_programmed, b, p)
+            s.clear_page_bit(s.mv_valid, b, p)
+        elif value is PageState.LIVE:
+            s.set_page_bit(s.mv_programmed, b, p)
+            s.set_page_bit(s.mv_valid, b, p)
+        else:
+            s.set_page_bit(s.mv_programmed, b, p)
+            s.clear_page_bit(s.mv_valid, b, p)
+
+    @property
+    def content(self) -> Optional[PageContent]:
+        return self._state.page_content(self._block_id, self._page)
+
+    @content.setter
+    def content(self, value: Optional[PageContent]) -> None:
+        self._state.set_page_content(self._block_id, self._page, value)
+
+    @property
+    def torn(self) -> bool:
+        """Power was lost while this page was being programmed: the cells
+        hold an indeterminate mixture and any read would fail ECC.
+        Torn pages are dead space until the block is erased."""
+        return bool(self._state.page_bit(self._state.mv_torn, self._block_id, self._page))
+
+    @torn.setter
+    def torn(self, value: bool) -> None:
+        s = self._state
+        if value:
+            s.set_page_bit(s.mv_torn, self._block_id, self._page)
+        else:
+            s.clear_page_bit(s.mv_torn, self._block_id, self._page)
+
+
+class _PageSeq:
+    """Lazy ``block.pages`` sequence: builds :class:`Page` views on demand."""
+
+    __slots__ = ("_state", "_block_id")
+
+    def __init__(self, state: FlashState, block_id: int) -> None:
+        self._state = state
+        self._block_id = block_id
+
+    def __len__(self) -> int:
+        return self._state.pages_per_block
+
+    def __getitem__(self, index: int) -> Page:
+        num_pages = self._state.pages_per_block
+        if index < 0:
+            index += num_pages
+        if not 0 <= index < num_pages:
+            raise IndexError(index)
+        return Page(self._state, self._block_id, index)
+
+    def __iter__(self):
+        state, block_id = self._state, self._block_id
+        for index in range(state.pages_per_block):
+            yield Page(state, block_id, index)
 
 
 class Block:
-    """One erase block: a run of ``num_pages`` pages plus wear metadata.
+    """View of one erase block: ``num_pages`` pages plus wear metadata.
 
     The wear-leveling module consumes ``erase_count`` and
     ``last_erase_ns`` (paper Section 2.2 WL: the default module tracks
     block ages and last-erase timestamps).
     """
 
-    __slots__ = (
-        "num_pages",
-        "pages",
-        "write_pointer",
-        "erase_count",
-        "last_erase_ns",
-        "last_write_ns",
-        "inflight_reads",
-        "live_count",
-        "dead_count",
-        "is_bad",
-        "sanitize",
-        "label",
-    )
+    __slots__ = ("_s", "_id", "_ppn_base", "num_pages", "sanitize", "label")
 
-    def __init__(self, num_pages: int, sanitize: bool = False, label: str = "?"):
+    def __init__(
+        self,
+        num_pages: int,
+        sanitize: bool = False,
+        label: str = "?",
+        state: Optional[FlashState] = None,
+        block_id: int = 0,
+    ):
+        if state is None:
+            #: Standalone construction (tests, scratch blocks): a private
+            #: one-block state backs this view alone.
+            state = FlashState(1, 1, num_pages, sanitize=sanitize)
+        self._s = state
+        self._id = block_id
+        self._ppn_base = block_id * state.pages_per_block
         self.num_pages = num_pages
-        self.pages = [Page() for _ in range(num_pages)]
-        #: Next page index to program (NAND sequential-program rule).
-        self.write_pointer = 0
-        self.erase_count = 0
-        self.last_erase_ns = 0
-        self.last_write_ns = 0
-        #: Reads queued or executing against this block; erases must wait
-        #: until this drops to zero so stale-but-referenced data survives.
-        self.inflight_reads = 0
-        self.live_count = 0
-        self.dead_count = 0
-        #: Factory-bad or worn out; masked from allocation forever.
-        self.is_bad = False
         #: Sanitizer mode (:mod:`repro.core.sanitize`): verify the page
         #: state machine and the live/dead counters on every mutation.
         self.sanitize = sanitize
@@ -99,25 +171,105 @@ class Block:
         self.label = label
 
     # ------------------------------------------------------------------
+    # Array-backed attributes
+    # ------------------------------------------------------------------
+    @property
+    def write_pointer(self) -> int:
+        """Next page index to program (NAND sequential-program rule)."""
+        return self._s.mv_write_pointer[self._id]
+
+    @write_pointer.setter
+    def write_pointer(self, value: int) -> None:
+        self._s.mv_write_pointer[self._id] = value
+
+    @property
+    def erase_count(self) -> int:
+        return self._s.mv_erase_count[self._id]
+
+    @erase_count.setter
+    def erase_count(self, value: int) -> None:
+        self._s.mv_erase_count[self._id] = value
+
+    @property
+    def last_erase_ns(self) -> int:
+        return self._s.mv_last_erase_ns[self._id]
+
+    @last_erase_ns.setter
+    def last_erase_ns(self, value: int) -> None:
+        self._s.mv_last_erase_ns[self._id] = value
+
+    @property
+    def last_write_ns(self) -> int:
+        return self._s.mv_last_write_ns[self._id]
+
+    @last_write_ns.setter
+    def last_write_ns(self, value: int) -> None:
+        self._s.mv_last_write_ns[self._id] = value
+
+    @property
+    def inflight_reads(self) -> int:
+        """Reads queued or executing against this block; erases must wait
+        until this drops to zero so stale-but-referenced data survives."""
+        return self._s.mv_inflight_reads[self._id]
+
+    @inflight_reads.setter
+    def inflight_reads(self, value: int) -> None:
+        self._s.mv_inflight_reads[self._id] = value
+
+    @property
+    def live_count(self) -> int:
+        return self._s.mv_live_count[self._id]
+
+    @live_count.setter
+    def live_count(self, value: int) -> None:
+        self._s.mv_live_count[self._id] = value
+
+    @property
+    def dead_count(self) -> int:
+        return self._s.mv_dead_count[self._id]
+
+    @dead_count.setter
+    def dead_count(self, value: int) -> None:
+        self._s.mv_dead_count[self._id] = value
+
+    @property
+    def is_bad(self) -> bool:
+        """Factory-bad or worn out; masked from allocation forever."""
+        return bool(self._s.mv_bad[self._id])
+
+    @is_bad.setter
+    def is_bad(self, value: bool) -> None:
+        self._s.mv_bad[self._id] = 1 if value else 0
+
+    @property
+    def pages(self) -> _PageSeq:
+        return _PageSeq(self._s, self._id)
+
+    # ------------------------------------------------------------------
     # Derived state
     # ------------------------------------------------------------------
     @property
     def free_pages(self) -> int:
-        return self.num_pages - self.write_pointer
+        return self.num_pages - self._s.mv_write_pointer[self._id]
 
     @property
     def is_empty(self) -> bool:
         """True when fully erased (allocatable as a fresh open block)."""
-        return self.write_pointer == 0
+        return self._s.mv_write_pointer[self._id] == 0
 
     @property
     def is_full(self) -> bool:
-        return self.write_pointer == self.num_pages
+        return self._s.mv_write_pointer[self._id] == self.num_pages
 
     @property
     def erasable(self) -> bool:
         """True when erasing would lose no data and break no reader."""
-        return self.live_count == 0 and self.inflight_reads == 0 and not self.is_empty
+        s, block_id = self._s, self._id
+        return (
+            s.mv_live_count[block_id] == 0
+            and s.mv_inflight_reads[block_id] == 0
+            and s.mv_write_pointer[block_id] != 0
+        )
 
     # ------------------------------------------------------------------
     # Mutations (called by the array at command completion, and by the
@@ -127,115 +279,177 @@ class Block:
         """Program the next sequential page; returns its index."""
         if self.sanitize:
             self._sanitize_check("program")
-        if self.is_full:
+        s, block_id = self._s, self._id
+        index = s.mv_write_pointer[block_id]
+        if index == self.num_pages:
             raise FlashStateError("program on a full block")
-        index = self.write_pointer
-        page = self.pages[index]
-        if page.state is not PageState.FREE:
+        word, bit = s.bit_location(block_id, index)
+        programmed = s.mv_programmed[word]
+        if (programmed >> bit) & 1:
             if self.sanitize:
                 raise SanitizerError(
                     "erase-before-program",
                     f"page {index} programmed twice without an intervening erase",
-                    {"block": self.label, "page": index, "state": page.state.value},
+                    {
+                        "block": self.label,
+                        "page": index,
+                        "state": s.page_state_name(block_id, index),
+                    },
                 )
             raise FlashStateError(f"page {index} programmed twice without erase")
-        page.state = PageState.LIVE
-        page.content = content
-        self.write_pointer += 1
-        self.live_count += 1
-        self.last_write_ns = now_ns
+        mask = 1 << bit
+        s.mv_programmed[word] = programmed | mask
+        s.mv_valid[word] |= mask
+        ppn = self._ppn_base + index
+        s.mv_page_lpn[ppn] = content[0]
+        s.mv_page_version[ppn] = content[1]
+        s.mv_has_content[word] |= mask
+        s.mv_write_pointer[block_id] = index + 1
+        s.mv_live_count[block_id] += 1
+        s.mv_last_write_ns[block_id] = now_ns
         return index
 
     def invalidate(self, page_index: int) -> None:
         """FTL hook: mark a superseded page as reclaimable."""
         if self.sanitize:
             self._sanitize_check("invalidate")
-        page = self.pages[page_index]
-        if page.state is not PageState.LIVE:
+        s, block_id = self._s, self._id
+        word, bit = s.bit_location(block_id, page_index)
+        mask = 1 << bit
+        valid = s.mv_valid[word]
+        if not (valid & mask and s.mv_programmed[word] & mask):
             raise FlashStateError(f"invalidate on non-live page {page_index}")
-        page.state = PageState.DEAD
-        self.live_count -= 1
-        self.dead_count += 1
+        s.mv_valid[word] = valid & ~mask & _WORD_MASK
+        s.mv_live_count[block_id] -= 1
+        s.mv_dead_count[block_id] += 1
 
     def mark_torn(self, page_index: int) -> None:
         """Power-loss hook: the in-flight program writing this page was
         interrupted.  The page was charged at command start (NAND
         sequential-program bookkeeping), so it stays behind the write
         pointer, but its content is unreadable -- it becomes dead space."""
-        page = self.pages[page_index]
-        page.torn = True
-        if page.state is PageState.LIVE:
-            page.state = PageState.DEAD
-            self.live_count -= 1
-            self.dead_count += 1
+        s, block_id = self._s, self._id
+        word, bit = s.bit_location(block_id, page_index)
+        mask = 1 << bit
+        s.mv_torn[word] |= mask
+        valid = s.mv_valid[word]
+        if valid & mask and s.mv_programmed[word] & mask:
+            s.mv_valid[word] = valid & ~mask & _WORD_MASK
+            s.mv_live_count[block_id] -= 1
+            s.mv_dead_count[block_id] += 1
 
     def _sanitize_check(self, operation: str, full: bool = False) -> None:
         """Sanitize mode: counters and page states must agree.
 
         The O(1) counter identity ``live + dead == write_pointer`` runs
-        before every mutation; erases additionally pay an O(pages) scan
+        before every mutation; erases additionally pay a packed-word scan
         verifying each page state (programmed strictly below the write
-        pointer, erased at and above it).
-        """
-        if self.live_count + self.dead_count != self.write_pointer:
+        pointer, erased at and above it)."""
+        s, block_id = self._s, self._id
+        write_pointer = s.mv_write_pointer[block_id]
+        if s.mv_live_count[block_id] + s.mv_dead_count[block_id] != write_pointer:
             raise SanitizerError(
                 "flash-page-state",
                 f"{operation}: live+dead != write_pointer",
                 {
                     "block": self.label,
-                    "live": self.live_count,
-                    "dead": self.dead_count,
-                    "write_pointer": self.write_pointer,
+                    "live": s.mv_live_count[block_id],
+                    "dead": s.mv_dead_count[block_id],
+                    "write_pointer": write_pointer,
                 },
             )
         if not full:
             return
-        for index, page in enumerate(self.pages):
-            programmed = page.state is not PageState.FREE
-            if programmed != (index < self.write_pointer):
+        base = block_id * s.words_per_block
+        for word_index in range(s.words_per_block):
+            offset = word_index << 6
+            below = write_pointer - offset
+            if below <= 0:
+                expected = 0
+            elif below >= 64:
+                expected = _WORD_MASK
+            else:
+                expected = (1 << below) - 1
+            mismatch = s.mv_programmed[base + word_index] ^ expected
+            # Mask off the padding bits past num_pages in the last word.
+            pages_here = min(64, self.num_pages - offset)
+            if pages_here < 64:
+                mismatch &= (1 << pages_here) - 1
+            if mismatch:
+                index = offset + next(iter_set_bits(mismatch))
                 raise SanitizerError(
                     "flash-page-state",
                     f"{operation}: page state contradicts the write pointer",
                     {
                         "block": self.label,
                         "page": index,
-                        "state": page.state.value,
-                        "write_pointer": self.write_pointer,
+                        "state": s.page_state_name(block_id, index),
+                        "write_pointer": write_pointer,
                     },
                 )
 
     def read(self, page_index: int) -> PageContent:
         """Content of a programmed page (live or dead -- stale reads of
         not-yet-erased data are legal, see ``inflight_reads``)."""
-        page = self.pages[page_index]
-        if page.state is PageState.FREE or page.content is None:
+        s, block_id = self._s, self._id
+        word, bit = s.bit_location(block_id, page_index)
+        mask = 1 << bit
+        if not (s.mv_programmed[word] & mask and s.mv_has_content[word] & mask):
             raise FlashStateError(f"read of unprogrammed page {page_index}")
-        return page.content
+        ppn = self._ppn_base + page_index
+        return (s.mv_page_lpn[ppn], s.mv_page_version[ppn])
 
     def erase(self, now_ns: int) -> None:
         if self.sanitize:
             self._sanitize_check("erase", full=True)
-        if self.live_count:
-            raise FlashStateError(f"erase would destroy {self.live_count} live pages")
-        if self.inflight_reads:
-            raise FlashStateError(f"erase with {self.inflight_reads} in-flight reads")
-        for page in self.pages:
-            page.state = PageState.FREE
-            page.content = None
-            page.torn = False
-        self.write_pointer = 0
-        self.live_count = 0
-        self.dead_count = 0
-        self.erase_count += 1
-        self.last_erase_ns = now_ns
+        s, block_id = self._s, self._id
+        live = s.mv_live_count[block_id]
+        if live:
+            raise FlashStateError(f"erase would destroy {live} live pages")
+        inflight = s.mv_inflight_reads[block_id]
+        if inflight:
+            raise FlashStateError(f"erase with {inflight} in-flight reads")
+        base = block_id * s.words_per_block
+        for word_index in range(base, base + s.words_per_block):
+            s.mv_programmed[word_index] = 0
+            s.mv_valid[word_index] = 0
+            s.mv_torn[word_index] = 0
+            s.mv_has_content[word_index] = 0
+        s.mv_write_pointer[block_id] = 0
+        s.mv_live_count[block_id] = 0
+        s.mv_dead_count[block_id] = 0
+        s.mv_erase_count[block_id] += 1
+        s.mv_last_erase_ns[block_id] = now_ns
 
     def live_page_indexes(self) -> list[int]:
         """Indexes of pages the FTL still maps (GC must relocate these)."""
-        return [
-            index
-            for index, page in enumerate(self.pages)
-            if page.state is PageState.LIVE
-        ]
+        return self._s.live_page_indexes(self._id)
+
+
+class _BlockSeq:
+    """Lazy ``lun.blocks`` sequence: caches :class:`Block` views."""
+
+    __slots__ = ("_lun", "_cache")
+
+    def __init__(self, lun: "Lun") -> None:
+        self._lun = lun
+        self._cache: list[Optional[Block]] = [None] * lun.blocks_per_lun
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getitem__(self, index: int) -> Block:
+        if index < 0:
+            index += len(self._cache)
+        view = self._cache[index]
+        if view is None:
+            view = self._lun._make_block(index)
+            self._cache[index] = view
+        return view
+
+    def __iter__(self):
+        for index in range(len(self._cache)):
+            yield self[index]
 
 
 class Lun:
@@ -249,12 +463,17 @@ class Lun:
     __slots__ = (
         "channel_id",
         "lun_id",
+        "lun_index",
+        "blocks_per_lun",
+        "state",
         "blocks",
         "current_command",
         "busy_until",
         "free_block_ids",
         "busy_ns",
         "bad_block_ids",
+        "_block_base",
+        "_sanitize",
     )
 
     def __init__(
@@ -265,29 +484,47 @@ class Lun:
         pages_per_block: int,
         bad_block_ids: Optional[set[int]] = None,
         sanitize: bool = False,
+        state: Optional[FlashState] = None,
+        lun_index: int = 0,
     ):
+        if state is None:
+            #: Standalone construction: a private one-LUN state.
+            state = FlashState(1, blocks_per_lun, pages_per_block, sanitize=sanitize)
+            lun_index = 0
         self.channel_id = channel_id
         self.lun_id = lun_id
-        self.blocks = [
-            Block(
-                pages_per_block,
-                sanitize=sanitize,
-                label=f"(c{channel_id},l{lun_id},b{block_id})" if sanitize else "?",
-            )
-            for block_id in range(blocks_per_lun)
-        ]
+        self.lun_index = lun_index
+        self.blocks_per_lun = blocks_per_lun
+        self.state = state
+        self._block_base = lun_index * blocks_per_lun
+        self._sanitize = sanitize
+        self.blocks = _BlockSeq(self)
         self.current_command = None  # type: Optional[object]
         self.busy_until = 0
         #: Blocks that are fully erased and not handed out as open blocks.
-        self.free_block_ids: set[int] = set(range(blocks_per_lun))
+        self.free_block_ids = FreeBlockSet(state, lun_index)
         #: Cumulative array-phase time, for utilisation statistics.
         self.busy_ns = 0
         #: Blocks masked as bad (factory defects + wear-outs).
         self.bad_block_ids: set[int] = set()
         for block_id in bad_block_ids or ():
-            self.blocks[block_id].is_bad = True
+            state.mv_bad[self._block_base + block_id] = 1
             self.free_block_ids.discard(block_id)
             self.bad_block_ids.add(block_id)
+
+    def _make_block(self, block_id: int) -> Block:
+        label = (
+            f"(c{self.channel_id},l{self.lun_id},b{block_id})"
+            if self._sanitize
+            else "?"
+        )
+        return Block(
+            self.state.pages_per_block,
+            sanitize=self._sanitize,
+            label=label,
+            state=self.state,
+            block_id=self._block_base + block_id,
+        )
 
     @property
     def is_busy(self) -> bool:
@@ -313,26 +550,26 @@ class Lun:
 
     def retire_block(self, block_id: int) -> None:
         """Mask a worn-out block: it never returns to the free pool."""
-        block = self.blocks[block_id]
-        block.is_bad = True
+        self.state.mv_bad[self._block_base + block_id] = 1
         self.free_block_ids.discard(block_id)
         self.bad_block_ids.add(block_id)
 
     @property
     def usable_blocks(self) -> int:
-        return len(self.blocks) - len(self.bad_block_ids)
+        return self.blocks_per_lun - len(self.bad_block_ids)
 
     def total_live_pages(self) -> int:
-        return sum(block.live_count for block in self.blocks)
+        return self.state.lun_live_pages(self.lun_index)
 
     def total_dead_pages(self) -> int:
-        return sum(block.dead_count for block in self.blocks)
+        return self.state.lun_dead_pages(self.lun_index)
 
     def total_free_pages(self) -> int:
-        return sum(block.free_pages for block in self.blocks)
+        return self.state.lun_free_pages(self.lun_index)
 
     def erase_counts(self) -> list[int]:
-        return [block.erase_count for block in self.blocks]
+        start, stop = self.state.block_range(self.lun_index)
+        return self.state.erase_count[start:stop].tolist()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

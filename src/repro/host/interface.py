@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.core.events import WriteHints
+
 
 class InterfaceClosedError(RuntimeError):
     """A message was sent while the interface is the plain block device."""
@@ -41,19 +43,19 @@ class Message:
     payload: dict[str, Any] = field(default_factory=dict)
 
 
-def priority_hint(level: int) -> dict[str, Any]:
+def priority_hint(level: int) -> WriteHints:
     """Per-IO priority (lower is more urgent); the SSD scheduler can
     honour it when ``scheduler.use_priority_hints`` is set."""
     return {"priority": int(level)}
 
 
-def locality_hint(group: int) -> dict[str, Any]:
+def locality_hint(group: int) -> WriteHints:
     """Update-locality group: pages sharing a group are expected to be
     updated together, so the SSD co-locates them in one block."""
     return {"locality": int(group)}
 
 
-def temperature_hint(hot: bool) -> dict[str, Any]:
+def temperature_hint(hot: bool) -> WriteHints:
     """Whether the written page is likely to be updated soon."""
     return {"temperature": "hot" if hot else "cold"}
 

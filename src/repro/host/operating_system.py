@@ -21,7 +21,7 @@ from typing import Any, Iterable, Optional
 
 from repro.core.config import SimulationConfig
 from repro.core.engine import Simulator
-from repro.core.events import IoRequest, IoStatus, IoType
+from repro.core.events import IoRequest, IoStatus, IoType, WriteHints
 from repro.core.rng import RandomSource, RandomStream
 from repro.core.statistics import StatisticsGatherer
 from repro.core.tracing import TraceRecorder
@@ -61,16 +61,16 @@ class ThreadContext:
     # ------------------------------------------------------------------
     # IO issuing
     # ------------------------------------------------------------------
-    def read(self, lpn: int, hints: Optional[dict] = None) -> IoRequest:
+    def read(self, lpn: int, hints: Optional[WriteHints] = None) -> IoRequest:
         return self._issue(IoType.READ, lpn, hints)
 
-    def write(self, lpn: int, hints: Optional[dict] = None) -> IoRequest:
+    def write(self, lpn: int, hints: Optional[WriteHints] = None) -> IoRequest:
         return self._issue(IoType.WRITE, lpn, hints)
 
-    def trim(self, lpn: int, hints: Optional[dict] = None) -> IoRequest:
+    def trim(self, lpn: int, hints: Optional[WriteHints] = None) -> IoRequest:
         return self._issue(IoType.TRIM, lpn, hints)
 
-    def _issue(self, io_type: IoType, lpn: int, hints: Optional[dict]) -> IoRequest:
+    def _issue(self, io_type: IoType, lpn: int, hints: Optional[WriteHints]) -> IoRequest:
         if not 0 <= lpn < self.logical_pages:
             raise ValueError(
                 f"lpn {lpn} outside logical space [0, {self.logical_pages})"

@@ -32,11 +32,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro.core.config import RecoveryStrategy
 from repro.core.events import IoRequest, IoStatus, IoType
 from repro.core.power import CrashStats, MountReport, PowerLossEvent
 from repro.core.sanitize import SanitizerError
-from repro.hardware.flash import PageState
+from repro.hardware.state import popcounts
 from repro.host.interface import install_standard_handlers
 from repro.reliability.recovery import (
     CheckpointJournalRecovery,
@@ -175,8 +177,8 @@ class PowerCycleCoordinator:
 
         # 2. Capture durable truth before any volatile object is dropped.
         committed = old.ftl.snapshot_map()
-        issued_versions = dict(old.ftl._issued_versions)
-        committed_versions = dict(old.ftl._committed_versions)
+        issued_versions = old.ftl._issued_versions.to_dict()
+        committed_versions = old.ftl._committed_versions.to_dict()
         buffer_snapshot: list[tuple[int, dict, int]] = []
         battery_backed = True
         if old.write_buffer is not None:
@@ -316,29 +318,36 @@ class PowerCycleCoordinator:
         """Page validity is controller metadata (OOB marks in the model):
         after recovery, exactly the pages the mapping references are
         live; every other programmed page -- superseded copies, torn
-        programs, orphaned DFTL translation pages -- is dead space."""
-        referenced: set[tuple[int, int, int, int]] = set()
-        for lpn in sorted(mapping):
-            address = mapping[lpn][0]
-            referenced.add((address.channel, address.lun, address.block, address.page))
-        for lun_key in sorted(array.luns):
-            lun = array.luns[lun_key]
-            for block_id, block in enumerate(lun.blocks):
-                if block.is_bad:
-                    continue  # retired blocks keep their (unmapped) state
-                live = 0
-                dead = 0
-                for page_index in range(block.write_pointer):
-                    page = block.pages[page_index]
-                    key = (lun_key[0], lun_key[1], block_id, page_index)
-                    if key in referenced and not page.torn:
-                        page.state = PageState.LIVE
-                        live += 1
-                    else:
-                        page.state = PageState.DEAD
-                        dead += 1
-                block.live_count = live
-                block.dead_count = dead
+        programs, orphaned DFTL translation pages -- is dead space.
+
+        Vectorized as a bitmap rewrite: the new ``valid`` bitmap is the
+        referenced PPN set minus torn pages, with retired blocks keeping
+        their (unmapped) state, and the live/dead counters recomputed as
+        per-block popcounts.
+        """
+        state = array.state
+        encode = array.codec.encode
+        ref_ppns = np.fromiter(
+            (
+                encode(a.channel, a.lun, a.block, a.page)
+                for a in (mapping[lpn][0] for lpn in sorted(mapping))
+            ),
+            dtype=np.int64,
+            count=len(mapping),
+        )
+        new_valid = np.zeros_like(state.valid)
+        page = ref_ppns % state.pages_per_block
+        word = (ref_ppns // state.pages_per_block) * state.words_per_block + (page >> 6)
+        bit = (page & np.int64(63)).astype(np.uint64)
+        np.bitwise_or.at(new_valid, word, np.uint64(1) << bit)
+        new_valid &= ~state.torn
+        bad = state.bad != 0
+        state.block_words(new_valid)[bad] = state.block_words(state.valid)[bad]
+        state.valid[:] = new_valid
+        live = popcounts(state.block_words(state.valid)).sum(axis=1).astype(np.int64)
+        good = ~bad
+        state.live_count[good] = live[good]
+        state.dead_count[good] = state.write_pointer[good] - live[good]
 
     def _mount_cleanup(self, array: "SsdArray", config) -> tuple[int, int]:
         """Erase fully-dead blocks while the device is still mounting.

@@ -51,6 +51,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+import numpy as np
+
 from repro.core.events import IoStatus, IoType
 from repro.hardware.addresses import PhysicalAddress
 from repro.hardware.commands import CommandKind, CommandOutcome, FlashCommand
@@ -715,43 +717,59 @@ class OobScanRecovery:
     name = "oob_scan"
 
     def recover(self, controller: "SsdController") -> RecoveredState:
-        from repro.hardware.flash import PageState
-
         config = controller.config
         timings = config.timings
         crash = config.crash
         array = controller.array
-        mapping: dict[int, tuple[PhysicalAddress, int]] = {}
-        scanned = 0
+        state = array.state
         per_page_ns = (
             timings.t_cmd_ns
             + timings.t_read_ns
             + crash.oob_bytes * timings.bus_ns_per_byte
         )
-        slowest_lun_ns = 0
-        for lun_key in sorted(array.luns):
-            lun = array.luns[lun_key]
-            lun_pages = 0
-            for block_id, block in enumerate(lun.blocks):
-                lun_pages += block.write_pointer
-                for page_index in range(block.write_pointer):
-                    page = block.pages[page_index]
-                    if page.state is not PageState.LIVE or page.torn:
-                        continue
-                    content = page.content
-                    if content is None or content[0] < 0:
-                        continue  # FTL metadata (DFTL translation pages)
-                    lpn, version = content
-                    known = mapping.get(lpn)
-                    if known is None or version > known[1]:
-                        mapping[lpn] = (
-                            PhysicalAddress(
-                                lun_key[0], lun_key[1], block_id, page_index
-                            ),
-                            version,
-                        )
-            scanned += lun_pages
-            slowest_lun_ns = max(slowest_lun_ns, lun_pages * per_page_ns)
+        # Scan cost: every programmed page of every block (retired blocks
+        # included -- a real scan cannot know a block is bad until it has
+        # read it), parallel across LUNs.
+        wp_per_lun = state.write_pointer.reshape(
+            state.num_luns, state.blocks_per_lun
+        ).sum(axis=1)
+        scanned = int(wp_per_lun.sum())
+        slowest_lun_ns = int(wp_per_lun.max()) * per_page_ns
+
+        # Candidate OOB tokens: LIVE (programmed & valid), not torn, with
+        # a content token carrying a non-negative (host) LPN.
+        words = state.programmed & state.valid & ~state.torn & state.has_content
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        page_mask = bits.reshape(state.num_blocks, state.words_per_block * 64)[
+            :, : state.pages_per_block
+        ]
+        page_mask = page_mask & (
+            np.arange(state.pages_per_block) < state.write_pointer[:, None]
+        )
+        ppns = np.nonzero(page_mask.ravel())[0]
+        lpns = state.page_lpn[ppns]
+        versions = state.page_version[ppns]
+        host = lpns >= 0  # FTL metadata (DFTL translation pages) is < 0
+        ppns, lpns, versions = ppns[host], lpns[host], versions[host]
+
+        mapping: dict[int, tuple[PhysicalAddress, int]] = {}
+        if ppns.size:
+            # Winner per LPN: highest version; the first-scanned (lowest
+            # PPN) copy on a tie.  lexsort keys are least-significant
+            # first: within each LPN, descending version then ascending
+            # PPN, so each LPN's first row is its winner.
+            order = np.lexsort((ppns, -versions, lpns))
+            sorted_lpns = lpns[order]
+            is_first = np.ones(sorted_lpns.size, dtype=bool)
+            is_first[1:] = sorted_lpns[1:] != sorted_lpns[:-1]
+            winners = order[is_first]  # aligned with ascending unique LPN
+            # Dict insertion order matches the former scan: each LPN
+            # appears where the scan first encountered it.
+            _, first_seen = np.unique(lpns, return_index=True)
+            winners = winners[np.argsort(first_seen, kind="stable")]
+            decode = array.codec.decode
+            for i in winners.tolist():
+                mapping[int(lpns[i])] = (decode(int(ppns[i])), int(versions[i]))
         mount_ns = crash.mount_base_ns + slowest_lun_ns
         return RecoveredState(mapping, mount_ns, scanned, 0)
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.events import IoType
+from repro.core.events import IoType, WriteHints
 from repro.host.operating_system import ThreadContext
 from repro.workloads.threads import GeneratorThread, Op
 
@@ -150,12 +150,12 @@ class FileSystemThread(GeneratorThread):
         lpn = self._meta_low + rng.randrange(self.metadata_pages)
         self._queue.append((IoType.WRITE, lpn, self._metadata_hints()))
 
-    def _data_hints(self) -> Optional[dict]:
+    def _data_hints(self) -> Optional[WriteHints]:
         if self.hint_metadata_hot:
             return {"temperature": "cold"}
         return None
 
-    def _metadata_hints(self) -> Optional[dict]:
+    def _metadata_hints(self) -> Optional[WriteHints]:
         if self.hint_metadata_hot:
             return {"temperature": "hot"}
         return None

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.events import IoType
+from repro.core.events import IoType, WriteHints
 from repro.host.operating_system import ThreadContext
 from repro.workloads.threads import GeneratorThread, Op
 
@@ -150,7 +150,7 @@ class GraceHashJoinThread(GeneratorThread):
                 ops.append((IoType.READ, self.partition_s_lpn(partition, offset), None))
         return ops
 
-    def _write_hints(self, partition: int) -> Optional[dict]:
+    def _write_hints(self, partition: int) -> Optional[WriteHints]:
         if self.use_locality_hints:
             return {"locality": partition}
         return None

@@ -17,11 +17,11 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.core.events import IoType
+from repro.core.events import IoType, WriteHints
 from repro.host.operating_system import ThreadContext
 from repro.workloads.threads import GeneratorThread, Op
 
-HintFn = Callable[[IoType, int], Optional[dict]]
+HintFn = Callable[[IoType, int], Optional[WriteHints]]
 
 
 class _RegionThread(GeneratorThread):
@@ -52,7 +52,7 @@ class _RegionThread(GeneratorThread):
             raise ValueError(f"region ({low}, {high}) outside logical space")
         return low, high
 
-    def _hints(self, io_type: IoType, lpn: int) -> Optional[dict]:
+    def _hints(self, io_type: IoType, lpn: int) -> Optional[WriteHints]:
         if self.hint_fn is None:
             return None
         return self.hint_fn(io_type, lpn)

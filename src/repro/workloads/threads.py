@@ -24,11 +24,11 @@ from __future__ import annotations
 import abc
 from typing import Optional
 
-from repro.core.events import IoRequest, IoType
+from repro.core.events import IoRequest, IoType, WriteHints
 from repro.host.operating_system import ThreadContext
 
 #: An operation produced by a generator workload.
-Op = tuple[IoType, int, Optional[dict]]
+Op = tuple[IoType, int, Optional[WriteHints]]
 
 
 class Thread(abc.ABC):
