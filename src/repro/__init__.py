@@ -58,7 +58,12 @@ from repro.core.experiments import (
     GridResult,
     Parameter,
 )
-from repro.core.parallel import RunSpec, SweepExecutor, SweepRunError
+from repro.core.parallel import (
+    RunSpec,
+    SweepExecutor,
+    SweepRunError,
+    WorkerStalledError,
+)
 from repro.core.sanitize import SanitizerError
 from repro.core.simulation import Simulation, SimulationResult
 from repro.reliability import FaultPlan
@@ -111,6 +116,7 @@ __all__ = [
     "SweepExecutor",
     "SweepRunError",
     "TemperatureDetector",
+    "WorkerStalledError",
     "demo_config",
     "small_config",
 ]

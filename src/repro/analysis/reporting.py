@@ -127,6 +127,21 @@ def sparkline(values: Sequence[float], width: int = 24) -> str:
     )
 
 
+def format_event_log(
+    events: Sequence[str], tail: Optional[int] = None, indent: str = "  "
+) -> str:
+    """Render a job's lifecycle event log (submitted / started /
+    interrupted / resumed ...), optionally only the last ``tail``
+    entries -- the dashboard's footer view."""
+    shown = list(events if tail is None else events[-tail:])
+    if not shown:
+        return ""
+    dropped = len(events) - len(shown)
+    lines = [f"{indent}... {dropped} earlier events"] if dropped > 0 else []
+    lines.extend(f"{indent}{line}" for line in shown)
+    return "\n".join(lines)
+
+
 class IncrementalTable:
     """A table that renders row-by-row as results stream in.
 

@@ -30,7 +30,16 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Protocol, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+)
 
 from repro.core.canonical import canonical_value, canonical_workload, content_hash
 from repro.core.config import SimulationConfig
@@ -54,6 +63,45 @@ class ResultSource(Protocol):
     def lookup(self, spec: "RunSpec") -> Optional[SimulationResult]: ...
 
     def store(self, spec: "RunSpec", result: SimulationResult) -> None: ...
+
+
+class SweepJournalSource(Protocol):
+    """What :class:`SweepExecutor` needs from a sweep journal.
+
+    Implemented by :class:`repro.service.journal.SweepJournal`; defined
+    here as a protocol so the core never imports the service layer.
+    ``replay`` returns every already-completed cell of a sweep keyed by
+    spec *position* (raising when the given specs are not the grid the
+    journal was written for); ``record`` durably appends one freshly
+    completed cell so a later ``replay`` can skip it.
+    """
+
+    def replay(
+        self, specs: Sequence["RunSpec"]
+    ) -> Mapping[int, SimulationResult]: ...
+
+    def record(
+        self, position: int, spec: "RunSpec", result: SimulationResult
+    ) -> None: ...
+
+
+class WorkerStalledError(RuntimeError):
+    """A worker stopped making progress: hung, not merely slow.
+
+    Raised by the supervised hardened path when a run's heartbeat --
+    the engine's processed-event counter, sampled in the worker and
+    piped back to the parent -- froze for ``stall_timeout`` seconds.  A
+    *straggler* (slow but still advancing) never trips this; it is
+    bounded only by the wall-clock ``timeout``.
+    """
+
+    def __init__(self, label: object, stall_timeout: float) -> None:
+        self.label = label
+        self.stall_timeout = stall_timeout
+        super().__init__(
+            f"run {label!r} made no progress for {stall_timeout:g}s "
+            "(hung, not merely slow)"
+        )
 
 
 class SweepRunError(RuntimeError):
@@ -110,8 +158,8 @@ class RunSpec:
     #: error messages and progress callbacks.
     label: object = None
 
-    def execute(self) -> SimulationResult:
-        """Run this spec in the current process."""
+    def build(self) -> Simulation:
+        """Materialise this spec's simulation without running it."""
         simulation = Simulation(self.config)
         for entry in self.workload(self.config):
             if isinstance(entry, tuple):
@@ -119,7 +167,11 @@ class RunSpec:
                 simulation.add_thread(thread, depends_on=depends_on)
             else:
                 simulation.add_thread(entry)
-        return simulation.run(max_time_ns=self.max_time_ns)
+        return simulation
+
+    def execute(self) -> SimulationResult:
+        """Run this spec in the current process."""
+        return self.build().run(max_time_ns=self.max_time_ns)
 
     def canonical(self) -> dict[str, object]:
         """The deterministic content description this spec is keyed by.
@@ -154,6 +206,45 @@ def _execute_spec(spec: RunSpec) -> SimulationResult:
     """Module-level worker entry point (picklable under every start
     method)."""
     return spec.execute()
+
+
+def _execute_spec_beating(
+    spec: RunSpec, beats: Any, interval: float
+) -> SimulationResult:
+    """Worker entry point that publishes progress heartbeats.
+
+    ``beats`` is a manager-backed mapping shared with the parent.  A
+    daemon thread samples the engine's processed-event counter every
+    ``interval`` seconds into ``beats[spec.index]``; the parent watches
+    for the value to *change*, so a hung run (counter frozen inside one
+    event, or stuck building its workload at the ``-1`` sentinel) is
+    distinguishable from a straggler (counter advancing) without
+    touching the simulation hot path.
+    """
+    import threading
+
+    beats[spec.index] = -1  # started; still building the simulation
+    holder: dict[str, Optional[Simulation]] = {"simulation": None}
+    stop = threading.Event()
+
+    def pulse() -> None:
+        while not stop.wait(interval):
+            simulation = holder["simulation"]
+            value = -1 if simulation is None else simulation.sim.processed_events
+            try:
+                beats[spec.index] = value
+            except Exception:  # parent gone; run on unsupervised
+                return
+
+    monitor = threading.Thread(target=pulse, name="sweep-heartbeat", daemon=True)
+    monitor.start()
+    try:
+        simulation = spec.build()
+        holder["simulation"] = simulation
+        return simulation.run(max_time_ns=spec.max_time_ns)
+    finally:
+        stop.set()
+        monitor.join()
 
 
 def default_workers() -> int:
@@ -212,13 +303,26 @@ class SweepExecutor:
       ``retry_backoff * 2**(n-1)`` seconds.  Runs that were innocently
       interrupted by another run's crash are re-queued without being
       charged a retry.
+    * ``stall_timeout`` -- supervision: workers pipe progress
+      heartbeats (the engine's processed-event counter) back to the
+      parent, and a run whose heartbeat freezes for this many seconds
+      is killed as *hung* (:class:`WorkerStalledError`) -- long before
+      a generous wall-clock ``timeout`` would fire -- while a straggler
+      whose counter still advances is left alone.  Only enforced with
+      ``workers > 1``, like ``timeout``.
     * When the budget is exhausted the raised :class:`SweepRunError`
       carries ``partial_results`` -- every completed
       :class:`SimulationResult` so far, keyed by spec index.
 
-    With the default ``timeout=None, retries=0`` the executor behaves
-    exactly as it always has (streaming results lazily in spec order);
-    the hardened path buffers a pass before yielding.
+    Crash-safety (surviving the *orchestrator* dying, see the service
+    layer): ``map``/``imap`` accept a ``journal`` -- completed cells
+    recorded there by an earlier, killed process are replayed instead
+    of re-run, and every fresh completion is appended durably.
+
+    With the default ``timeout=None, retries=0, stall_timeout=None``
+    the executor behaves exactly as it always has (streaming results
+    lazily in spec order); the hardened path buffers a pass before
+    yielding.
     """
 
     def __init__(
@@ -228,6 +332,8 @@ class SweepExecutor:
         timeout: Optional[float] = None,
         retries: int = 0,
         retry_backoff: float = 0.5,
+        stall_timeout: Optional[float] = None,
+        heartbeat_interval: float = 0.25,
     ) -> None:
         workers = resolve_workers(workers)
         if workers < 1:
@@ -238,16 +344,25 @@ class SweepExecutor:
             raise ValueError(f"retries must be >= 0 (got {retries})")
         if retry_backoff < 0:
             raise ValueError(f"retry_backoff must be >= 0 (got {retry_backoff})")
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ValueError(f"stall_timeout must be positive (got {stall_timeout})")
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive (got {heartbeat_interval})"
+            )
         self.workers = workers
         self.timeout = timeout
         self.retries = retries
         self.retry_backoff = retry_backoff
+        self.stall_timeout = stall_timeout
+        self.heartbeat_interval = heartbeat_interval
 
     def map(
         self,
         specs: Sequence[RunSpec],
         progress: Optional[Callable[[RunSpec, SimulationResult], None]] = None,
         cache: Optional[ResultSource] = None,
+        journal: Optional[SweepJournalSource] = None,
     ) -> list[SimulationResult]:
         """Execute every spec; return results in spec order.
 
@@ -256,23 +371,32 @@ class SweepExecutor:
         :class:`SweepRunError` identifying it (outstanding runs are
         cancelled where possible).  With a ``cache``, previously stored
         results are served without re-running and fresh results are
-        stored back (see :meth:`imap`).
+        stored back (see :meth:`imap`).  With a ``journal``, cells a
+        previous (killed) process already completed are replayed and
+        fresh completions are appended durably.
         """
-        return list(self.imap(specs, progress=progress, cache=cache))
+        return list(self.imap(specs, progress=progress, cache=cache, journal=journal))
 
     def imap(
         self,
         specs: Sequence[RunSpec],
         progress: Optional[Callable[[RunSpec, SimulationResult], None]] = None,
         cache: Optional[ResultSource] = None,
+        journal: Optional[SweepJournalSource] = None,
     ) -> Iterator[SimulationResult]:
         """Like :meth:`map` but yields results lazily, in spec order."""
         specs = list(specs)
-        if cache is not None:
+        if journal is not None:
+            yield from self._run_journaled(specs, progress, cache, journal)
+        elif cache is not None:
             yield from self._run_cached(specs, progress, cache)
         elif self.workers == 1 or len(specs) <= 1:
             yield from self._run_serial(specs, progress)
-        elif self.timeout is None and self.retries == 0:
+        elif (
+            self.timeout is None
+            and self.retries == 0
+            and self.stall_timeout is None
+        ):
             yield from self._run_parallel(specs, progress)
         else:
             yield from self._run_hardened(specs, progress)
@@ -280,6 +404,43 @@ class SweepExecutor:
     # ------------------------------------------------------------------
     # Execution strategies
     # ------------------------------------------------------------------
+    def _run_journaled(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[Callable[[RunSpec, SimulationResult], None]],
+        cache: Optional[ResultSource],
+        journal: SweepJournalSource,
+    ) -> Iterator[SimulationResult]:
+        """Replay journaled cells, run the rest, append each fresh
+        completion before yielding it.
+
+        The journal is the crash-consistency layer: by the time a
+        result is delivered downstream it is already durable, so a
+        process killed at *any* instant loses at most the cell in
+        flight.  Replay happens up front (the journal validates that
+        the specs are the grid it was written for); the remaining cells
+        flow through the normal cache/serial/parallel strategies.
+        """
+        replayed = journal.replay(specs)
+        pending = [
+            spec for position, spec in enumerate(specs) if position not in replayed
+        ]
+        fresh = self.imap(pending, cache=cache) if pending else iter(())
+        try:
+            for position, spec in enumerate(specs):
+                if position in replayed:
+                    result = replayed[position]
+                else:
+                    result = next(fresh)
+                    journal.record(position, spec, result)
+                if progress is not None:
+                    progress(spec, result)
+                yield result
+        finally:
+            close = getattr(fresh, "close", None)
+            if close is not None:
+                close()
+
     def _run_cached(
         self,
         specs: Sequence[RunSpec],
@@ -376,13 +537,35 @@ class SweepExecutor:
     def _run_hardened(
         self, specs: Sequence[RunSpec], progress: Optional[Callable[[int, int], None]]
     ) -> Iterator[SimulationResult]:
-        """Parallel execution with timeout enforcement and bounded
-        retries.  Runs in passes: each pass submits every still-pending
-        spec to a fresh pool; a hung or crashed worker aborts the pass
-        (finished runs are salvaged, innocents re-queued uncharged) and
-        the culprit is charged one failure.  A spec that exhausts
-        ``retries`` raises :class:`SweepRunError` with every completed
-        result attached."""
+        """Parallel execution with timeout enforcement, heartbeat
+        supervision and bounded retries.  Runs in passes: each pass
+        submits every still-pending spec to a fresh pool; a hung or
+        crashed worker aborts the pass (finished runs are salvaged,
+        innocents re-queued uncharged) and the culprit is charged one
+        failure.  A spec that exhausts ``retries`` raises
+        :class:`SweepRunError` with every completed result attached."""
+        manager: Optional[Any] = None
+        beats: Optional[Any] = None
+        if self.stall_timeout is not None:
+            import multiprocessing
+
+            # Heartbeats flow worker -> parent through a manager dict
+            # keyed by spec index; a run whose entry stops *changing*
+            # is hung, one whose entry keeps advancing is a straggler.
+            manager = multiprocessing.Manager()
+            beats = manager.dict()
+        try:
+            yield from self._run_hardened_passes(specs, progress, beats)
+        finally:
+            if manager is not None:
+                manager.shutdown()
+
+    def _run_hardened_passes(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[Callable[[int, int], None]],
+        beats: Optional[Any],
+    ) -> Iterator[SimulationResult]:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures import TimeoutError as FutureTimeoutError
         from concurrent.futures.process import BrokenProcessPool
@@ -392,7 +575,23 @@ class SweepExecutor:
         pending: list[RunSpec] = list(specs)
         while pending:
             pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
-            futures = [(spec, pool.submit(_execute_spec, spec)) for spec in pending]
+            if beats is None:
+                futures = [
+                    (spec, pool.submit(_execute_spec, spec)) for spec in pending
+                ]
+            else:
+                futures = [
+                    (
+                        spec,
+                        pool.submit(
+                            _execute_spec_beating,
+                            spec,
+                            beats,
+                            self.heartbeat_interval,
+                        ),
+                    )
+                    for spec in pending
+                ]
             requeue: list[RunSpec] = []
             abort = False
             try:
@@ -410,7 +609,7 @@ class SweepExecutor:
                         requeue.append(spec)
                         continue
                     try:
-                        results[spec.index] = future.result(timeout=self.timeout)
+                        results[spec.index] = self._await(spec, future, beats)
                     except FutureTimeoutError:
                         abort = True
                         cause: BaseException = TimeoutError(
@@ -418,6 +617,9 @@ class SweepExecutor:
                             " wall-clock limit"
                         )
                         self._charge(spec, cause, failures, requeue, results)
+                    except WorkerStalledError as error:
+                        abort = True
+                        self._charge(spec, error, failures, requeue, results)
                     except BrokenProcessPool as error:
                         abort = True
                         self._charge(spec, error, failures, requeue, results)
@@ -435,6 +637,54 @@ class SweepExecutor:
             if progress is not None:
                 progress(spec, result)
             yield result
+
+    def _await(
+        self, spec: RunSpec, future: Any, beats: Optional[Any]
+    ) -> SimulationResult:
+        """Wait for one run, enforcing the wall-clock limit and -- when
+        supervision is on -- the heartbeat stall limit.
+
+        The stall clock starts at the worker's first beat (a queued run
+        that has not started yet cannot be "hung") and resets whenever
+        the beat value changes; it measures frozen *progress*, not
+        elapsed time.  Raises ``concurrent.futures.TimeoutError`` at
+        the wall-clock deadline and :class:`WorkerStalledError` when
+        the heartbeat froze for ``stall_timeout`` seconds.
+        """
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        if beats is None:
+            result: SimulationResult = future.result(timeout=self.timeout)
+            return result
+        assert self.stall_timeout is not None
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        poll = max(min(self.stall_timeout / 4.0, 1.0), 0.05)
+        last_beat: Optional[int] = None
+        last_change: Optional[float] = None
+        while True:
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                raise FutureTimeoutError()
+            wait = poll if deadline is None else min(poll, max(deadline - now, 0.01))
+            try:
+                supervised: SimulationResult = future.result(timeout=wait)
+                return supervised
+            except FutureTimeoutError:
+                pass
+            try:
+                value = beats.get(spec.index)
+            except Exception:  # manager hiccup: wall-clock only this poll
+                value = None
+            now = time.monotonic()
+            if value is None:
+                continue  # not started yet: queued behind other runs
+            if last_beat is None or value != last_beat:
+                last_beat = value
+                last_change = now
+            elif last_change is not None and now - last_change >= self.stall_timeout:
+                raise WorkerStalledError(spec.label, self.stall_timeout)
 
     def _charge(
         self,

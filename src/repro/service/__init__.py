@@ -13,13 +13,24 @@ the road from batch sweeps to continuous experiment traffic:
 * :mod:`repro.service.jobs` -- :class:`ExperimentService`, the async
   runner: ``submit(specs | grid) -> job_id``, ``status``, ``results``,
   ``cancel``, with PR 5's timeout/retry hardening underneath.
+* :mod:`repro.service.journal` -- crash-safe per-job sweep journals:
+  every completed cell is durably appended, so a killed campaign
+  resumes bit-identically (``resume(job_id)`` replays the journal and
+  runs only the remainder).
 * :mod:`repro.service.dashboard` -- live terminal and static-HTML views
   of a running job.
 * ``python -m repro.service`` -- submit a grid from the command line,
-  watch it, and warm/inspect/clear the cache.
+  watch it, resume interrupted jobs, and warm/inspect/verify/repair the
+  cache.
 """
 
-from repro.service.cache import CachedResult, ResultCache, default_cache_root
+from repro.service.cache import (
+    CachedResult,
+    CacheIntegrityError,
+    CacheWriteError,
+    ResultCache,
+    default_cache_root,
+)
 from repro.service.dashboard import render_job, render_job_html, watch, write_html
 from repro.service.jobs import (
     CellState,
@@ -31,8 +42,17 @@ from repro.service.jobs import (
     UnknownJobError,
     run_to_completion,
 )
+from repro.service.journal import (
+    JournalError,
+    JournalMismatchError,
+    ReplayedResult,
+    SweepJournal,
+    default_journal_root,
+)
 
 __all__ = [
+    "CacheIntegrityError",
+    "CacheWriteError",
     "CachedResult",
     "CellState",
     "CellStatus",
@@ -40,9 +60,14 @@ __all__ = [
     "JobFailedError",
     "JobState",
     "JobStatus",
+    "JournalError",
+    "JournalMismatchError",
+    "ReplayedResult",
     "ResultCache",
+    "SweepJournal",
     "UnknownJobError",
     "default_cache_root",
+    "default_journal_root",
     "render_job",
     "render_job_html",
     "run_to_completion",

@@ -3,7 +3,9 @@
 Submit a full-factorial grid to the :class:`~repro.service.jobs.
 ExperimentService`, watch it live, and manage the content-addressed
 result cache.  Re-running the same command is (almost) free: every cell
-already in the cache is served from disk.
+already in the cache is served from disk -- and every run is journalled,
+so a run that dies (OOM kill, preemption, ctrl-C) is *resumable*: the
+completed cells replay from the journal and only the remainder executes.
 
 Examples::
 
@@ -12,36 +14,91 @@ Examples::
         --axis controller.gc_greediness=1,2,3,4 \\
         --axis host.max_outstanding=4,8,16,32 --ios 2000
 
-    # same grid again: all cells served from cache, near-instant
-    python -m repro.service run \\
-        --axis controller.gc_greediness=1,2,3,4 \\
-        --axis host.max_outstanding=4,8,16,32 --ios 2000
+    # the run above was killed?  finish it -- journalled cells are
+    # replayed byte-identically, zero re-runs
+    python -m repro.service resume job-0001
 
-    # inspect / clear the store
+    # inspect / audit / heal the store
     python -m repro.service cache stats
+    python -m repro.service cache verify     # exit 1 if corrupt entries
+    python -m repro.service cache repair     # quarantine corrupt entries
     python -m repro.service cache clear
 
 ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) relocates the store;
-``--no-cache`` runs uncached.  ``--expect-min-hit-rate 0.9`` turns the
-run into an assertion (CI's warm-pass gate).
+``--journal-dir`` (or ``$REPRO_JOURNAL_DIR``) relocates the journals;
+``--no-cache`` runs uncached, ``--no-journal`` unjournalled.
+``--expect-min-hit-rate 0.9`` turns the run into an assertion (CI's
+warm-pass gate).  On SIGINT/SIGTERM the service checkpoints at the next
+cell boundary and exits 130 with a resume hint; a second signal force
+quits.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 
+from repro.core.statistics import serialize_summary
 from repro.service.cache import ResultCache
 from repro.service.dashboard import DEFAULT_METRICS, render_job, watch, write_html
-from repro.service.grids import grid_specs, parse_axis
-from repro.service.jobs import ExperimentService, JobState
+from repro.service.grids import grid_manifest, grid_specs, parse_axis
+from repro.service.jobs import ExperimentService, JobState, JobStatus
+from repro.service.journal import default_journal_root
 
 #: The paper-demo default: GC greediness x host queue depth, 16 cells.
 DEFAULT_AXES = (
     "controller.gc_greediness=1,2,3,4",
     "host.max_outstanding=4,8,16,32",
 )
+
+
+def _add_execution_arguments(command: argparse.ArgumentParser) -> None:
+    """Flags shared by ``run`` and ``resume`` (how cells execute and
+    how the job is displayed/reported)."""
+    command.add_argument(
+        "--workers", default="1",
+        help="worker processes per job: a number or 'auto' (one per CPU)",
+    )
+    command.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock limit in seconds (workers > 1 only)",
+    )
+    command.add_argument("--retries", type=int, default=0, help="per-cell retry budget")
+    command.add_argument(
+        "--stall-timeout", type=float, default=None, metavar="S",
+        help="kill a run whose event counter freezes for S seconds "
+             "(hung, not merely slow; workers > 1 only)",
+    )
+    command.add_argument("--cache-dir", default=None, help="result-store directory")
+    command.add_argument(
+        "--no-cache", action="store_true", help="run without the result store"
+    )
+    command.add_argument(
+        "--journal-dir", default=None,
+        help="sweep-journal directory (default: $REPRO_JOURNAL_DIR or "
+             "~/.cache/repro-journals)",
+    )
+    command.add_argument(
+        "--no-journal", action="store_true",
+        help="run without the crash-safe journal (job is not resumable)",
+    )
+    command.add_argument(
+        "--no-watch", action="store_true",
+        help="skip the live dashboard; print only the final panel",
+    )
+    command.add_argument("--interval", type=float, default=0.5,
+                         help="dashboard refresh (s)")
+    command.add_argument("--html", default=None, metavar="FILE",
+                         help="also write the static HTML dashboard here")
+    command.add_argument("--json", default=None, metavar="FILE",
+                         help="write a machine-readable job report here")
+    command.add_argument(
+        "--metrics", default=",".join(DEFAULT_METRICS),
+        help="comma-separated summary metrics to display",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,43 +120,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="base configuration preset",
     )
     run.add_argument("--seed", type=int, default=42)
-    run.add_argument(
-        "--workers", default="1",
-        help="worker processes per job: a number or 'auto' (one per CPU)",
-    )
-    run.add_argument(
-        "--timeout", type=float, default=None,
-        help="per-cell wall-clock limit in seconds (workers > 1 only)",
-    )
-    run.add_argument("--retries", type=int, default=0, help="per-cell retry budget")
-    run.add_argument("--cache-dir", default=None, help="result-store directory")
-    run.add_argument(
-        "--no-cache", action="store_true", help="run without the result store"
-    )
-    run.add_argument(
-        "--no-watch", action="store_true",
-        help="skip the live dashboard; print only the final panel",
-    )
-    run.add_argument("--interval", type=float, default=0.5, help="dashboard refresh (s)")
-    run.add_argument("--html", default=None, metavar="FILE",
-                     help="also write the static HTML dashboard here")
-    run.add_argument("--json", default=None, metavar="FILE",
-                     help="write a machine-readable job report here")
-    run.add_argument(
-        "--metrics", default=",".join(DEFAULT_METRICS),
-        help="comma-separated summary metrics to display",
-    )
+    _add_execution_arguments(run)
     run.add_argument(
         "--expect-min-hit-rate", type=float, default=None, metavar="R",
         help="exit non-zero unless cache hits / cells >= R (CI gate)",
     )
 
-    cache = commands.add_parser("cache", help="inspect or clear the result store")
-    cache.add_argument("action", choices=["stats", "clear", "path"])
+    resume = commands.add_parser(
+        "resume", help="finish an interrupted job from its journal"
+    )
+    resume.add_argument("job_id", help="the job id printed by the killed run")
+    _add_execution_arguments(resume)
+
+    cache = commands.add_parser("cache", help="inspect or heal the result store")
+    cache.add_argument("action", choices=["stats", "clear", "path", "verify", "repair"])
     cache.add_argument("--cache-dir", default=None, help="result-store directory")
     cache.add_argument(
         "--all-versions", action="store_true",
-        help="clear: also drop entries from older code fingerprints",
+        help="clear/verify/repair: also entries from older code fingerprints",
     )
     return parser
 
@@ -108,60 +146,134 @@ def _workers(text: str) -> "int | str":
     return text if text == "auto" else int(text)
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    axes = [parse_axis(text) for text in (args.axis or list(DEFAULT_AXES))]
-    specs = grid_specs(axes, ios=args.ios, base=args.base, seed=args.seed)
-    metrics = [name.strip() for name in args.metrics.split(",") if name.strip()]
+def _build_service(args: argparse.Namespace) -> ExperimentService:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-
-    axis_names = " x ".join(path for path, _ in axes)
-    print(f"grid {axis_names}: {len(specs)} cells, {args.ios} IOs each")
     if cache is not None:
         print(f"cache {cache.root} (version {cache.fingerprint[:16]})")
-
-    service = ExperimentService(
+    journal_dir = None
+    if not args.no_journal:
+        journal_dir = args.journal_dir or default_journal_root()
+        print(f"journal {journal_dir}")
+    return ExperimentService(
         cache=cache,
         workers=_workers(args.workers),
         timeout=args.timeout,
         retries=args.retries,
+        journal_dir=journal_dir,
+        stall_timeout=args.stall_timeout,
     )
-    with service:
-        job_id = service.submit(specs, name=f"grid {axis_names}")
-        if args.no_watch:
-            status = service.wait(job_id)
-            if args.html:
-                write_html(status, args.html, metrics)
-            print(render_job(status, metrics))
-        else:
-            status = watch(
-                service, job_id, interval=args.interval,
-                metrics=metrics, html_path=args.html,
-            )
 
+
+def _install_signal_handlers(service: ExperimentService) -> None:
+    """First SIGINT/SIGTERM: checkpoint at the next cell boundary and
+    mark the job INTERRUPTED (resumable).  Second: force quit."""
+    seen = {"count": 0}
+
+    def handler(signum: int, frame: object) -> None:
+        seen["count"] += 1
+        if seen["count"] > 1:
+            os._exit(130)
+        name = signal.Signals(signum).name
+        print(
+            f"\n{name}: checkpointing at the next cell boundary "
+            "(signal again to force quit)",
+            file=sys.stderr,
+        )
+        service.interrupt(wait=False)
+
+    signal.signal(signal.SIGINT, handler)
+    signal.signal(signal.SIGTERM, handler)
+
+
+def _drive(service: ExperimentService, job_id: str,
+           args: argparse.Namespace, metrics: list[str]) -> JobStatus:
+    """Watch (or silently wait for) the job; never re-raise on ctrl-C."""
+    if args.no_watch:
+        status = service.wait(job_id)
+        if args.html:
+            write_html(status, args.html, metrics)
+        print(render_job(status, metrics))
+        return status
+    return watch(
+        service, job_id, interval=args.interval,
+        metrics=metrics, html_path=args.html,
+    )
+
+
+def _write_report(service: ExperimentService, status: JobStatus,
+                  path: str) -> None:
+    report = {
+        "job_id": status.job_id,
+        "name": status.name,
+        "state": status.state.value,
+        "total_cells": status.total_cells,
+        "completed_cells": status.completed_cells,
+        "cache_hits": status.cache_hits,
+        "cache_misses": status.cache_misses,
+        "resumed_cells": status.resumed_cells,
+        "elapsed_s": round(status.elapsed_s, 3),
+        "events": list(status.events),
+        "cells": [
+            {
+                "label": cell.label,
+                "state": cell.state.value,
+                "summary": cell.summary,
+                # Canonical bytes -- what resume bit-identity compares.
+                "summary_text": (
+                    serialize_summary(cell.summary) if cell.summary else None
+                ),
+            }
+            for cell in status.cells
+        ],
+        "cache": service.cache_stats(),
+    }
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"-> {path}")
+
+
+def _epilogue(service: ExperimentService, status: JobStatus,
+              args: argparse.Namespace) -> int:
+    """Shared run/resume exit path: report, resume hint, exit code."""
     if args.json:
-        report = {
-            "job_id": status.job_id,
-            "name": status.name,
-            "state": status.state.value,
-            "total_cells": status.total_cells,
-            "completed_cells": status.completed_cells,
-            "cache_hits": status.cache_hits,
-            "cache_misses": status.cache_misses,
-            "elapsed_s": round(status.elapsed_s, 3),
-            "cells": [
-                {"label": cell.label, "state": cell.state.value, "summary": cell.summary}
-                for cell in status.cells
-            ],
-            "cache": service.cache_stats(),
-        }
-        with open(args.json, "w") as handle:
-            json.dump(report, handle, indent=2)
-            handle.write("\n")
-        print(f"-> {args.json}")
-
+        _write_report(service, status, args.json)
+    if status.state is JobState.INTERRUPTED:
+        print(
+            f"job {status.job_id} interrupted at "
+            f"{status.completed_cells}/{status.total_cells} cells; "
+            f"finish it with: python -m repro.service resume {status.job_id}",
+            file=sys.stderr,
+        )
+        return 130
     if status.state is not JobState.DONE:
         print(f"job ended {status.state.value}: {status.error or ''}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    axes = [parse_axis(text) for text in (args.axis or list(DEFAULT_AXES))]
+    specs = grid_specs(axes, ios=args.ios, base=args.base, seed=args.seed)
+    metrics = [name.strip() for name in args.metrics.split(",") if name.strip()]
+
+    axis_names = " x ".join(path for path, _ in axes)
+    print(f"grid {axis_names}: {len(specs)} cells, {args.ios} IOs each")
+
+    service = _build_service(args)
+    _install_signal_handlers(service)
+    with service:
+        job_id = service.submit(
+            specs,
+            name=f"grid {axis_names}",
+            grid=grid_manifest(axes, ios=args.ios, base=args.base, seed=args.seed),
+        )
+        print(f"job {job_id}")
+        status = _drive(service, job_id, args, metrics)
+
+    code = _epilogue(service, status, args)
+    if code:
+        return code
     if args.expect_min_hit_rate is not None:
         rate = status.cache_hits / status.total_cells if status.total_cells else 0.0
         if rate < args.expect_min_hit_rate:
@@ -175,6 +287,32 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_resume(args: argparse.Namespace) -> int:
+    if args.no_journal:
+        print("resume requires the journal (drop --no-journal)", file=sys.stderr)
+        return 2
+    metrics = [name.strip() for name in args.metrics.split(",") if name.strip()]
+    service = _build_service(args)
+    _install_signal_handlers(service)
+    with service:
+        job_id = service.resume(args.job_id)
+        status = service.status(job_id)
+        print(
+            f"resuming {job_id}: "
+            f"{status.total_cells} cells, journal replay in progress"
+        )
+        status = _drive(service, job_id, args, metrics)
+
+    code = _epilogue(service, status, args)
+    if code:
+        return code
+    print(
+        f"resumed {status.resumed_cells} cells from the journal, "
+        f"{status.cache_hits} from cache, {status.cache_misses} computed"
+    )
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "path":
@@ -184,6 +322,25 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear(all_versions=args.all_versions)
         scope = "all versions" if args.all_versions else f"version {cache.fingerprint[:16]}"
         print(f"removed {removed} entries ({scope})")
+        return 0
+    if args.action in ("verify", "repair"):
+        if args.action == "verify":
+            report = cache.verify(all_versions=args.all_versions)
+        else:
+            report = cache.repair(all_versions=args.all_versions)
+        for key in ("checked", "ok", "repaired", "quarantined"):
+            if key in report:
+                print(f"{key:<12}: {report[key]}")
+        corrupt = report["corrupt"]
+        for path in corrupt:
+            print(f"corrupt     : {path}", file=sys.stderr)
+        if args.action == "verify" and corrupt:
+            print(
+                f"{len(corrupt)} corrupt entries -- run "
+                "'python -m repro.service cache repair' to quarantine them",
+                file=sys.stderr,
+            )
+            return 1
         return 0
     stats = cache.stats()
     width = max(len(key) for key in stats)
@@ -196,6 +353,8 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "resume":
+        return cmd_resume(args)
     return cmd_cache(args)
 
 

@@ -26,14 +26,37 @@ so entries are auditable, and files are written atomically (tmp +
 ``os.replace``) so concurrent sweeps sharing one cache directory never
 observe a torn entry.  Payload bytes are deterministic: storing the same
 result twice writes identical files.
+
+Integrity (long campaigns trust this store for hours of work):
+
+* every envelope carries a SHA-256 ``checksum`` over its own canonical
+  bytes, verified on ``lookup`` -- a truncated, bit-rotted or
+  hand-mangled entry counts as a miss (``corrupt_entries``), is moved
+  to a ``quarantine/`` subdirectory for post-mortem, and the fresh
+  result overwrites it;
+* :meth:`ResultCache.verify` audits a whole directory without touching
+  it, :meth:`ResultCache.repair` quarantines everything corrupt (the
+  ``cache verify`` / ``cache repair`` CLI subcommands);
+* mutations take an advisory ``.lock`` file per version directory, so
+  concurrent sweeps sharing a store never interleave a publish with a
+  quarantine sweep;
+* stores check free disk space first and fail loudly
+  (:class:`CacheWriteError`) instead of writing a torn entry, and stale
+  ``*.tmp`` files left by a process killed mid-publish are reaped on
+  open and on ``clear()``.
 """
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
+import json
 import os
+import shutil
 import tempfile
+import time
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.core.canonical import (
     UncacheableWorkloadError,
@@ -48,10 +71,64 @@ from repro.core.statistics import (
     serialize_summary,
 )
 
-__all__ = ["CachedResult", "ResultCache", "default_cache_root"]
+__all__ = [
+    "CacheIntegrityError",
+    "CacheWriteError",
+    "CachedResult",
+    "ResultCache",
+    "default_cache_root",
+    "ensure_headroom",
+]
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Subdirectory (per version dir) corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
+
+#: Stale ``*.tmp`` files older than this are reaped on cache open; the
+#: age guard keeps a concurrent process's in-flight publish safe.
+TMP_MAX_AGE_S = 3600.0
+
+#: Free space demanded beyond the payload itself before writing.
+STORE_HEADROOM_BYTES = 1 << 20
+
+
+class CacheIntegrityError(ValueError):
+    """A stored entry failed its structural or checksum validation."""
+
+
+class CacheWriteError(OSError):
+    """A store was refused up front (e.g. the disk is nearly full)
+    instead of risking a torn entry."""
+
+
+def _free_bytes(path: Path) -> int:
+    """Free bytes on the filesystem holding ``path`` (monkeypatchable
+    seam for tests)."""
+    return shutil.disk_usage(path).free
+
+
+def ensure_headroom(path: Path, payload_bytes: int) -> None:
+    """Raise :class:`CacheWriteError` unless ``path``'s filesystem has
+    room for ``payload_bytes`` plus :data:`STORE_HEADROOM_BYTES`."""
+    needed = payload_bytes + STORE_HEADROOM_BYTES
+    try:
+        free = _free_bytes(path)
+    except OSError:
+        return  # cannot measure: let the write itself surface the error
+    if free < needed:
+        raise CacheWriteError(
+            f"refusing to write {payload_bytes} bytes under {path}: "
+            f"only {free} bytes free (< {needed} required headroom)"
+        )
+
+
+def envelope_checksum(envelope: dict) -> str:
+    """SHA-256 over the envelope's canonical bytes, ``checksum`` field
+    excluded -- the self-certifying seal every entry carries."""
+    body = {key: value for key, value in envelope.items() if key != "checksum"}
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
 
 
 def default_cache_root() -> Path:
@@ -132,6 +209,15 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.uncacheable = 0
+        #: Entries that failed decode/checksum validation on lookup
+        #: (each was quarantined and counted as a miss).
+        self.corrupt_entries = 0
+        #: Stale ``*.tmp`` files removed by this object.
+        self.tmp_reaped = 0
+        # A process killed between NamedTemporaryFile and os.replace
+        # leaves its tmp behind forever; sweep old ones on open.
+        if self._version_dir().is_dir():
+            self.reap_tmp(max_age_s=TMP_MAX_AGE_S)
 
     # ------------------------------------------------------------------
     # Keying
@@ -165,14 +251,22 @@ class ResultCache:
             entry = self._decode(text, key)
         except (ValueError, KeyError, TypeError):
             # A torn or hand-edited entry must never poison a sweep:
-            # treat it as a miss and let the fresh result overwrite it.
+            # treat it as a miss, move the evidence aside, and let the
+            # fresh result overwrite it.
+            self.corrupt_entries += 1
             self.misses += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         return entry
 
     def store(self, spec: RunSpec, result: SimulationResult) -> None:
-        """Persist ``result``'s summary under the spec's content key."""
+        """Persist ``result``'s summary under the spec's content key.
+
+        Raises :class:`CacheWriteError` (without touching the store)
+        when the disk lacks headroom for the entry -- a full disk must
+        fail one store loudly, not strand torn files.
+        """
         if isinstance(result, CachedResult):
             return  # already on disk; a hit re-stored would be a no-op
         key = self.key_for(spec)
@@ -182,26 +276,31 @@ class ResultCache:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = self._encode(spec, result, key)
+        ensure_headroom(path.parent, len(payload.encode("utf-8")))
         # Atomic publish: a concurrent reader sees the old entry or the
-        # new one, never a torn file.
-        handle = tempfile.NamedTemporaryFile(
-            mode="w",
-            encoding="utf-8",
-            dir=path.parent,
-            prefix=f".{key[:16]}.",
-            suffix=".tmp",
-            delete=False,
-        )
-        try:
-            with handle:
-                handle.write(payload)
-            os.replace(handle.name, path)
-        except BaseException:
+        # new one, never a torn file.  The version-dir lock keeps a
+        # concurrent repair/clear from sweeping the tmp mid-publish.
+        with self._locked():
+            handle = tempfile.NamedTemporaryFile(
+                mode="w",
+                encoding="utf-8",
+                dir=path.parent,
+                prefix=f".{key[:16]}.",
+                suffix=".tmp",
+                delete=False,
+            )
             try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+                with handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(handle.name, path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
         self.stores += 1
 
     # ------------------------------------------------------------------
@@ -211,7 +310,7 @@ class ResultCache:
     def _encode(spec: RunSpec, result: SimulationResult, key: str) -> str:
         summary_text = serialize_summary(result.summary())
         envelope = {
-            "version": 1,
+            "version": 2,
             "key": key,
             "spec": spec.canonical(),
             "elapsed_ns": int(result.elapsed_ns),
@@ -220,15 +319,22 @@ class ResultCache:
             # exactly serialize_summary's, envelope formatting aside.
             "summary": summary_text,
         }
+        envelope["checksum"] = envelope_checksum(envelope)
         return canonical_json(envelope) + "\n"
 
     @staticmethod
     def _decode(text: str, key: str) -> CachedResult:
-        import json
-
         envelope = json.loads(text)
+        if not isinstance(envelope, dict):
+            raise CacheIntegrityError("entry is not a JSON object")
         if envelope.get("key") != key:
-            raise ValueError(f"entry key mismatch (expected {key})")
+            raise CacheIntegrityError(f"entry key mismatch (expected {key})")
+        if int(envelope.get("version", 0)) >= 2:
+            # A version-2 entry vouches for its own bytes; any
+            # truncation or bit flip breaks the checksum.
+            stated = envelope.get("checksum")
+            if stated != envelope_checksum(envelope):
+                raise CacheIntegrityError("entry checksum mismatch")
         return CachedResult(
             summary=deserialize_summary(envelope["summary"]),
             elapsed_ns=int(envelope["elapsed_ns"]),
@@ -241,6 +347,124 @@ class ResultCache:
     # ------------------------------------------------------------------
     def _version_dir(self) -> Path:
         return self.root / self.fingerprint[:16]
+
+    def _quarantine_dir(self) -> Path:
+        return self._version_dir() / QUARANTINE_DIR
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory cross-process lock on the version directory.
+
+        Mutations (publish, quarantine, repair, clear, tmp reap) hold
+        it so two processes sharing one store never interleave; readers
+        stay lock-free (``os.replace`` keeps them torn-proof).  On
+        platforms without ``fcntl`` this degrades to a no-op.
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX
+            yield
+            return
+        version_dir = self._version_dir()
+        version_dir.mkdir(parents=True, exist_ok=True)
+        with open(version_dir / ".lock", "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _quarantine(self, path: Path) -> bool:
+        """Move a corrupt entry into ``quarantine/`` (never deleted:
+        it is evidence).  Best-effort; returns True when moved."""
+        quarantine = self._quarantine_dir()
+        try:
+            with self._locked():
+                quarantine.mkdir(parents=True, exist_ok=True)
+                os.replace(path, quarantine / path.name)
+            return True
+        except OSError:
+            return False
+
+    def _entry_paths(self, all_versions: bool = False) -> list[Path]:
+        """Live entry files, quarantine excluded, deterministic order."""
+        if all_versions:
+            roots = (
+                sorted(child for child in self.root.iterdir() if child.is_dir())
+                if self.root.is_dir()
+                else []
+            )
+        else:
+            roots = [self._version_dir()]
+        paths: list[Path] = []
+        for root in roots:
+            if root.name == QUARANTINE_DIR or not root.is_dir():
+                continue
+            paths.extend(sorted(root.glob("*.json")))
+        return paths
+
+    def verify(self, *, all_versions: bool = False) -> dict[str, object]:
+        """Audit the store without modifying it.
+
+        Every entry is re-validated exactly as ``lookup`` would
+        (decode, key-vs-filename, checksum); the report lists the
+        corrupt files so ``repair`` -- or a human -- can act on them.
+        """
+        corrupt: list[str] = []
+        checked = 0
+        for path in self._entry_paths(all_versions):
+            checked += 1
+            try:
+                self._decode(path.read_text(encoding="utf-8"), path.stem)
+            except (OSError, ValueError, KeyError, TypeError):
+                corrupt.append(str(path))
+        return {
+            "checked": checked,
+            "ok": checked - len(corrupt),
+            "corrupt": corrupt,
+            "quarantined": self._quarantined_count(),
+        }
+
+    def repair(self, *, all_versions: bool = False) -> dict[str, object]:
+        """Quarantine every corrupt entry; returns the audit report
+        with a ``repaired`` count added.  After a clean ``repair``,
+        ``verify`` reports zero corrupt entries."""
+        report = self.verify(all_versions=all_versions)
+        repaired = 0
+        for text in list(report["corrupt"]):  # type: ignore[arg-type]
+            if self._quarantine(Path(text)):
+                repaired += 1
+                self.corrupt_entries += 1
+        report["repaired"] = repaired
+        report["quarantined"] = self._quarantined_count()
+        return report
+
+    def reap_tmp(self, max_age_s: float = 0.0) -> int:
+        """Remove stale ``*.tmp`` files (a process killed between
+        ``NamedTemporaryFile`` and ``os.replace`` strands one per
+        in-flight store).  Only files older than ``max_age_s`` are
+        touched, so a live concurrent publish is never swept."""
+        version_dir = self._version_dir()
+        if not version_dir.is_dir():
+            return 0
+        cutoff = time.time() - max_age_s
+        reaped = 0
+        with self._locked():
+            for path in sorted(version_dir.glob(".*.tmp")):
+                try:
+                    if path.stat().st_mtime <= cutoff:
+                        path.unlink()
+                        reaped += 1
+                except OSError:
+                    continue
+        self.tmp_reaped += reaped
+        return reaped
+
+    def _quarantined_count(self) -> int:
+        quarantine = self._quarantine_dir()
+        if not quarantine.is_dir():
+            return 0
+        return sum(1 for _ in quarantine.glob("*.json"))
 
     def invalidate(self, spec: RunSpec) -> bool:
         """Drop the entry for one spec; True when something was removed."""
@@ -257,19 +481,27 @@ class ResultCache:
         """Remove stored entries; returns how many files were deleted.
 
         Default scope is the current code version; ``all_versions=True``
-        also sweeps entries stranded by old fingerprints.
+        also sweeps entries stranded by old fingerprints.  Quarantined
+        entries and stale ``*.tmp`` leftovers (any age) go with them.
         """
         roots = [self.root] if all_versions else [self._version_dir()]
         removed = 0
-        for root in roots:
-            if not root.is_dir():
-                continue
-            for path in sorted(root.rglob("*.json")):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+        with self._locked():
+            for root in roots:
+                if not root.is_dir():
+                    continue
+                for path in sorted(root.rglob("*.json")):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+                for path in sorted(root.rglob(".*.tmp")):
+                    try:
+                        path.unlink()
+                        self.tmp_reaped += 1
+                    except OSError:
+                        pass
         return removed
 
     def entries(self) -> int:
@@ -288,7 +520,7 @@ class ResultCache:
         stale = 0
         if self.root.is_dir():
             for child in self.root.iterdir():
-                if not child.is_dir():
+                if not child.is_dir() or child.name == QUARANTINE_DIR:
                     continue
                 count = sum(1 for _ in child.glob("*.json"))
                 if child == version_dir:
@@ -309,6 +541,9 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "uncacheable": self.uncacheable,
+            "corrupt_entries": self.corrupt_entries,
+            "quarantined": self._quarantined_count(),
+            "tmp_reaped": self.tmp_reaped,
             "hit_rate": (self.hits / total) if total else 0.0,
         }
 

@@ -23,11 +23,14 @@ from pathlib import Path
 from types import MappingProxyType
 from typing import IO, Optional, Sequence
 
-from repro.analysis.reporting import IncrementalTable, sparkline
+from repro.analysis.reporting import IncrementalTable, format_event_log, sparkline
 from repro.core import units
 from repro.service.jobs import CellState, ExperimentService, JobStatus
 
 __all__ = ["render_job", "render_job_html", "watch", "write_html"]
+
+#: Lifecycle events shown under the panel (the tail of the job log).
+EVENT_TAIL = 4
 
 #: Default metric columns: the demo's throughput / latency / GC story.
 DEFAULT_METRICS = (
@@ -41,9 +44,20 @@ _STATE_GLYPHS = MappingProxyType({
     CellState.PENDING: ".",
     CellState.CACHED: "c",
     CellState.COMPUTED: "#",
+    CellState.RESUMED: "r",
     CellState.FAILED: "!",
     CellState.SKIPPED: "-",
 })
+
+#: Where a completed cell's summary came from (table "src" column).
+_SOURCES = MappingProxyType({
+    CellState.CACHED: "cache",
+    CellState.RESUMED: "journal",
+})
+
+
+def _source(cell) -> str:
+    return _SOURCES.get(cell.state, "run")
 
 
 def _progress_bar(status: JobStatus, width: int = 32) -> str:
@@ -69,8 +83,7 @@ def cell_table(
     """The per-cell metric table for ``status`` (completed cells only)."""
     table = IncrementalTable(["cell", "src"] + list(metrics), min_width=10)
     for cell in _completed_cells(status):
-        source = "cache" if cell.state is CellState.CACHED else "run"
-        row = [cell.label, source] + [
+        row = [cell.label, _source(cell)] + [
             _metric_text(cell.summary.get(metric, 0.0), metric) for metric in metrics
         ]
         table.add_row(row)
@@ -83,18 +96,21 @@ def render_job(
     width: int = 32,
 ) -> str:
     """The full terminal panel for one status snapshot."""
+    resumed = f"  journal {status.resumed_cells} replayed" if status.resumed_cells else ""
     lines = [
         f"== {status.name} ({status.job_id}) ==",
         (
-            f"state {status.state.value:<10} {_progress_bar(status, width)} "
+            f"state {status.state.value:<11} {_progress_bar(status, width)} "
             f"{status.completed_cells}/{status.total_cells} cells  "
-            f"cache {status.cache_hits} hit / {status.cache_misses} miss  "
-            f"{status.elapsed_s:.1f}s"
+            f"cache {status.cache_hits} hit / {status.cache_misses} miss"
+            f"{resumed}  {status.elapsed_s:.1f}s"
         ),
         "cells " + "".join(_STATE_GLYPHS[cell.state] for cell in status.cells),
     ]
     if status.error:
         lines.append(f"error: {status.error}")
+    if status.events:
+        lines.append(format_event_log(status.events, tail=EVENT_TAIL))
     completed = _completed_cells(status)
     if completed:
         lines.append("")
@@ -128,7 +144,7 @@ def render_job_html(
     )
     body_rows = []
     for cell in _completed_cells(status):
-        source = "cache" if cell.state is CellState.CACHED else "run"
+        source = _source(cell)
         values = "".join(
             f"<td>{html.escape(_metric_text(cell.summary.get(metric, 0.0), metric))}</td>"
             for metric in metrics
@@ -141,6 +157,16 @@ def render_job_html(
     error = (
         f'<p class="error">{html.escape(status.error)}</p>' if status.error else ""
     )
+    resumed = (
+        f" &mdash; journal {status.resumed_cells} replayed"
+        if status.resumed_cells else ""
+    )
+    events = ""
+    if status.events:
+        items = "".join(
+            f"<li>{html.escape(line)}</li>" for line in status.events[-EVENT_TAIL:]
+        )
+        events = f'<ul class="events">{items}</ul>'
     return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -154,23 +180,26 @@ def render_job_html(
   .cell {{ display: inline-block; width: .7rem; height: .7rem; margin: 1px; background: #ddd; }}
   .cell.cached {{ background: #58c; }}
   .cell.computed {{ background: #4a7; }}
+  .cell.resumed {{ background: #a6d; }}
   .cell.failed {{ background: #c44; }}
   .cell.skipped {{ background: #aaa; }}
   table {{ border-collapse: collapse; margin-top: 1rem; }}
   td, th {{ border: 1px solid #ccc; padding: .25rem .6rem; text-align: right; }}
-  td.cache {{ color: #58c; }} td.run {{ color: #4a7; }}
+  td.cache {{ color: #58c; }} td.run {{ color: #4a7; }} td.journal {{ color: #a6d; }}
   .error {{ color: #c44; }}
+  .events {{ color: #666; list-style: none; padding-left: 0; font-size: .85rem; }}
 </style>
 </head>
 <body>
 <h1>{html.escape(status.name)} <small>({html.escape(status.job_id)})</small></h1>
 <p>state <strong>{status.state.value}</strong> &mdash;
 {status.completed_cells}/{status.total_cells} cells &mdash;
-cache {status.cache_hits} hit / {status.cache_misses} miss &mdash;
+cache {status.cache_hits} hit / {status.cache_misses} miss{resumed} &mdash;
 {status.elapsed_s:.1f}s</p>
 <div class="bar"><div></div></div>
 <p>{glyphs}</p>
 {error}
+{events}
 <table>
 <thead><tr>{header_cells}</tr></thead>
 <tbody>
@@ -228,8 +257,7 @@ def watch(
                     out.write(line + "\n")
                 printed_header = True
             for cell in completed[reported:]:
-                source = "cache" if cell.state is CellState.CACHED else "run"
-                row = [cell.label, source] + [
+                row = [cell.label, _source(cell)] + [
                     _metric_text(cell.summary.get(metric, 0.0), metric)
                     for metric in metrics
                 ]

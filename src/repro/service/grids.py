@@ -24,7 +24,14 @@ from repro.workloads import (
     precondition_sequential,
 )
 
-__all__ = ["demo_workload", "grid_specs", "mixed_workload", "parse_axis"]
+__all__ = [
+    "demo_workload",
+    "grid_manifest",
+    "grid_specs",
+    "mixed_workload",
+    "parse_axis",
+    "specs_from_manifest",
+]
 
 
 def mixed_workload(
@@ -98,6 +105,53 @@ def parse_axis(text: str) -> tuple[str, list]:
             pass
         values.append(token)
     return path, values
+
+
+def grid_manifest(
+    axes: Sequence[tuple[str, Sequence]],
+    *,
+    ios: int = 2000,
+    base: str = "small",
+    seed: int = 42,
+    max_time_ns: Optional[int] = None,
+) -> dict:
+    """A JSON-able description of a :func:`grid_specs` grid.
+
+    Stored in the sweep journal manifest so ``python -m repro.service
+    resume <job>`` can rebuild the exact spec list in a fresh process
+    (see :func:`specs_from_manifest`).
+    """
+    return {
+        "kind": "grid",
+        "axes": [[path, list(values)] for path, values in axes],
+        "ios": ios,
+        "base": base,
+        "seed": seed,
+        "max_time_ns": max_time_ns,
+    }
+
+
+def specs_from_manifest(manifest: dict) -> list[RunSpec]:
+    """Rebuild the spec list described by :func:`grid_manifest`.
+
+    The round trip is exact: the journal's grid signature (computed
+    over per-spec cache keys) is re-verified against the rebuilt specs
+    before any cell is replayed, so drift here fails loudly rather
+    than silently replaying the wrong experiment.
+    """
+    if manifest.get("kind") != "grid":
+        raise ValueError(
+            f"cannot rebuild specs from manifest kind {manifest.get('kind')!r}"
+        )
+    axes = [(str(path), list(values)) for path, values in manifest["axes"]]
+    max_time_ns = manifest.get("max_time_ns")
+    return grid_specs(
+        axes,
+        ios=int(manifest.get("ios", 2000)),
+        base=str(manifest.get("base", "small")),
+        seed=int(manifest.get("seed", 42)),
+        max_time_ns=int(max_time_ns) if max_time_ns is not None else None,
+    )
 
 
 def grid_specs(

@@ -32,8 +32,10 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
+from repro.core.canonical import code_fingerprint
 from repro.core.experiments import ExperimentTemplate, GridExperiment
 from repro.core.parallel import (
     RunSpec,
@@ -43,6 +45,11 @@ from repro.core.parallel import (
 )
 from repro.core.simulation import SimulationResult
 from repro.service.cache import CachedResult, ResultCache
+from repro.service.journal import (
+    JournalMismatchError,
+    ReplayedResult,
+    SweepJournal,
+)
 
 __all__ = [
     "CellState",
@@ -64,10 +71,18 @@ class JobState(enum.Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: Stopped at a cell boundary by a signal or service shutdown; the
+    #: journal holds every completed cell and the job is resumable.
+    INTERRUPTED = "interrupted"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        return self in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.INTERRUPTED,
+        )
 
 
 class CellState(enum.Enum):
@@ -76,6 +91,8 @@ class CellState(enum.Enum):
     CACHED = "cached"
     #: Completed by running the simulation.
     COMPUTED = "computed"
+    #: Completed by an earlier interrupted run, replayed from its journal.
+    RESUMED = "resumed"
     FAILED = "failed"
     SKIPPED = "skipped"
 
@@ -129,6 +146,11 @@ class JobStatus:
     error: Optional[str]
     #: Wall-clock seconds: queued -> now while live, queued -> finish after.
     elapsed_s: float
+    #: Cells replayed from a sweep journal (neither cache hit nor run).
+    resumed_cells: int = 0
+    #: Human-readable lifecycle log, oldest first: submitted, started,
+    #: replayed-from-journal, interrupted, ...
+    events: list[str] = field(default_factory=list)
     cells: list[CellStatus] = field(default_factory=list)
 
     @property
@@ -142,13 +164,30 @@ class _Cancelled(Exception):
     """Internal: unwinds the executor when a running job is cancelled."""
 
 
+class _Interrupted(Exception):
+    """Internal: unwinds the executor at the next cell boundary when the
+    service is asked to stop (signal / shutdown).  Unlike cancellation
+    the job stays resumable: completed cells are in the journal."""
+
+
+#: Keep at most this many lifecycle events per job (oldest dropped).
+_MAX_EVENTS = 50
+
+
 class _Job:
     """Service-internal mutable job record (guarded by the service lock)."""
 
-    def __init__(self, job_id: str, name: str, specs: list[RunSpec]) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        name: str,
+        specs: list[RunSpec],
+        journal: Optional[SweepJournal] = None,
+    ) -> None:
         self.id = job_id
         self.name = name
         self.specs = specs
+        self.journal = journal
         self.state = JobState.QUEUED
         self.cells = [
             CellStatus(index=position, label=str(spec.label))
@@ -157,11 +196,20 @@ class _Job:
         self.results: dict[int, object] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.resumed_cells = 0
         self.error: Optional[str] = None
         self.cancel_requested = False
+        self.interrupt_requested = False
         self.submitted_at = time.monotonic()
         self.finished_at: Optional[float] = None
         self.done = threading.Event()
+        self.events: list[str] = []
+
+    def log(self, message: str) -> None:
+        # Called under the service lock.
+        stamp = time.monotonic() - self.submitted_at
+        self.events.append(f"[{stamp:+8.2f}s] {message}")
+        del self.events[:-_MAX_EVENTS]
 
 
 class ExperimentService:
@@ -176,7 +224,17 @@ class ExperimentService:
     ``cache=None`` disables result reuse; a string/``Path`` roots a
     :class:`ResultCache` there; a ready cache object is used as-is.
     The service is a context manager: leaving the ``with`` block shuts
-    the worker down after the queue drains.
+    the worker down after the queue drains; leaving it on
+    ``KeyboardInterrupt`` interrupts live jobs instead (they become
+    ``INTERRUPTED`` and, when journalled, resumable).
+
+    ``journal_dir`` opts a service into crash-safe checkpointing: every
+    submitted job gets an append-only journal there
+    (``<journal_dir>/<job_id>.jsonl``) and :meth:`resume` can finish an
+    interrupted or SIGKILLed job bit-identically, skipping every
+    journalled cell.  ``stall_timeout`` arms the executor's heartbeat
+    supervision (a run whose event counter freezes that long is killed
+    as *hung*, distinct from a merely slow straggler).
     """
 
     def __init__(
@@ -186,13 +244,19 @@ class ExperimentService:
         workers: WorkerCount = 1,
         timeout: Optional[float] = None,
         retries: int = 0,
+        journal_dir: "str | Path | None" = None,
+        stall_timeout: Optional[float] = None,
     ) -> None:
         if cache is None or isinstance(cache, ResultCache):
             self.cache = cache
         else:
             self.cache = ResultCache(cache)
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         self._executor = SweepExecutor(
-            workers=workers, timeout=timeout, retries=retries
+            workers=workers,
+            timeout=timeout,
+            retries=retries,
+            stall_timeout=stall_timeout,
         )
         self._jobs: dict[str, _Job] = {}
         self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue()
@@ -201,15 +265,38 @@ class ExperimentService:
         self._worker: Optional[threading.Thread] = None
         self._shutdown = False
 
+    def _fingerprint(self) -> str:
+        """The fingerprint journals are written under -- the cache's when
+        one is attached (so journal keys and cache keys agree), the code
+        fingerprint otherwise."""
+        if self.cache is not None:
+            return self.cache.fingerprint
+        return code_fingerprint()
+
+    def journal_path(self, job_id: str) -> Path:
+        if self.journal_dir is None:
+            raise RuntimeError("service has no journal_dir configured")
+        return self.journal_dir / f"{job_id}.jsonl"
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def submit(self, work: Submittable, name: Optional[str] = None) -> str:
+    def submit(
+        self,
+        work: Submittable,
+        name: Optional[str] = None,
+        *,
+        grid: Optional[dict] = None,
+    ) -> str:
         """Enqueue an experiment; returns its job id immediately.
 
         ``work`` is a prepared ``list[RunSpec]``, a
         :class:`GridExperiment` or an :class:`ExperimentTemplate` (their
-        ``specs()`` materialise the cells).
+        ``specs()`` materialise the cells).  With a ``journal_dir``
+        configured the job is journalled from cell one; ``grid`` (a
+        :func:`~repro.service.grids.grid_manifest` dict) is stored in
+        the journal so a fresh process can rebuild the specs and
+        :meth:`resume` by job id alone.
         """
         specs, derived_name = self._coerce(work)
         if not specs:
@@ -217,8 +304,80 @@ class ExperimentService:
         with self._lock:
             if self._shutdown:
                 raise RuntimeError("service is shut down")
-            job_id = f"job-{next(self._ids):04d}"
-            job = _Job(job_id, name or derived_name, specs)
+            # Ids restart at 1 per service instance, but journals
+            # persist across processes -- never overwrite one that an
+            # earlier (possibly killed) process left behind.
+            while True:
+                job_id = f"job-{next(self._ids):04d}"
+                if self.journal_dir is None or not self.journal_path(job_id).exists():
+                    break
+            job_name = name or derived_name
+            journal: Optional[SweepJournal] = None
+            if self.journal_dir is not None:
+                journal = SweepJournal.create(
+                    self.journal_path(job_id),
+                    job_id=job_id,
+                    name=job_name,
+                    specs=specs,
+                    fingerprint=self._fingerprint(),
+                    grid=grid,
+                )
+            job = _Job(job_id, job_name, specs, journal=journal)
+            job.log(f"submitted ({len(specs)} cells)")
+            if journal is not None:
+                job.log(f"journal {journal.path.name}")
+            self._jobs[job_id] = job
+            self._ensure_worker()
+        self._queue.put(job)
+        return job_id
+
+    def resume(self, job_id: str, work: Optional[Submittable] = None) -> str:
+        """Re-enqueue an interrupted (or SIGKILLed) job from its journal.
+
+        Every journalled cell is replayed verbatim -- zero re-runs, byte
+        identical summaries -- and only the remaining cells execute.
+        ``work`` may supply the spec list explicitly; without it the
+        specs are rebuilt from the grid manifest recorded at submit
+        time.  Raises :class:`~repro.service.journal.JournalError` if
+        the journal is unusable and
+        :class:`~repro.service.journal.JournalMismatchError` if the
+        specs (or the code version) no longer match what was journalled.
+        """
+        if self.journal_dir is None:
+            raise RuntimeError("service has no journal_dir configured")
+        journal = SweepJournal.open(self.journal_path(job_id))
+        if journal.fingerprint != self._fingerprint():
+            raise JournalMismatchError(
+                f"journal {job_id} was written under fingerprint "
+                f"{journal.fingerprint[:12]}..., current is "
+                f"{self._fingerprint()[:12]}... -- results would not be "
+                "comparable; rerun instead of resuming"
+            )
+        if work is not None:
+            specs, _ = self._coerce(work)
+        else:
+            manifest = journal.grid_manifest()
+            if manifest is None:
+                raise JournalMismatchError(
+                    f"journal {job_id} has no grid manifest; pass the "
+                    "specs explicitly to resume(job_id, work=...)"
+                )
+            from repro.service.grids import specs_from_manifest
+
+            specs = specs_from_manifest(manifest)
+        journal.validate(specs)
+        name = str(journal.manifest.get("name", job_id))
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("service is shut down")
+            existing = self._jobs.get(job_id)
+            if existing is not None and not existing.state.terminal:
+                raise RuntimeError(f"job {job_id} is still {existing.state.value}")
+            job = _Job(job_id, name, specs, journal=journal)
+            job.log(
+                f"resumed from journal: {journal.completed}/{journal.cells} "
+                "cells already complete"
+            )
             self._jobs[job_id] = job
             self._ensure_worker()
         self._queue.put(job)
@@ -240,6 +399,8 @@ class ExperimentService:
                 cache_misses=job.cache_misses,
                 error=job.error,
                 elapsed_s=elapsed - job.submitted_at,
+                resumed_cells=job.resumed_cells,
+                events=list(job.events),
                 cells=[
                     CellStatus(
                         index=cell.index,
@@ -310,25 +471,67 @@ class ExperimentService:
         report["enabled"] = True
         return report
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting jobs; optionally wait for the queue to drain."""
+    def interrupt(self, wait: bool = True) -> None:
+        """Stop the service *now*, leaving live jobs resumable.
+
+        Queued jobs flip straight to ``INTERRUPTED``; the running job
+        stops at its next cell boundary (the in-flight cell completes,
+        is journalled/cached, then the job goes ``INTERRUPTED``).  This
+        is what the CLI's SIGINT/SIGTERM handlers call -- no job is
+        ever left claiming to be ``RUNNING`` by a dead process.
+        """
         with self._lock:
-            if self._shutdown:
-                worker = self._worker
-                if wait and worker is not None and worker.is_alive():
-                    worker.join()
-                return
             self._shutdown = True
             worker = self._worker
+            for job in self._jobs.values():
+                if job.state is JobState.QUEUED:
+                    job.log("interrupted while queued")
+                    self._finish(job, JobState.INTERRUPTED)
+                elif job.state is JobState.RUNNING:
+                    job.interrupt_requested = True
         self._queue.put(None)
         if wait and worker is not None:
             worker.join()
+            self._sweep_stranded()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; optionally wait for the queue to drain.
+
+        After the worker exits, any job still claiming a live state
+        (a worker that died mid-job, a queue abandoned with
+        ``wait=False`` in an earlier call) is swept to ``INTERRUPTED``
+        so dashboards never show phantom live jobs.
+        """
+        with self._lock:
+            already = self._shutdown
+            self._shutdown = True
+            worker = self._worker
+        if not already:
+            self._queue.put(None)
+        if wait:
+            # Outside the lock: the worker needs it to finish its job,
+            # and _sweep_stranded re-acquires it.
+            if worker is not None and worker.is_alive():
+                worker.join()
+            self._sweep_stranded()
+
+    def _sweep_stranded(self) -> None:
+        """Flip any job the (now stopped) worker left non-terminal to
+        ``INTERRUPTED`` -- there is no process left to finish it."""
+        with self._lock:
+            for job in self._jobs.values():
+                if not job.state.terminal:
+                    job.log("stranded at shutdown")
+                    self._finish(job, JobState.INTERRUPTED)
 
     def __enter__(self) -> "ExperimentService":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.shutdown(wait=True)
+        if exc_info and isinstance(exc_info[1], KeyboardInterrupt):
+            self.interrupt(wait=True)
+        else:
+            self.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     # Internals
@@ -372,32 +575,61 @@ class ExperimentService:
             if job.cancel_requested:
                 self._finish(job, JobState.CANCELLED)
                 return
+            if job.interrupt_requested or job.state.terminal:
+                return  # interrupted while queued (already terminal)
             job.state = JobState.RUNNING
+            job.log("started")
 
         def progress(spec: RunSpec, result: SimulationResult) -> None:
             position = len(job.results)  # delivery is strictly spec order
-            hit = isinstance(result, CachedResult)
+            replayed = isinstance(result, ReplayedResult)
+            hit = isinstance(result, CachedResult) and not replayed
             with self._lock:
                 job.results[position] = result
                 cell = job.cells[position]
-                cell.state = CellState.CACHED if hit else CellState.COMPUTED
-                cell.summary = result.summary()
-                if hit:
+                if replayed:
+                    cell.state = CellState.RESUMED
+                    job.resumed_cells += 1
+                elif hit:
+                    cell.state = CellState.CACHED
                     job.cache_hits += 1
                 else:
+                    cell.state = CellState.COMPUTED
                     job.cache_misses += 1
+                cell.summary = result.summary()
                 cancelled = job.cancel_requested
+                interrupted = job.interrupt_requested
             if cancelled:
                 raise _Cancelled()
+            if interrupted:
+                raise _Interrupted()
 
         try:
-            list(self._executor.imap(job.specs, progress=progress, cache=self.cache))
+            list(
+                self._executor.imap(
+                    job.specs,
+                    progress=progress,
+                    cache=self.cache,
+                    journal=job.journal,
+                )
+            )
         except _Cancelled:
             with self._lock:
                 for cell in job.cells:
                     if cell.state is CellState.PENDING:
                         cell.state = CellState.SKIPPED
+                job.log("cancelled")
                 self._finish(job, JobState.CANCELLED)
+            return
+        except _Interrupted:
+            # Pending cells stay PENDING: they are not abandoned, they
+            # are waiting for resume().
+            with self._lock:
+                job.log(
+                    f"interrupted at cell boundary "
+                    f"({len(job.results)}/{len(job.specs)} complete)"
+                )
+                self._finish(job, JobState.INTERRUPTED)
             return
         except SweepRunError as error:
             with self._lock:
@@ -407,20 +639,42 @@ class ExperimentService:
                         cell.state = CellState.FAILED
                     elif cell.state is CellState.PENDING:
                         cell.state = CellState.SKIPPED
+                job.log(f"failed: {error}")
                 self._finish(job, JobState.FAILED)
             return
         except Exception as error:  # defensive: never kill the drain loop
             with self._lock:
                 job.error = f"{type(error).__name__}: {error}"
+                job.log(f"failed: {job.error}")
                 self._finish(job, JobState.FAILED)
             return
         with self._lock:
+            if job.resumed_cells:
+                job.log(
+                    f"completed ({job.resumed_cells} replayed, "
+                    f"{job.cache_hits} cached, {job.cache_misses} computed)"
+                )
             self._finish(job, JobState.DONE)
+
+    _JOURNAL_MARKS = {
+        JobState.DONE: "done",
+        JobState.FAILED: "failed",
+        JobState.CANCELLED: "cancelled",
+        JobState.INTERRUPTED: "interrupted",
+    }
 
     def _finish(self, job: _Job, state: JobState) -> None:
         # Called under the lock.
         job.state = state
         job.finished_at = time.monotonic()
+        if job.journal is not None:
+            mark = self._JOURNAL_MARKS.get(state)
+            try:
+                if mark is not None:
+                    job.journal.mark(mark, completed=len(job.results))
+                job.journal.close()
+            except OSError:
+                pass  # the cell records are already durable
         job.done.set()
 
 

@@ -1,0 +1,382 @@
+"""Crash-safe sweep journals: checkpoint/resume for long campaigns.
+
+A design-space campaign is hours of independent cells; the processes
+driving it die to OOM kills, preemption and ctrl-C.  The
+:class:`~repro.service.cache.ResultCache` already makes *finished*
+cells cheap to recover, but nothing recorded which cells belonged to
+the interrupted job, whether the grid being resumed is really the same
+grid, or where an uncacheable cell's result went.  The journal is that
+record: an append-only JSONL file, one per job, written durably enough
+that a SIGKILL at any instant loses at most the cell in flight.
+
+Layout (one file per job, ``<journal_root>/<job_id>.jsonl``)::
+
+    {"type": "manifest", "version": 1, "job_id": ..., "cells": N,
+     "fingerprint": ..., "grid_signature": ..., "grid": {...}|null,
+     "checksum": sha256}
+    {"type": "cell", "index": 0, "key": ..., "label": ..., "summary":
+     "<serialize_summary bytes>", "elapsed_ns": ..., "processed_events":
+     ..., "checksum": sha256}
+    ...
+    {"type": "state", "state": "done"|"interrupted"|"failed",
+     "completed": k, "checksum": sha256}
+
+Durability discipline:
+
+* the manifest line is published with the :mod:`repro.service.cache`
+  idiom -- tmp file, ``fsync``, ``os.replace`` -- so the journal exists
+  fully formed or not at all;
+* each subsequent record is appended, flushed and ``fsync``\\ ed before
+  the result is surfaced downstream;
+* every record carries a SHA-256 checksum over its own canonical
+  bytes.  On load, the first undecodable or checksum-failing line ends
+  the journal (the torn tail of a kill mid-append); everything before
+  it replays.
+
+Replay is *positional* under a grid signature: the manifest records a
+content hash over every spec's cache key (or an explicit positional
+marker for uncacheable specs), and :meth:`SweepJournal.replay` refuses
+(:class:`JournalMismatchError`) unless the specs presented hash to the
+same grid -- so a journaled cell can never be replayed into a different
+experiment, and a resumed sweep finishes bit-identically to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Mapping, Optional, Sequence
+
+from repro.core.canonical import (
+    UncacheableWorkloadError,
+    canonical_json,
+    code_fingerprint,
+    content_hash,
+)
+from repro.core.parallel import RunSpec
+from repro.core.simulation import SimulationResult
+from repro.core.statistics import deserialize_summary, serialize_summary
+from repro.service.cache import CachedResult, ensure_headroom
+
+__all__ = [
+    "JournalError",
+    "JournalMismatchError",
+    "ReplayedResult",
+    "SweepJournal",
+    "default_journal_root",
+    "grid_signature",
+]
+
+#: Environment variable overriding the default journal directory.
+JOURNAL_DIR_ENV = "REPRO_JOURNAL_DIR"
+
+JOURNAL_VERSION = 1
+
+
+def default_journal_root() -> Path:
+    """``$REPRO_JOURNAL_DIR`` if set, else ``~/.cache/repro-journals``."""
+    override = os.environ.get(JOURNAL_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-journals"
+
+
+class JournalError(RuntimeError):
+    """The journal file is unusable (missing, empty, or its manifest is
+    torn)."""
+
+
+class JournalMismatchError(JournalError):
+    """The journal exists but does not belong to the work presented:
+    different grid, different cell count, or a different code version
+    than it was written under."""
+
+
+class ReplayedResult(CachedResult):
+    """A cell summary replayed from a sweep journal -- the cell was
+    completed by an earlier (killed or interrupted) process and is
+    served without re-running or even touching the result cache."""
+
+
+def _record_checksum(record: Mapping[str, object]) -> str:
+    body = {key: value for key, value in record.items() if key != "checksum"}
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+
+def _sealed(record: dict) -> dict:
+    record["checksum"] = _record_checksum(record)
+    return record
+
+
+def spec_journal_key(spec: RunSpec, position: int, fingerprint: str) -> str:
+    """A spec's identity within a journal: its cache key when it has
+    one, an explicit positional marker otherwise (a lambda/closure
+    workload still resumes correctly -- against the same grid)."""
+    try:
+        return spec.cache_key(fingerprint)
+    except UncacheableWorkloadError:
+        return f"position:{position}"
+
+
+def grid_signature(specs: Sequence[RunSpec], fingerprint: str) -> str:
+    """Content hash of the whole grid: cell order, count and identity."""
+    return content_hash(
+        [
+            spec_journal_key(spec, position, fingerprint)
+            for position, spec in enumerate(specs)
+        ]
+    )
+
+
+class SweepJournal:
+    """Append-only, crash-safe record of one sweep's completed cells.
+
+    Satisfies :class:`repro.core.parallel.SweepJournalSource`: the
+    executor calls :meth:`replay` once up front and :meth:`record` as
+    each fresh cell completes.  :meth:`mark` appends job-state
+    transitions (``interrupted``/``done``/``failed``) so a later
+    process -- or a human with ``grep`` -- can tell a finished campaign
+    from a torn one.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path)
+        self.manifest: dict = {}
+        self._cells: dict[int, dict] = {}
+        #: Last state marker seen on load (``None`` while running).
+        self.state: Optional[str] = None
+        #: Records dropped on load because they were torn or failed
+        #: their checksum (the tail of a mid-append kill).
+        self.torn_records = 0
+        self._handle: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: "str | os.PathLike[str]",
+        *,
+        job_id: str,
+        name: str,
+        specs: Sequence[RunSpec],
+        fingerprint: Optional[str] = None,
+        grid: Optional[dict] = None,
+    ) -> "SweepJournal":
+        """Start a journal for a fresh job (overwrites any previous
+        journal at ``path`` -- the caller owns id uniqueness).
+
+        ``grid`` is an optional JSON-able description from which the
+        specs can be rebuilt (see :func:`repro.service.grids.
+        specs_from_manifest`); with it, ``resume`` needs nothing but
+        the job id.
+        """
+        fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        manifest = _sealed(
+            {
+                "type": "manifest",
+                "version": JOURNAL_VERSION,
+                "job_id": job_id,
+                "name": name,
+                "cells": len(specs),
+                "fingerprint": fingerprint,
+                "grid_signature": grid_signature(specs, fingerprint),
+                "grid": grid,
+            }
+        )
+        payload = canonical_json(manifest) + "\n"
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        ensure_headroom(target.parent, len(payload.encode("utf-8")))
+        # The cache.py publish idiom: the journal appears fully formed
+        # (manifest line, fsynced) or not at all.
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=target.parent,
+            prefix=f".{target.stem}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, target)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        journal = cls(target)
+        journal.manifest = manifest
+        return journal
+
+    @classmethod
+    def open(cls, path: "str | os.PathLike[str]") -> "SweepJournal":
+        """Load an existing journal (manifest + every intact record)."""
+        journal = cls(path)
+        journal._load()
+        return journal
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise JournalError(f"cannot read journal {self.path}: {error}") from error
+        records: list[dict] = []
+        lines = text.split("\n")
+        for position, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+                if record.get("checksum") != _record_checksum(record):
+                    raise ValueError("record checksum mismatch")
+            except (ValueError, TypeError):
+                # A torn or corrupt line ends the journal: everything
+                # after it is untrusted (appends are strictly ordered).
+                self.torn_records += len(
+                    [tail for tail in lines[position:] if tail]
+                )
+                break
+            records.append(record)
+        if not records or records[0].get("type") != "manifest":
+            raise JournalError(f"journal {self.path} has no intact manifest")
+        self.manifest = records[0]
+        for record in records[1:]:
+            if record.get("type") == "cell":
+                self._cells[int(record["index"])] = record
+            elif record.get("type") == "state":
+                self.state = str(record.get("state"))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        return str(self.manifest.get("fingerprint", ""))
+
+    @property
+    def cells(self) -> int:
+        return int(self.manifest.get("cells", 0))
+
+    @property
+    def completed(self) -> int:
+        """Cells durably recorded so far."""
+        return len(self._cells)
+
+    def grid_manifest(self) -> Optional[dict]:
+        """The rebuildable grid description, when one was recorded."""
+        grid = self.manifest.get("grid")
+        return dict(grid) if isinstance(grid, dict) else None
+
+    # ------------------------------------------------------------------
+    # SweepJournalSource protocol
+    # ------------------------------------------------------------------
+    def validate(self, specs: Sequence[RunSpec]) -> None:
+        """Raise :class:`JournalMismatchError` unless ``specs`` is the
+        grid this journal was written for."""
+        if len(specs) != self.cells:
+            raise JournalMismatchError(
+                f"journal {self.path.name} covers {self.cells} cells, "
+                f"got {len(specs)} specs"
+            )
+        signature = grid_signature(specs, self.fingerprint)
+        if signature != self.manifest.get("grid_signature"):
+            raise JournalMismatchError(
+                f"journal {self.path.name} was written for a different grid "
+                "(cell identities do not match)"
+            )
+
+    def replay(self, specs: Sequence[RunSpec]) -> dict[int, SimulationResult]:
+        """Every journaled cell as a :class:`ReplayedResult`, keyed by
+        spec position.  Summaries round-trip bit-identically
+        (``serialize_summary`` bytes are stored verbatim)."""
+        self.validate(specs)
+        replayed: dict[int, SimulationResult] = {}
+        for position, record in self._cells.items():
+            if not 0 <= position < len(specs):
+                raise JournalMismatchError(
+                    f"journal {self.path.name} records cell #{position} "
+                    f"outside the {len(specs)}-cell grid"
+                )
+            replayed[position] = ReplayedResult(
+                summary=deserialize_summary(str(record["summary"])),
+                elapsed_ns=int(record["elapsed_ns"]),
+                processed_events=int(record["processed_events"]),
+                key=str(record["key"]),
+            )
+        return replayed
+
+    def record(self, position: int, spec: RunSpec, result: SimulationResult) -> None:
+        """Durably append one completed cell (flush + fsync before the
+        caller may surface the result)."""
+        record = _sealed(
+            {
+                "type": "cell",
+                "index": int(position),
+                "key": spec_journal_key(spec, position, self.fingerprint),
+                "label": str(spec.label),
+                "elapsed_ns": int(result.elapsed_ns),
+                "processed_events": int(result.processed_events),
+                "summary": serialize_summary(result.summary()),
+            }
+        )
+        self._append(record)
+        self._cells[int(position)] = record
+
+    def mark(self, state: str, completed: Optional[int] = None) -> None:
+        """Append a job-state transition (``interrupted``, ``done``,
+        ``failed``) so dashboards and resumers see a terminal marker
+        instead of inferring one from silence."""
+        self._append(
+            _sealed(
+                {
+                    "type": "state",
+                    "state": state,
+                    "completed": (
+                        self.completed if completed is None else int(completed)
+                    ),
+                }
+            )
+        )
+        self.state = state
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        payload = canonical_json(record) + "\n"
+        ensure_headroom(self.path.parent, len(payload.encode("utf-8")))
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(payload)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepJournal(path={str(self.path)!r}, cells={self.cells}, "
+            f"completed={self.completed}, state={self.state!r})"
+        )

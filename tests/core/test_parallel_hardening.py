@@ -49,6 +49,15 @@ def hang_workload(config, seconds=30.0):
     return []
 
 
+def raise_always_workload(config):
+    raise RuntimeError("deterministic failure")
+
+
+def slow_but_alive_workload(config, ios=20_000):
+    """A straggler: takes a while, but its event counter never stops."""
+    return [RandomWriterThread("writer", count=ios, depth=8)]
+
+
 def fail_n_times_workload(config, sentinel=None, failures=1):
     """Raise (cleanly) until ``failures`` attempts have happened."""
     attempts = 0
@@ -208,3 +217,110 @@ class TestTimeout:
         ]
         results = SweepExecutor(workers=2, timeout=120.0, retries=1).map(specs)
         assert [r.config.seed for r in results] == [11, 12, 13]
+
+
+class TestRetryBudgetMidGrid:
+    """``partial_results`` when the budget dies in the *middle* of a
+    grid: everything completed before the abort is salvaged, cells after
+    the failing one are never silently dropped as 'done'."""
+
+    def test_serial_exhaustion_mid_grid_salvages_the_prefix(self):
+        specs = [
+            RunSpec(config=small_config(seed=31), workload=tiny_workload,
+                    index=0, label="first"),
+            RunSpec(config=small_config(seed=32), workload=raise_always_workload,
+                    index=1, label="doomed"),
+            RunSpec(config=small_config(seed=33), workload=tiny_workload,
+                    index=2, label="never-reached"),
+        ]
+        with pytest.raises(SweepRunError) as excinfo:
+            SweepExecutor(workers=1, retries=2, retry_backoff=FAST_BACKOFF).map(specs)
+        error = excinfo.value
+        assert error.index == 1
+        assert set(error.partial_results) == {0}
+        assert error.partial_results[0].config.seed == 31
+
+    def test_hardened_exhaustion_mid_grid_salvages_completed_cells(self):
+        """With real retries (budget > 0) the failing cell is re-run in
+        fresh passes; when it finally gives up, every healthy cell --
+        before *and* after it in spec order -- is in partial_results."""
+        specs = [
+            RunSpec(config=small_config(seed=41), workload=tiny_workload,
+                    index=0, label="healthy-a"),
+            RunSpec(config=small_config(seed=42), workload=raise_always_workload,
+                    index=1, label="doomed"),
+            RunSpec(config=small_config(seed=43), workload=tiny_workload,
+                    index=2, label="healthy-b"),
+        ]
+        with pytest.raises(SweepRunError) as excinfo:
+            SweepExecutor(workers=2, retries=1, retry_backoff=FAST_BACKOFF).map(specs)
+        error = excinfo.value
+        assert error.index == 1
+        assert set(error.partial_results) == {0, 2}
+        assert "salvaged" in str(error)
+
+
+class TestSupervision:
+    """Heartbeat supervision: a *hung* run (frozen event counter) is
+    killed after ``stall_timeout``; a *straggler* (slow but advancing)
+    is left alone."""
+
+    def test_rejects_bad_supervision_parameters(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=2, stall_timeout=0)
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=2, stall_timeout=-1.0)
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=2, heartbeat_interval=0)
+
+    def test_hung_run_is_killed_long_before_the_wall_clock(self):
+        from repro.core.parallel import WorkerStalledError
+
+        specs = [
+            RunSpec(config=small_config(seed=51), workload=tiny_workload,
+                    index=0, label="healthy"),
+            RunSpec(
+                config=small_config(seed=52),
+                workload=functools.partial(hang_workload, seconds=120.0),
+                index=1,
+                label="frozen",
+            ),
+        ]
+        started = time.monotonic()
+        with pytest.raises(SweepRunError) as excinfo:
+            SweepExecutor(
+                workers=2,
+                timeout=300.0,  # generous: supervision must fire first
+                stall_timeout=1.0,
+                heartbeat_interval=0.1,
+                retries=0,
+                retry_backoff=FAST_BACKOFF,
+            ).map(specs)
+        elapsed = time.monotonic() - started
+        assert elapsed < 60.0, "stall detection must not wait out the hang"
+        error = excinfo.value
+        assert error.index == 1
+        assert isinstance(error.cause, WorkerStalledError)
+        assert "no progress" in str(error.cause)
+        assert 0 in error.partial_results
+
+    def test_straggler_with_advancing_heartbeat_completes(self):
+        """A run much slower than stall_timeout but still advancing its
+        event counter must never be treated as hung."""
+        specs = [
+            RunSpec(
+                config=small_config(seed=seed),
+                workload=functools.partial(slow_but_alive_workload, ios=20_000),
+                index=index,
+                label=seed,
+            )
+            for index, seed in enumerate([61, 62])
+        ]
+        results = SweepExecutor(
+            workers=2,
+            stall_timeout=0.75,
+            heartbeat_interval=0.1,
+            retries=0,
+        ).map(specs)
+        assert [r.config.seed for r in results] == [61, 62]
+        assert all(not r.incomplete for r in results)

@@ -1,0 +1,149 @@
+"""Crash/resume proof: SIGKILL a sweep mid-run, resume, compare bytes.
+
+The acceptance test for the checkpoint/resume tentpole: a child process
+runs a journalled campaign and is SIGKILLed (no cleanup, no atexit --
+the same failure mode as an OOM kill) while cells are in flight.  A
+fresh service then resumes from the journal and must (a) replay every
+journalled cell without re-running it and (b) finish the grid with
+summaries byte-identical to an uninterrupted run.
+"""
+
+import functools
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import RunSpec, small_config
+from repro.core.statistics import serialize_summary
+from repro.service import ExperimentService, JobState, ResultCache, SweepJournal
+from repro.service.grids import mixed_workload
+
+#: Three quick cells (journalled fast, so the kill lands after real
+#: progress) then three slow ones (so the child cannot finish before
+#: the parent kills it).
+IOS_PLAN = (300, 300, 300, 12_000, 12_000, 12_000)
+
+
+def build_specs() -> list:
+    specs = []
+    for index, ios in enumerate(IOS_PLAN):
+        config = small_config()
+        config.controller.gc_greediness = 1 + index % 4
+        specs.append(
+            RunSpec(
+                config=config,
+                workload=functools.partial(mixed_workload, ios=ios),
+                index=index,
+                label=f"cell-{index}",
+            )
+        )
+    return specs
+
+
+CHILD_SCRIPT = f"""
+import functools, sys
+from repro import RunSpec, small_config
+from repro.service import ExperimentService, ResultCache
+from repro.service.grids import mixed_workload
+
+IOS_PLAN = {IOS_PLAN!r}
+
+def build_specs():
+    specs = []
+    for index, ios in enumerate(IOS_PLAN):
+        config = small_config()
+        config.controller.gc_greediness = 1 + index % 4
+        specs.append(RunSpec(
+            config=config,
+            workload=functools.partial(mixed_workload, ios=ios),
+            index=index,
+            label=f"cell-{{index}}",
+        ))
+    return specs
+
+cache_dir, journal_dir = sys.argv[1], sys.argv[2]
+service = ExperimentService(cache=ResultCache(cache_dir), journal_dir=journal_dir)
+job_id = service.submit(build_specs())
+print(job_id, flush=True)
+service.wait(job_id)
+"""
+
+
+def _count_journalled_cells(path: Path) -> int:
+    if not path.exists():
+        return 0
+    return path.read_text(encoding="utf-8").count('"type":"cell"')
+
+
+def test_sigkilled_sweep_resumes_bit_identically(tmp_path):
+    cache_dir = tmp_path / "cache"
+    journal_dir = tmp_path / "journals"
+    journal_path = journal_dir / "job-0001.jsonl"
+
+    # --- the doomed campaign ---------------------------------------
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD_SCRIPT, str(cache_dir), str(journal_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(Path(__file__).parents[2] / "src")},
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        while _count_journalled_cells(journal_path) < 1:
+            if child.poll() is not None:
+                pytest.fail(
+                    "child exited before journalling a cell:\n"
+                    + child.communicate()[1]
+                )
+            if time.monotonic() > deadline:
+                pytest.fail("child made no journalled progress in 120s")
+            time.sleep(0.01)
+        assert child.poll() is None, "child finished before it could be killed"
+        os.kill(child.pid, signal.SIGKILL)
+    finally:
+        child.wait(timeout=30)
+
+    journal = SweepJournal.open(journal_path)
+    journalled = journal.completed
+    journal.close()
+    assert 1 <= journalled < len(IOS_PLAN), "kill landed mid-sweep"
+
+    # --- the uninterrupted reference -------------------------------
+    baseline = [
+        serialize_summary(spec.execute().summary()) for spec in build_specs()
+    ]
+
+    # --- resume in a fresh process (this one) ----------------------
+    with ExperimentService(
+        cache=ResultCache(cache_dir), journal_dir=journal_dir
+    ) as service:
+        job_id = service.resume("job-0001", work=build_specs())
+        results = service.results(job_id)
+        status = service.status(job_id)
+
+    assert status.state is JobState.DONE
+    # Every journalled cell was replayed, none re-ran.
+    assert status.resumed_cells == journalled
+    assert (
+        status.resumed_cells + status.cache_hits + status.cache_misses
+        == len(IOS_PLAN)
+    )
+    # Byte-for-byte identical to the run that was never interrupted.
+    assert [serialize_summary(r.summary()) for r in results] == baseline
+
+    # The journal now covers the whole grid: resuming again replays
+    # everything and runs nothing.
+    with ExperimentService(
+        cache=ResultCache(cache_dir), journal_dir=journal_dir
+    ) as service:
+        job_id = service.resume("job-0001", work=build_specs())
+        service.results(job_id)
+        final = service.status(job_id)
+    assert final.resumed_cells == len(IOS_PLAN)
+    assert final.cache_misses == 0

@@ -228,3 +228,146 @@ def test_service_accepts_workers_auto(tmp_path):
     with ExperimentService(cache=ResultCache(tmp_path), workers="auto") as svc:
         results = svc.results(svc.submit(small_grid()[:2]))
         assert len(results) == 2
+
+
+# ----------------------------------------------------------------------
+# Interrupt / resume / stranded-job hygiene
+# ----------------------------------------------------------------------
+def make_journalled_service(tmp_path) -> ExperimentService:
+    return ExperimentService(
+        cache=ResultCache(tmp_path / "cache", fingerprint="test-version"),
+        journal_dir=tmp_path / "journals",
+    )
+
+
+def test_interrupt_stops_at_cell_boundary_and_resumes(tmp_path):
+    import time
+
+    # Cells sized so the interrupt reliably lands before the grid ends.
+    grid_ios = IOS * 20
+
+    baseline_service = make_journalled_service(tmp_path / "a")
+    with baseline_service:
+        baseline = summaries(
+            baseline_service.results(baseline_service.submit(small_grid(ios=grid_ios)))
+        )
+
+    service = make_journalled_service(tmp_path / "b")
+    job_id = service.submit(small_grid(ios=grid_ios))
+    while service.status(job_id).completed_cells < 1:
+        time.sleep(0.005)
+    service.interrupt(wait=True)
+    status = service.status(job_id)
+    assert status.state is JobState.INTERRUPTED
+    assert 1 <= status.completed_cells
+    # Pending cells stay PENDING (awaiting resume), not SKIPPED.
+    live = {cell.state for cell in status.cells}
+    assert CellState.SKIPPED not in live
+    assert any("interrupted" in event for event in status.events)
+    with pytest.raises(JobFailedError):
+        service.results(job_id, wait=False)
+
+    resumed_service = make_journalled_service(tmp_path / "b")
+    with resumed_service:
+        resumed_id = resumed_service.resume(job_id, work=small_grid(ios=grid_ios))
+        results = resumed_service.results(resumed_id)
+        final = resumed_service.status(resumed_id)
+    assert final.state is JobState.DONE
+    assert final.resumed_cells == status.completed_cells
+    assert summaries(results) == baseline
+    replayed = [
+        cell.state for cell in final.cells[: final.resumed_cells]
+    ]
+    assert all(state is CellState.RESUMED for state in replayed)
+
+
+def test_interrupt_flushes_queued_jobs(tmp_path):
+    service = make_journalled_service(tmp_path)
+    running = service.submit(small_grid())
+    queued = service.submit(small_grid(ios=IOS * 2))
+    service.interrupt(wait=True)
+    assert service.status(queued).state is JobState.INTERRUPTED
+    assert service.status(running).state in (
+        JobState.INTERRUPTED,
+        JobState.DONE,  # it may have finished before the interrupt landed
+    )
+    with pytest.raises(RuntimeError):
+        service.submit(small_grid())
+
+
+def test_shutdown_after_interrupt_does_not_deadlock(tmp_path):
+    # The CLI signal path: the handler calls interrupt(wait=False),
+    # then the `with service:` exit calls shutdown(wait=True).  The
+    # second call must join and sweep without holding the service lock
+    # (a regression here hangs the process after ctrl-C).
+    import threading
+
+    service = make_journalled_service(tmp_path)
+    job_id = service.submit(small_grid())
+    service.interrupt(wait=False)
+    closer = threading.Thread(target=service.shutdown, kwargs={"wait": True})
+    closer.start()
+    closer.join(timeout=60.0)
+    assert not closer.is_alive(), "shutdown deadlocked after interrupt(wait=False)"
+    assert service.status(job_id).state.terminal
+
+
+def test_shutdown_sweeps_stranded_jobs(tmp_path):
+    # White-box: simulate a worker that died mid-job, leaving RUNNING
+    # state behind -- shutdown must not let dashboards see it forever.
+    service = make_journalled_service(tmp_path)
+    job_id = service.submit(small_grid()[:1])
+    service.wait(job_id)
+    stranded = service._jobs[job_id]
+    stranded.state = JobState.RUNNING
+    stranded.done.clear()
+    service.shutdown(wait=True)
+    status = service.status(job_id)
+    assert status.state is JobState.INTERRUPTED
+    assert any("stranded" in event for event in status.events)
+
+
+def test_resume_rejects_mismatched_grid(tmp_path):
+    from repro.service import JournalMismatchError
+
+    service = make_journalled_service(tmp_path)
+    with service:
+        job_id = service.submit(small_grid())
+        service.wait(job_id)
+    other = make_journalled_service(tmp_path)
+    with pytest.raises(JournalMismatchError):
+        other.resume(job_id, work=small_grid(ios=IOS * 2))
+    other.shutdown()
+
+
+def test_resume_without_journal_dir_is_an_error(tmp_path):
+    with ExperimentService(cache=ResultCache(tmp_path)) as svc:
+        with pytest.raises(RuntimeError):
+            svc.resume("job-0001")
+
+
+def test_submit_never_overwrites_an_existing_journal(tmp_path):
+    first = make_journalled_service(tmp_path)
+    with first:
+        first_id = first.submit(small_grid()[:1])
+        first.wait(first_id)
+    # A fresh service restarts its id counter; the journal on disk from
+    # the previous "process" must survive.
+    second = make_journalled_service(tmp_path)
+    with second:
+        second_id = second.submit(small_grid()[:1])
+        second.wait(second_id)
+    assert first_id == "job-0001"
+    assert second_id == "job-0002"
+    assert (tmp_path / "journals" / "job-0001.jsonl").exists()
+    assert (tmp_path / "journals" / "job-0002.jsonl").exists()
+
+
+def test_status_reports_events_and_resumed_counter(tmp_path):
+    service = make_journalled_service(tmp_path)
+    with service:
+        job_id = service.submit(small_grid()[:1])
+        status = service.wait(job_id)
+    assert status.resumed_cells == 0
+    assert any("submitted" in event for event in status.events)
+    assert any("journal" in event for event in status.events)
