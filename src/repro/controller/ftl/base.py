@@ -22,7 +22,7 @@ import abc
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.events import IoRequest, WriteHints
-from repro.hardware.addresses import PhysicalAddress
+from repro.hardware.addresses import Lpn, PhysicalAddress
 from repro.hardware.flash import PageContent
 from repro.hardware.state import VersionTable
 
@@ -63,7 +63,7 @@ class BaseFtl(abc.ABC):
     def write(
         self,
         io: Optional[IoRequest],
-        lpn: int,
+        lpn: Lpn,
         hints: WriteHints,
         on_done: Optional[Callable[[], None]] = None,
         version: Optional[int] = None,
@@ -104,7 +104,7 @@ class BaseFtl(abc.ABC):
     # Introspection (tests, invariants, reporting)
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def mapped_address(self, lpn: int) -> Optional[PhysicalAddress]:
+    def mapped_address(self, lpn: Lpn) -> Optional[PhysicalAddress]:
         """Current physical location of a logical page, if mapped."""
 
     @abc.abstractmethod
@@ -142,14 +142,14 @@ class BaseFtl(abc.ABC):
         """
         raise NotImplementedError
 
-    def _journal_commit(self, lpn: int, version: int, address: PhysicalAddress) -> None:
+    def _journal_commit(self, lpn: Lpn, version: int, address: PhysicalAddress) -> None:
         """Record a mapping change in the crash journal, if one is armed.
         Negative (metadata pseudo-)LPNs are not logical state."""
         journal = self.controller.journal
         if journal is not None and lpn >= 0:
             journal.record_write(lpn, version, address)
 
-    def _journal_trim(self, lpn: int) -> None:
+    def _journal_trim(self, lpn: Lpn) -> None:
         journal = self.controller.journal
         if journal is not None and lpn >= 0:
             journal.record_trim(lpn)
@@ -182,7 +182,7 @@ class BaseFtl(abc.ABC):
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
-    def next_version(self, lpn: int) -> int:
+    def next_version(self, lpn: Lpn) -> int:
         return self._issued_versions.bump(lpn)
 
     def _invalidate(self, address: PhysicalAddress) -> None:
@@ -194,7 +194,7 @@ class BaseFtl(abc.ABC):
 
     def _commit_write(
         self,
-        lpn: int,
+        lpn: Lpn,
         version: int,
         new_address: PhysicalAddress,
         old_address: Optional[PhysicalAddress],
@@ -214,7 +214,7 @@ class BaseFtl(abc.ABC):
         self._invalidate(new_address)
         return False
 
-    def _supersede(self, lpn: int) -> None:
+    def _supersede(self, lpn: Lpn) -> None:
         """Trim support: mark every in-flight write of ``lpn`` stale."""
         self._committed_versions.set(lpn, self._issued_versions.get(lpn, 0))
         self._journal_trim(lpn)

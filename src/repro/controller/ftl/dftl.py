@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.controller.ftl.base import BaseFtl
 from repro.core.events import IoRequest, WriteHints
-from repro.hardware.addresses import PhysicalAddress
+from repro.hardware.addresses import Lpn, PhysicalAddress
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
 from repro.hardware.flash import PageContent
 from repro.hardware.state import MappingTable
@@ -129,7 +129,7 @@ class DftlFtl(BaseFtl):
     def write(
         self,
         io: Optional[IoRequest],
-        lpn: int,
+        lpn: Lpn,
         hints: WriteHints,
         on_done: Optional[Callable[[], None]] = None,
         version: Optional[int] = None,
@@ -139,7 +139,7 @@ class DftlFtl(BaseFtl):
     def _do_write(
         self,
         io: Optional[IoRequest],
-        lpn: int,
+        lpn: Lpn,
         hints: WriteHints,
         on_done: Optional[Callable[[], None]],
         version: Optional[int] = None,
@@ -186,7 +186,7 @@ class DftlFtl(BaseFtl):
     # ------------------------------------------------------------------
     # CMT management
     # ------------------------------------------------------------------
-    def _with_entry(self, lpn: int, continuation: Callable[[], None]) -> None:
+    def _with_entry(self, lpn: Lpn, continuation: Callable[[], None]) -> None:
         """Run ``continuation`` once the mapping entry for ``lpn`` is in
         the CMT, fetching its translation page first if needed."""
         if lpn in self.cmt:
@@ -227,7 +227,7 @@ class DftlFtl(BaseFtl):
                 self.cmt.move_to_end(lpn)
             continuation()
 
-    def _update_mapping(self, lpn: int, ppn: Optional[PhysicalAddress]) -> None:
+    def _update_mapping(self, lpn: Lpn, ppn: Optional[PhysicalAddress]) -> None:
         """Point ``lpn`` at ``ppn`` in the authoritative map, dirtying
         (and if needed re-inserting) its CMT entry."""
         entry = self.cmt.get(lpn)
@@ -246,7 +246,7 @@ class DftlFtl(BaseFtl):
             if entry.dirty:
                 self._flush(victim_lpn, entry)
 
-    def _flush(self, lpn: int, entry: _CmtEntry) -> None:
+    def _flush(self, lpn: Lpn, entry: _CmtEntry) -> None:
         """Persist a dirty entry (plus, with batch eviction, every dirty
         sibling of the same translation page) and charge the RMW cost."""
         tp = lpn // self.entries_per_tp
@@ -275,7 +275,7 @@ class DftlFtl(BaseFtl):
         else:
             self._write_tp(tp)
 
-    def _persist(self, lpn: int, ppn: Optional[PhysicalAddress]) -> None:
+    def _persist(self, lpn: Lpn, ppn: Optional[PhysicalAddress]) -> None:
         if ppn is None:
             self.persisted.discard(lpn)
         else:
@@ -366,13 +366,13 @@ class DftlFtl(BaseFtl):
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def _authoritative(self, lpn: int) -> Optional[PhysicalAddress]:
+    def _authoritative(self, lpn: Lpn) -> Optional[PhysicalAddress]:
         entry = self.cmt.get(lpn)
         if entry is not None:
             return entry.ppn
         return self.persisted.get(lpn)
 
-    def mapped_address(self, lpn: int) -> Optional[PhysicalAddress]:
+    def mapped_address(self, lpn: Lpn) -> Optional[PhysicalAddress]:
         return self._authoritative(lpn)
 
     def mapped_page_count(self) -> int:

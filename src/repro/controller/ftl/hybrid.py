@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.controller.ftl.base import BaseFtl
 from repro.core.events import IoRequest, WriteHints
-from repro.hardware.addresses import PhysicalAddress
+from repro.hardware.addresses import Lpn, PhysicalAddress
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
 from repro.hardware.state import iter_set_bits, popcounts, words_for
 
@@ -128,7 +128,7 @@ class HybridFtl(BaseFtl):
     # ------------------------------------------------------------------
     # Address helpers
     # ------------------------------------------------------------------
-    def _split(self, lpn: int) -> tuple[int, int]:
+    def _split(self, lpn: Lpn) -> tuple[int, int]:
         return lpn // self.ppb, lpn % self.ppb
 
     def _data_block_of(self, lbn: int) -> Optional[tuple[int, int, int]]:
@@ -165,7 +165,7 @@ class HybridFtl(BaseFtl):
         if remainder:
             self._mv_data_bits[base + full_words] = (1 << remainder) - 1
 
-    def _current_address(self, lpn: int) -> Optional[PhysicalAddress]:
+    def _current_address(self, lpn: Lpn) -> Optional[PhysicalAddress]:
         address = self.log_map.get(lpn)
         if address is not None:
             return address
@@ -188,6 +188,9 @@ class HybridFtl(BaseFtl):
         Log allocations must leave one spare block for merges
         (``for_merge`` allocations may take the last one).
         """
+        # The luns dict is built once, in channel-major geometry order, so
+        # its insertion order is the deterministic LUN enumeration order.
+        # simlint: disable=SIM003 -- insertion order == geometry order
         luns = list(self.controller.array.luns.items())
         total_free = sum(len(lun.free_block_ids) for _, lun in luns)
         if not for_merge and total_free <= 1:
@@ -237,7 +240,7 @@ class HybridFtl(BaseFtl):
     def write(
         self,
         io: Optional[IoRequest],
-        lpn: int,
+        lpn: Lpn,
         hints: WriteHints,
         on_done: Optional[Callable[[], None]] = None,
         version: Optional[int] = None,
@@ -707,7 +710,7 @@ class HybridFtl(BaseFtl):
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def mapped_address(self, lpn: int) -> Optional[PhysicalAddress]:
+    def mapped_address(self, lpn: Lpn) -> Optional[PhysicalAddress]:
         return self._current_address(lpn)
 
     def mapped_page_count(self) -> int:

@@ -12,7 +12,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.controller.ftl.base import BaseFtl
 from repro.core.events import IoRequest, WriteHints
-from repro.hardware.addresses import PhysicalAddress
+from repro.hardware.addresses import Lpn, PhysicalAddress
 from repro.hardware.commands import CommandKind, CommandSource, FlashCommand
 from repro.hardware.flash import PageContent
 from repro.hardware.state import MappingTable
@@ -58,7 +58,7 @@ class PageMapFtl(BaseFtl):
     def write(
         self,
         io: Optional[IoRequest],
-        lpn: int,
+        lpn: Lpn,
         hints: WriteHints,
         on_done: Optional[Callable[[], None]] = None,
         version: Optional[int] = None,
@@ -139,7 +139,7 @@ class PageMapFtl(BaseFtl):
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def mapped_address(self, lpn: int) -> Optional[PhysicalAddress]:
+    def mapped_address(self, lpn: Lpn) -> Optional[PhysicalAddress]:
         return self._map.get(lpn)
 
     def mapped_page_count(self) -> int:

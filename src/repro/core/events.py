@@ -15,7 +15,13 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Optional, TypedDict
+from typing import Optional, TypeAlias, TypedDict
+
+#: Logical page number.  Mirrors :data:`repro.hardware.addresses.Lpn`
+#: locally because the core layer must not import from the hardware
+#: layer; simlint's SIM010 matches annotation *names*, so the two
+#: aliases are interchangeable to the address-domain checker.
+Lpn: TypeAlias = int
 
 
 class IoType(enum.Enum):
@@ -113,7 +119,7 @@ class IoRequest:
     def __init__(
         self,
         io_type: IoType,
-        lpn: int,
+        lpn: Lpn,
         thread_name: str = "?",
         hints: Optional[WriteHints] = None,
     ) -> None:

@@ -4,13 +4,36 @@ A physical address names a page as ``(channel, lun, block, page)``.
 Following the paper (footnote 1), the LUN is the minimum granularity of
 parallelism and abstracts away packages, chips and dies, so no further
 levels appear in the address.
+
+Since the array flattening (PR 7) every *other* address is a bare
+``int`` in one of four distinct spaces.  The NewType-style aliases
+below name those spaces; simlint's SIM010 rule taint-tracks values
+through annotated signatures so an LPN handed to a PPN parameter (or a
+per-block array indexed with a page id) is a lint error, without the
+run-time cost of wrapper objects.  The aliases are plain ``int`` at
+runtime and to mypy -- the *names* carry the contract:
+
+``Lpn``
+    logical page number, the host's address space.
+``Ppn``
+    global physical page number, ``AddressCodec.encode()``'s output.
+``Pbn``
+    global block id, ``lun_index * blocks_per_lun + block``.  Note that
+    :attr:`PhysicalAddress.block` is a LUN-*local* block id, not a Pbn.
+``LunIndex``
+    flat LUN index in channel-major order (:func:`lun_index`).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, NamedTuple
+from typing import Iterator, NamedTuple, TypeAlias
 
 from repro.core.config import SsdGeometry
+
+Lpn: TypeAlias = int
+Ppn: TypeAlias = int
+Pbn: TypeAlias = int
+LunIndex: TypeAlias = int
 
 
 class PhysicalAddress(NamedTuple):
@@ -51,7 +74,7 @@ def iter_luns(geometry: SsdGeometry) -> Iterator[tuple[int, int]]:
             yield channel, lun
 
 
-def lun_index(geometry: SsdGeometry, channel: int, lun: int) -> int:
+def lun_index(geometry: SsdGeometry, channel: int, lun: int) -> LunIndex:
     """Flat index of a LUN in channel-major order."""
     return channel * geometry.luns_per_channel + lun
 

@@ -14,7 +14,7 @@ import enum
 import itertools
 from typing import Any, Callable, Optional
 
-from repro.hardware.addresses import PhysicalAddress
+from repro.hardware.addresses import Lpn, PhysicalAddress
 from repro.hardware.flash import PageContent
 
 
@@ -113,7 +113,7 @@ class FlashCommand:
         kind: CommandKind,
         source: CommandSource,
         address: PhysicalAddress,
-        lpn: Optional[int] = None,
+        lpn: Optional[Lpn] = None,
         content: Optional[PageContent] = None,
         deadline: Optional[int] = None,
         priority: int = 0,

@@ -31,6 +31,8 @@ from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
 
+from repro.hardware.addresses import Lpn, LunIndex, Pbn, Ppn
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.hardware.addresses import PhysicalAddress
 
@@ -127,7 +129,7 @@ class FlashState:
     # ------------------------------------------------------------------
     # Geometry helpers
     # ------------------------------------------------------------------
-    def block_range(self, lun_index: int) -> tuple[int, int]:
+    def block_range(self, lun_index: LunIndex) -> tuple[Pbn, Pbn]:
         """Global block-id span ``[start, stop)`` owned by a LUN."""
         start = lun_index * self.blocks_per_lun
         return start, start + self.blocks_per_lun
@@ -148,18 +150,18 @@ class FlashState:
     # ------------------------------------------------------------------
     # Packed-bit helpers (page bits within block-aligned word rows)
     # ------------------------------------------------------------------
-    def bit_location(self, block_id: int, page: int) -> tuple[int, int]:
+    def bit_location(self, block_id: Pbn, page: int) -> tuple[int, int]:
         return block_id * self.words_per_block + (page >> 6), page & 63
 
-    def page_bit(self, bitmap: memoryview, block_id: int, page: int) -> int:
+    def page_bit(self, bitmap: memoryview, block_id: Pbn, page: int) -> int:
         word, bit = self.bit_location(block_id, page)
         return (bitmap[word] >> bit) & 1
 
-    def set_page_bit(self, bitmap: memoryview, block_id: int, page: int) -> None:
+    def set_page_bit(self, bitmap: memoryview, block_id: Pbn, page: int) -> None:
         word, bit = self.bit_location(block_id, page)
         bitmap[word] |= 1 << bit
 
-    def clear_page_bit(self, bitmap: memoryview, block_id: int, page: int) -> None:
+    def clear_page_bit(self, bitmap: memoryview, block_id: Pbn, page: int) -> None:
         word, bit = self.bit_location(block_id, page)
         bitmap[word] &= ~(1 << bit) & 0xFFFFFFFFFFFFFFFF
 
@@ -167,7 +169,7 @@ class FlashState:
         """The bitmap reshaped to ``(num_blocks, words_per_block)``."""
         return bitmap.reshape(self.num_blocks, self.words_per_block)
 
-    def live_page_indexes(self, block_id: int) -> list[int]:
+    def live_page_indexes(self, block_id: Pbn) -> list[int]:
         """Pages of a block that are LIVE (programmed & valid), ascending."""
         valid = self.mv_valid
         base = block_id * self.words_per_block
@@ -178,21 +180,21 @@ class FlashState:
                 indexes.append(offset + bit)
         return indexes
 
-    def page_state_name(self, block_id: int, page: int) -> str:
+    def page_state_name(self, block_id: Pbn, page: int) -> str:
         if not self.page_bit(self.mv_programmed, block_id, page):
             return "free"
         if self.page_bit(self.mv_valid, block_id, page):
             return "live"
         return "dead"
 
-    def page_content(self, block_id: int, page: int) -> Optional[tuple[int, int]]:
+    def page_content(self, block_id: Pbn, page: int) -> Optional[tuple[Lpn, int]]:
         if not self.page_bit(self.mv_has_content, block_id, page):
             return None
         ppn = block_id * self.pages_per_block + page
         return (self.mv_page_lpn[ppn], self.mv_page_version[ppn])
 
     def set_page_content(
-        self, block_id: int, page: int, content: Optional[tuple[int, int]]
+        self, block_id: Pbn, page: int, content: Optional[tuple[Lpn, int]]
     ) -> None:
         if content is None:
             self.clear_page_bit(self.mv_has_content, block_id, page)
@@ -205,15 +207,15 @@ class FlashState:
     # ------------------------------------------------------------------
     # Whole-device aggregates
     # ------------------------------------------------------------------
-    def lun_live_pages(self, lun_index: int) -> int:
+    def lun_live_pages(self, lun_index: LunIndex) -> int:
         start, stop = self.block_range(lun_index)
         return int(self.live_count[start:stop].sum())
 
-    def lun_dead_pages(self, lun_index: int) -> int:
+    def lun_dead_pages(self, lun_index: LunIndex) -> int:
         start, stop = self.block_range(lun_index)
         return int(self.dead_count[start:stop].sum())
 
-    def lun_free_pages(self, lun_index: int) -> int:
+    def lun_free_pages(self, lun_index: LunIndex) -> int:
         start, stop = self.block_range(lun_index)
         span = stop - start
         return span * self.pages_per_block - int(
@@ -239,11 +241,11 @@ class AddressCodec:
         self.pages_per_block = pages_per_block
         self.pages_per_lun = blocks_per_lun * pages_per_block
 
-    def encode(self, channel: int, lun: int, block: int, page: int) -> int:
+    def encode(self, channel: int, lun: int, block: int, page: int) -> Ppn:
         lun_index = channel * self.luns_per_channel + lun
         return (lun_index * self.blocks_per_lun + block) * self.pages_per_block + page
 
-    def decode(self, ppn: int) -> "PhysicalAddress":
+    def decode(self, ppn: Ppn) -> "PhysicalAddress":
         from repro.hardware.addresses import PhysicalAddress
 
         page = ppn % self.pages_per_block
@@ -278,26 +280,26 @@ class MappingTable:
     def __len__(self) -> int:
         return self._mapped
 
-    def __contains__(self, lpn: int) -> bool:
+    def __contains__(self, lpn: Lpn) -> bool:
         return self._mv[lpn] != 0
 
-    def __getitem__(self, lpn: int) -> "PhysicalAddress":
+    def __getitem__(self, lpn: Lpn) -> "PhysicalAddress":
         encoded = self._mv[lpn]
         if encoded == 0:
             raise KeyError(lpn)
         return self.codec.decode(encoded - 1)
 
-    def get(self, lpn: int) -> Optional["PhysicalAddress"]:
+    def get(self, lpn: Lpn) -> Optional["PhysicalAddress"]:
         encoded = self._mv[lpn]
         if encoded == 0:
             return None
         return self.codec.decode(encoded - 1)
 
-    def get_ppn(self, lpn: int) -> int:
+    def get_ppn(self, lpn: Lpn) -> Ppn:
         """Encoded ``ppn + 1`` (0 when unmapped) -- no address boxing."""
         return self._mv[lpn]
 
-    def set(self, lpn: int, address: "PhysicalAddress") -> None:
+    def set(self, lpn: Lpn, address: "PhysicalAddress") -> None:
         encoded = self.codec.encode(
             address.channel, address.lun, address.block, address.page
         ) + 1
@@ -305,7 +307,7 @@ class MappingTable:
             self._mapped += 1
         self._mv[lpn] = encoded
 
-    def pop(self, lpn: int) -> Optional["PhysicalAddress"]:
+    def pop(self, lpn: Lpn) -> Optional["PhysicalAddress"]:
         encoded = self._mv[lpn]
         if encoded == 0:
             return None
@@ -313,7 +315,7 @@ class MappingTable:
         self._mapped -= 1
         return self.codec.decode(encoded - 1)
 
-    def discard(self, lpn: int) -> None:
+    def discard(self, lpn: Lpn) -> None:
         if self._mv[lpn] != 0:
             self._mv[lpn] = 0
             self._mapped -= 1
@@ -353,19 +355,19 @@ class VersionTable:
         self.table = np.zeros(logical_pages + pseudo_lpns, dtype=np.int64)
         self._mv = memoryview(self.table)
 
-    def _index(self, lpn: int) -> int:
+    def _index(self, lpn: Lpn) -> int:
         if lpn >= 0:
             return lpn
         return self.logical_pages + (-lpn - 1)
 
-    def get(self, lpn: int, default: int = 0) -> int:
+    def get(self, lpn: Lpn, default: int = 0) -> int:
         value = self._mv[self._index(lpn)]
         return value if value else default
 
-    def set(self, lpn: int, version: int) -> None:
+    def set(self, lpn: Lpn, version: int) -> None:
         self._mv[self._index(lpn)] = version
 
-    def bump(self, lpn: int) -> int:
+    def bump(self, lpn: Lpn) -> int:
         """Increment and return the version (the ``next_version`` hot path)."""
         index = self._index(lpn)
         version = self._mv[index] + 1
@@ -405,7 +407,7 @@ class FreeBlockSet:
 
     __slots__ = ("_state", "_base", "_span", "_mv", "_count")
 
-    def __init__(self, state: FlashState, lun_index: int) -> None:
+    def __init__(self, state: FlashState, lun_index: LunIndex) -> None:
         self._state = state
         self._base, stop = state.block_range(lun_index)
         self._span = stop - self._base

@@ -8,10 +8,15 @@ the event calendar.  Each of those compiles, runs, and silently breaks
 bit-identical reproducibility -- the property the whole framework is
 built on (PAPER Section 2.1).
 
-``repro.lint`` is a small AST-based checker for exactly those hazards::
+``repro.lint`` is an AST-based checker for exactly those hazards.
+Rules SIM001-SIM009 are single-file pattern rules; SIM010-SIM012 run a
+cross-module dataflow analysis (project-wide symbol table, call graph,
+address-domain taint tracking -- see :mod:`repro.lint.dataflow`)::
 
     python -m repro.lint src/            # human-readable report
     python -m repro.lint --format json src/
+    python -m repro.lint --format sarif src/
+    python -m repro.lint baseline src/   # snapshot findings (ratchet)
     python -m repro.lint --list-rules
 
 Rules carry stable ``SIMxxx`` identifiers (see :mod:`repro.lint.rules`)
@@ -24,12 +29,13 @@ Exit codes: 0 clean, 1 violations found, 2 usage/crash.
 """
 
 from repro.lint.cli import lint_paths, main
-from repro.lint.framework import LintContext, Rule, Violation
+from repro.lint.framework import LintContext, ProjectRule, Rule, Violation
 from repro.lint.rules import ALL_RULES, rule_by_id
 
 __all__ = [
     "ALL_RULES",
     "LintContext",
+    "ProjectRule",
     "Rule",
     "Violation",
     "lint_paths",

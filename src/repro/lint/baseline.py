@@ -1,0 +1,122 @@
+"""The findings baseline / ratchet.
+
+``python -m repro.lint baseline src/`` snapshots the current findings;
+subsequent runs with ``--baseline`` report only findings *not* in the
+snapshot.  That lets a new rule land before every legacy hotspot is
+annotated: the debt is frozen, and CI fails the moment anyone adds to
+it.
+
+Fingerprints are deliberately line-number independent -- ``sha256(rule
+id | path | stripped source line text | message)`` truncated to 16 hex
+chars -- so inserting code above a baselined finding does not resurrect
+it.  The snapshot itself is checksummed; a hand-edited baseline fails
+loudly instead of silently hiding findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.lint.framework import Violation
+
+#: Default snapshot location, relative to the invocation directory.
+DEFAULT_BASELINE_PATH = ".simlint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(Exception):
+    """A baseline file is unreadable, corrupt, or hand-tampered."""
+
+
+def compute_fingerprint(violation: Violation, line_text: str) -> str:
+    """Line-number-independent identity of one finding."""
+    payload = "|".join(
+        (violation.rule_id, violation.path, line_text.strip(), violation.message)
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def attach_fingerprints(
+    violations: Iterable[Violation], lines_by_path: Mapping[str, Sequence[str]]
+) -> list[Violation]:
+    """Return the violations with their ``fingerprint`` field filled in."""
+    out: list[Violation] = []
+    for violation in violations:
+        lines = lines_by_path.get(violation.path, ())
+        line_text = (
+            lines[violation.line - 1] if 0 < violation.line <= len(lines) else ""
+        )
+        out.append(
+            replace(violation, fingerprint=compute_fingerprint(violation, line_text))
+        )
+    return out
+
+
+def _checksum(findings: dict[str, dict[str, object]]) -> str:
+    canonical = json.dumps(findings, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def write_baseline(path: str, violations: Iterable[Violation]) -> int:
+    """Snapshot ``violations``; returns the number of entries written."""
+    findings: dict[str, dict[str, object]] = {}
+    for violation in violations:
+        if not violation.fingerprint:
+            raise BaselineError(
+                f"violation at {violation.path}:{violation.line} has no "
+                "fingerprint; baseline entries must be fingerprinted"
+            )
+        findings[violation.fingerprint] = {
+            "rule": violation.rule_id,
+            "path": violation.path,
+            "message": violation.message,
+        }
+    payload = {
+        "version": _FORMAT_VERSION,
+        "checksum": _checksum(findings),
+        "findings": findings,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(findings)
+
+
+def load_baseline(path: str) -> frozenset[str]:
+    """The fingerprints a baseline hides.  Raises :class:`BaselineError`
+    on a missing/corrupt/tampered file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise BaselineError(
+            f"baseline {path!r} has unsupported format "
+            f"(expected version {_FORMAT_VERSION})"
+        )
+    findings = payload.get("findings")
+    if not isinstance(findings, dict):
+        raise BaselineError(f"baseline {path!r} is missing its findings table")
+    if payload.get("checksum") != _checksum(findings):
+        raise BaselineError(
+            f"baseline {path!r} fails its checksum; regenerate it with "
+            "`python -m repro.lint baseline` instead of editing by hand"
+        )
+    return frozenset(findings)
+
+
+def split_by_baseline(
+    violations: Sequence[Violation], baselined: Optional[frozenset[str]]
+) -> tuple[list[Violation], int]:
+    """(new findings, count hidden by the baseline)."""
+    if baselined is None:
+        return list(violations), 0
+    fresh = [v for v in violations if v.fingerprint not in baselined]
+    return fresh, len(violations) - len(fresh)

@@ -1,0 +1,123 @@
+"""On-disk result cache for repeated lint runs (``--cache-dir``).
+
+Two granularities:
+
+* **per file** -- the single-file rules' findings for one source blob,
+  keyed on ``sha256(source) + analysis signature``;
+* **per project** -- the cross-module rules' findings for one exact set
+  of ``(path, source hash)`` pairs, keyed on the set's digest.
+
+The *analysis signature* folds in the source of the lint package itself
+plus the rule selection, so editing any rule (or selecting different
+ones) invalidates everything.  Entries are plain JSON; a corrupt or
+unreadable entry is treated as a miss.  CI persists the cache directory
+between the simlint/ruff/mypy steps' runs with ``actions/cache``.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+from typing import Iterable, Optional, Sequence
+
+from repro.lint.framework import Violation
+
+
+def analysis_signature(rule_ids: Sequence[str]) -> str:
+    """Digest of the lint package's own sources plus the rule selection."""
+    return _analysis_signature(tuple(sorted(rule_ids)))
+
+
+@functools.lru_cache(maxsize=None)
+def _analysis_signature(key: tuple[str, ...]) -> str:
+    digest = hashlib.sha256()
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    for name in sorted(os.listdir(package_dir)):
+        if not name.endswith(".py"):
+            continue
+        digest.update(name.encode("utf-8"))
+        try:
+            with open(os.path.join(package_dir, name), "rb") as handle:
+                digest.update(handle.read())
+        except OSError:
+            digest.update(b"<unreadable>")
+    for rule_id in key:
+        digest.update(rule_id.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class AnalysisCache:
+    """JSON blobs under one directory, content-addressed by digest."""
+
+    def __init__(self, directory: str, signature: str) -> None:
+        self.directory = directory
+        self.signature = signature
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(directory, exist_ok=True)
+
+    # -- keys ----------------------------------------------------------
+    def file_key(self, path: str, digest: str) -> str:
+        payload = f"file|{self.signature}|{path}|{digest}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def project_key(self, entries: Iterable[tuple[str, str]]) -> str:
+        digest = hashlib.sha256(f"project|{self.signature}".encode("utf-8"))
+        for path, source_hash in sorted(entries):
+            digest.update(f"|{path}|{source_hash}".encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- storage -------------------------------------------------------
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(self, key: str) -> Optional[tuple[list[Violation], int]]:
+        """(violations, suppressed count) for ``key``, or None on miss."""
+        try:
+            with open(self._entry_path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            violations = [
+                Violation(
+                    path=str(item["path"]),
+                    line=int(item["line"]),
+                    col=int(item["col"]),
+                    rule_id=str(item["rule"]),
+                    rule_name=str(item["name"]),
+                    message=str(item["message"]),
+                    fingerprint=str(item.get("fingerprint", "")),
+                )
+                for item in payload["violations"]
+            ]
+            suppressed = int(payload["suppressed"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return violations, suppressed
+
+    def store(
+        self, key: str, violations: Sequence[Violation], suppressed: int
+    ) -> None:
+        payload = {
+            "violations": [
+                {**v.as_dict(), "fingerprint": v.fingerprint} for v in violations
+            ],
+            "suppressed": suppressed,
+        }
+        tmp_path = self._entry_path(key) + ".tmp"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"), sort_keys=True)
+            os.replace(tmp_path, self._entry_path(key))
+        except OSError:
+            # A read-only or full cache directory must not fail the lint.
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass

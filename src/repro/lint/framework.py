@@ -20,7 +20,10 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:
+    from repro.lint.dataflow import ProjectAnalysis
 
 
 @dataclass(frozen=True)
@@ -33,6 +36,9 @@ class Violation:
     rule_id: str
     rule_name: str
     message: str
+    #: Line-number-independent identity used by the baseline ratchet
+    #: (attached after rule execution; not part of the JSON schema).
+    fingerprint: str = ""
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)
@@ -69,6 +75,36 @@ class Rule:
             path=context.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            rule_name=self.name,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole-project dataflow analysis.
+
+    Project rules run once per lint invocation, after every file has
+    been parsed, against the :class:`repro.lint.dataflow.ProjectAnalysis`
+    built over all in-scope files.  Their findings still go through the
+    same per-file suppression and path-scoping machinery as single-file
+    rules (keyed on the *finding's* path).  ``check()`` is a no-op so a
+    project rule is inert when applied file-at-a-time.
+    """
+
+    def check(self, context: "LintContext") -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, analysis: "ProjectAnalysis") -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation_at(
+        self, path: str, line: int, col: int, message: str
+    ) -> Violation:
+        return Violation(
+            path=path.replace("\\", "/"),
+            line=line,
+            col=col,
             rule_id=self.id,
             rule_name=self.name,
             message=message,
@@ -145,7 +181,10 @@ class LintContext:
     def _parse_suppressions(self) -> None:
         # A trailing comment suppresses its own line.  A standalone
         # comment line suppresses the next code line (the justification
-        # may continue over further comment lines).
+        # may continue over further comment lines).  Decorator lines
+        # both receive and propagate the carry, so a comment above
+        # ``@decorator`` reaches the ``def`` line where function-level
+        # findings (e.g. SIM011) are reported.
         carry: set[str] = set()
         for lineno, text in enumerate(self.lines, start=1):
             stripped = text.strip()
@@ -161,13 +200,15 @@ class LintContext:
                     carry |= rule_ids
                 elif carry:
                     self.line_suppressions[lineno] |= carry
-                    carry = set()
+                    if not stripped.startswith("@"):
+                        carry = set()
                 continue
             if stripped.startswith("#") or not stripped:
                 continue  # comment/blank continuation keeps the carry
             if carry:
                 self.line_suppressions.setdefault(lineno, set()).update(carry)
-                carry = set()
+                if not stripped.startswith("@"):
+                    carry = set()
 
     def _record_kind(self, target: ast.expr, kind: str) -> None:
         if isinstance(target, ast.Name):

@@ -1,11 +1,11 @@
-"""Output formatting for simlint: text and JSON reports."""
+"""Output formatting for simlint: text, JSON, and SARIF 2.1.0 reports."""
 
 from __future__ import annotations
 
 import json
-from typing import Iterable
+from typing import Iterable, Sequence
 
-from repro.lint.framework import Violation
+from repro.lint.framework import Rule, Violation
 
 
 def format_text(
@@ -37,3 +37,69 @@ def format_json(
         "count": len(materialised),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def format_sarif(violations: Iterable[Violation], rules: Sequence[Rule]) -> str:
+    """SARIF 2.1.0 log (one run), as consumed by
+    ``github/codeql-action/upload-sarif`` to annotate PR diffs."""
+    rule_descriptors = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rules
+    ]
+    rule_index = {rule.id: index for index, rule in enumerate(rules)}
+    results = []
+    for violation in violations:
+        result: dict[str, object] = {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[violation.rule_id]
+        if violation.fingerprint:
+            result["partialFingerprints"] = {
+                "simlint/v1": violation.fingerprint
+            }
+        results.append(result)
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "rules": rule_descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

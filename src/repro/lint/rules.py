@@ -26,10 +26,12 @@ SIM009    no-id-ordering          ``id()``/``hash()`` as ordering keys vary
                                   between processes
 ========  ======================  ==============================================
 
-Rules are intentionally shallow: one ``ast`` pass, no type inference
-beyond the same-file container-kind table in
+Rules here are intentionally shallow: one ``ast`` pass, no type
+inference beyond the same-file container-kind table in
 :class:`repro.lint.framework.LintContext`.  False positives are handled
-with ``# simlint: disable=SIMxxx -- why`` at the site.
+with ``# simlint: disable=SIMxxx -- why`` at the site.  The
+cross-module dataflow rules (SIM010..SIM012) live in
+:mod:`repro.lint.rules_dataflow`; this module composes the registry.
 """
 
 from __future__ import annotations
@@ -39,6 +41,7 @@ from types import MappingProxyType
 from typing import Iterator, Optional
 
 from repro.lint.framework import LintContext, Rule, Violation
+from repro.lint.rules_dataflow import PROJECT_RULES
 
 # ---------------------------------------------------------------------------
 # helpers
@@ -244,6 +247,29 @@ class OrderedIteration(Rule):
             and comp in parent.args
         )
 
+    def _materialization_is_covered(
+        self, context: LintContext, node: ast.Call
+    ) -> bool:
+        """Whether a ``list()``/``tuple()`` materialization is either safe
+        (feeding an order-insensitive reducer / ``sorted()``) or already
+        flagged by the for-loop/comprehension branches."""
+        current: ast.AST = node
+        while True:
+            parent = context.parent(current)
+            if isinstance(parent, ast.Call):
+                name = _call_name(parent)
+                if name == "sorted" or name in _ORDER_INSENSITIVE:
+                    return True
+                if name in _ORDER_PRESERVING:
+                    current = parent
+                    continue
+                return False
+            if isinstance(parent, (ast.For, ast.AsyncFor)) and parent.iter is current:
+                return True  # the for-loop branch flags this site
+            if isinstance(parent, ast.comprehension) and parent.iter is current:
+                return True  # the comprehension branch flags this site
+            return False
+
     def check(self, context: LintContext) -> Iterator[Violation]:
         for node in ast.walk(context.tree):
             if isinstance(node, (ast.For, ast.AsyncFor)):
@@ -270,6 +296,24 @@ class OrderedIteration(Rule):
                             "sorted() (or reduce with an order-insensitive "
                             "builtin)",
                         )
+            elif isinstance(node, ast.Call) and _call_name(node) in ("list", "tuple"):
+                # Standalone materialization: ``pending = list(d.keys())``
+                # freezes hash/insertion order into a sequence whose order
+                # then leaks wherever the list goes.
+                if not node.args:
+                    continue
+                described = self._classify(context, node)
+                if described is None:
+                    continue
+                if self._materialization_is_covered(context, node):
+                    continue
+                yield self.violation(
+                    context,
+                    node,
+                    f"{_call_name(node)}() materializes {described} into an "
+                    "ordered sequence; wrap the iterable in sorted() so the "
+                    "order is deterministic",
+                )
 
 
 # ---------------------------------------------------------------------------
@@ -515,7 +559,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NoFloatTimeLiteral(),
     NoEnvironInSim(),
     NoIdOrdering(),
-)
+) + PROJECT_RULES
 
 _RULES_BY_ID = MappingProxyType({rule.id: rule for rule in ALL_RULES})
 

@@ -1,0 +1,104 @@
+"""The cross-module dataflow rules (SIM010..SIM012).
+
+========  ========================  ============================================
+id        name                      hazard
+========  ========================  ============================================
+SIM010    address-domain-confusion  an LPN/PPN/PBN/LUN-index int crossing into
+                                    the wrong address space (wrong argument,
+                                    wrong array index, wrong return) corrupts
+                                    the device silently -- all four are plain
+                                    ``int64`` since the PR-7 flattening
+SIM011    shard-impure-function     a function reachable from the event-
+                                    scheduling call graph that writes module-
+                                    level state cannot be sharded across
+                                    processes by channel/LUN domain
+SIM012    leaked-array-view         mutating a live numpy view of device state
+                                    (instead of the owning class's mutator API)
+                                    bypasses bit-identity accounting
+========  ========================  ============================================
+
+These are :class:`repro.lint.framework.ProjectRule` subclasses: they run
+once per lint invocation against the
+:class:`repro.lint.dataflow.ProjectAnalysis` built over every in-scope
+file, and their findings flow through the same suppression/scoping
+machinery as the single-file rules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.config import SIM011_ALLOWED_IMPURE
+from repro.lint.dataflow import ProjectAnalysis
+from repro.lint.framework import ProjectRule, Violation
+
+
+class AddressDomainConfusion(ProjectRule):
+    id = "SIM010"
+    name = "address-domain-confusion"
+    description = (
+        "a value from one address domain (Lpn/Ppn/Pbn/LunIndex) used where "
+        "another is declared; annotate with the hardware.addresses aliases "
+        "and convert explicitly"
+    )
+
+    def check_project(self, analysis: ProjectAnalysis) -> Iterator[Violation]:
+        for qualname in sorted(analysis.summaries):
+            summary = analysis.summaries[qualname]
+            for finding in summary.domain_findings:
+                yield self.violation_at(
+                    finding.path, finding.line, finding.col, finding.message
+                )
+
+
+class ShardImpureFunction(ProjectRule):
+    id = "SIM011"
+    name = "shard-impure-function"
+    description = (
+        "function on the event-scheduling call graph writes module-level "
+        "state; sharding the engine by channel/LUN domain requires these "
+        "paths to be pure (allowlist: config.SIM011_ALLOWED_IMPURE)"
+    )
+
+    def check_project(self, analysis: ProjectAnalysis) -> Iterator[Violation]:
+        reachable = analysis.scheduling_reachable()
+        for qualname in sorted(reachable):
+            if qualname in SIM011_ALLOWED_IMPURE:
+                continue
+            summary = analysis.summaries.get(qualname)
+            if summary is None:
+                continue
+            for finding, description in summary.module_writes:
+                yield self.violation_at(
+                    finding.path,
+                    finding.line,
+                    finding.col,
+                    f"{qualname} is {reachable[qualname]} and {finding.message}"
+                    f" ({description}); scheduling-path code must not touch "
+                    "module state",
+                )
+
+
+class LeakedArrayView(ProjectRule):
+    id = "SIM012"
+    name = "leaked-array-view"
+    description = (
+        "in-place mutation of a numpy view of device state (FlashState "
+        "arrays, bitmap words, mapping tables); route writes through the "
+        "owning class's mutator API"
+    )
+
+    def check_project(self, analysis: ProjectAnalysis) -> Iterator[Violation]:
+        for qualname in sorted(analysis.summaries):
+            summary = analysis.summaries[qualname]
+            for finding in summary.view_findings:
+                yield self.violation_at(
+                    finding.path, finding.line, finding.col, finding.message
+                )
+
+
+PROJECT_RULES: tuple[ProjectRule, ...] = (
+    AddressDomainConfusion(),
+    ShardImpureFunction(),
+    LeakedArrayView(),
+)

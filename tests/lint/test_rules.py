@@ -148,6 +148,73 @@ def test_sim003_clean_in_order_insensitive_reducer():
     assert violations == []
 
 
+def test_sim003_flags_list_materializing_dict_keys():
+    violations, _ = lint_snippet(
+        "def snapshot(queues: dict):\n"
+        "    return list(queues.keys())\n",
+        "SIM003",
+    )
+    assert ids_of(violations) == ["SIM003"]
+    assert "materializes" in violations[0].message
+
+
+def test_sim003_flags_tuple_materializing_dict_values():
+    violations, _ = lint_snippet(
+        "def freeze(queues: dict):\n"
+        "    return tuple(queues.values())\n",
+        "SIM003",
+    )
+    assert ids_of(violations) == ["SIM003"]
+
+
+def test_sim003_flags_list_of_bare_set():
+    violations, _ = lint_snippet(
+        "def order(pending: set):\n"
+        "    return list(pending)\n",
+        "SIM003",
+    )
+    assert ids_of(violations) == ["SIM003"]
+
+
+def test_sim003_clean_when_materializing_sorted():
+    violations, _ = lint_snippet(
+        "def snapshot(queues: dict):\n"
+        "    return list(sorted(queues.keys()))\n",
+        "SIM003",
+    )
+    assert violations == []
+
+
+def test_sim003_clean_when_materialized_result_is_sorted():
+    violations, _ = lint_snippet(
+        "def snapshot(queues: dict):\n"
+        "    return sorted(list(queues.keys()))\n",
+        "SIM003",
+    )
+    assert violations == []
+
+
+def test_sim003_clean_when_materializing_a_list():
+    violations, _ = lint_snippet(
+        "def copy_of(history: list):\n"
+        "    return list(history)\n",
+        "SIM003",
+    )
+    assert violations == []
+
+
+def test_sim003_materializer_not_double_reported_in_loop():
+    # `for x in list(pending)` is already flagged as an ordered loop over
+    # a set; the materializer branch must not add a second finding.
+    violations, _ = lint_snippet(
+        "def drain(pending: set):\n"
+        "    for item in list(pending):\n"
+        "        item.fire()\n",
+        "SIM003",
+    )
+    assert ids_of(violations) == ["SIM003"]
+
+
 def test_sim003_clean_for_set_comprehension_result():
     # A set comprehension's own result cannot leak iteration order.
     violations, _ = lint_snippet(
@@ -361,6 +428,97 @@ def test_suppression_does_not_leak_past_next_code_line():
     assert violations[0].line == 3
 
 
+def test_carry_reaches_def_line_through_decorator():
+    violations, suppressed = lint_snippet(
+        "import functools\n"
+        "# simlint: disable=SIM001 -- planted on the def line below\n"
+        "@functools.wraps(print)\n"
+        "def handler():\n"
+        "    import random\n",
+        "SIM001",
+    )
+    # The carry lands on the decorator line AND continues to the def
+    # line; the body line is past the carry and still fires.
+    assert ids_of(violations) == ["SIM001"]
+    assert violations[0].line == 5
+    assert suppressed == 0
+
+
+def test_carry_through_stacked_decorators():
+    source = (
+        "# simlint: disable=SIM011 -- registered handler, writes module stats\n"
+        "@one\n"
+        "@two\n"
+        "def handler():\n"
+        "    pass\n"
+    )
+    from repro.lint.framework import LintContext
+
+    context = LintContext("snippet.py", source)
+    for line in (2, 3, 4):
+        assert "SIM011" in context.line_suppressions.get(line, set())
+    assert "SIM011" not in context.line_suppressions.get(5, set())
+
+
+def test_carry_stops_at_first_plain_code_line():
+    source = (
+        "# simlint: disable=SIM006\n"
+        "FIRST = {}\n"
+        "SECOND = {}\n"
+    )
+    violations, suppressed = lint_snippet(source, "SIM006")
+    assert suppressed == 1
+    assert ids_of(violations) == ["SIM006"]
+    assert violations[0].line == 3
+
+
+def test_suppression_on_nested_function_line_only():
+    violations, suppressed = lint_snippet(
+        "def outer():\n"
+        "    import random\n"
+        "    # simlint: disable=SIM001 -- nested helper needs it\n"
+        "    def inner():\n"
+        "        import random\n",
+        "SIM001",
+    )
+    # The comment above the nested def suppresses nothing on the outer
+    # import; only the line it carries to is covered.  The import inside
+    # inner() is on line 5, past the carry, so both imports still fire.
+    assert [v.line for v in violations] == [2, 5]
+    assert suppressed == 0
+
+
+def test_disable_file_combined_with_per_line():
+    violations, suppressed = lint_snippet(
+        "# simlint: disable-file=SIM006 -- registry module, audited\n"
+        "_CACHE = {}\n"
+        "import random  # simlint: disable=SIM001 -- seeded below\n"
+        "_MORE = {}\n",
+        "SIM006",
+    )
+    assert violations == []
+    assert suppressed == 2
+    violations, suppressed = lint_snippet(
+        "# simlint: disable-file=SIM006 -- registry module, audited\n"
+        "_CACHE = {}\n"
+        "import random  # simlint: disable=SIM001 -- seeded below\n"
+        "_MORE = {}\n",
+        "SIM001",
+    )
+    assert violations == []
+    assert suppressed == 1
+
+
+def test_disable_file_does_not_leak_to_other_rules():
+    violations, _ = lint_snippet(
+        "# simlint: disable-file=SIM006\n"
+        "import random\n"
+        "_CACHE = {}\n",
+        "SIM001",
+    )
+    assert ids_of(violations) == ["SIM001"]
+
+
 # ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
@@ -368,8 +526,9 @@ def test_suppression_does_not_leak_past_next_code_line():
 def test_rule_ids_are_stable_and_unique():
     ids = [rule.id for rule in ALL_RULES]
     assert ids == sorted(ids)
-    assert len(set(ids)) == len(ids) == 9
+    assert len(set(ids)) == len(ids) == 12
     assert ids[0] == "SIM001"
+    assert ids[-1] == "SIM012"
 
 
 def test_unknown_rule_id_raises():
