@@ -35,6 +35,7 @@ from repro.core.config import (
     GcVictimPolicy,
     HostConfig,
     OsSchedulerPolicy,
+    OverloadConfig,
     RecoveryStrategy,
     ReliabilityConfig,
     SimulationConfig,
@@ -66,6 +67,7 @@ from repro.core.parallel import (
 )
 from repro.core.sanitize import SanitizerError
 from repro.core.simulation import Simulation, SimulationResult
+from repro.host.interface import QueueFullError
 from repro.reliability import FaultPlan
 from repro.service import (
     CachedResult,
@@ -100,9 +102,11 @@ __all__ = [
     "JobStatus",
     "MountReport",
     "OsSchedulerPolicy",
+    "OverloadConfig",
     "Parameter",
     "PowerLossEvent",
     "PowerRestoreEvent",
+    "QueueFullError",
     "RecoveryStrategy",
     "ReliabilityConfig",
     "ResultCache",

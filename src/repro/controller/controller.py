@@ -18,6 +18,7 @@ import numpy as np
 from repro.controller.allocation import WriteAllocator
 from repro.controller.ftl import build_ftl
 from repro.controller.gc import GarbageCollector
+from repro.controller.overload import OverloadGovernor
 from repro.controller.scheduler import SsdScheduler
 from repro.controller.temperature import build_detector
 from repro.controller.wear_leveling import WearLeveler
@@ -103,6 +104,11 @@ class SsdController:
             self.array.reliability = self.reliability
         self.gc = GarbageCollector(self)
         self.wear_leveler = WearLeveler(self)
+        #: Overload governor (admission control, degraded mode, command
+        #: timeouts); None (the default) keeps the IO path untouched.
+        self.overload: Optional[OverloadGovernor] = None
+        if config.overload.enabled:
+            self.overload = OverloadGovernor(self)
         self.allocator.on_free_block_taken = self.gc.maybe_trigger
         self.write_buffer: Optional[WriteBuffer] = None
         if config.controller.write_buffer_pages > 0:
@@ -153,6 +159,8 @@ class SsdController:
         )
         if self.reliability is not None and self.reliability.reject_if_read_only(io):
             return
+        if self.overload is not None and not self.overload.admit(io):
+            return
         if io.io_type is IoType.WRITE:
             self._observe_write(io.lpn, hints)
             if self.write_buffer is not None:
@@ -197,6 +205,8 @@ class SsdController:
         original = cmd.on_complete
         cmd.on_complete = lambda c: self._command_complete(original, c)
         self.scheduler.enqueue(cmd)
+        if self.overload is not None:
+            self.overload.arm_timeout(cmd)
         if cmd.source is CommandSource.APPLICATION:
             self.gc.note_app_activity(cmd.lun_key)
         if cmd.kind is CommandKind.PROGRAM and cmd.source is not CommandSource.GC:
@@ -224,6 +234,8 @@ class SsdController:
         if cmd.kind is CommandKind.ERASE:
             self.wear_leveler.on_erase()
             self.gc.maybe_trigger(cmd.lun_key)
+        if self.overload is not None:
+            self.overload.note_progress()
 
     # ------------------------------------------------------------------
     # IO completion paths (called by FTL / write buffer)

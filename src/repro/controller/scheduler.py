@@ -23,8 +23,7 @@ program only runs when the allocator can bind a page for it.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.core.config import SchedulerConfig, SsdSchedulerPolicy
 from repro.core.engine import Simulator
@@ -38,6 +37,69 @@ _FAIR_ORDER = (
     CommandSource.GC,
     CommandSource.WEAR_LEVELING,
 )
+
+#: Compact a LUN queue once it holds this many tombstones and at least
+#: as many tombstones as live commands (amortised O(1) per removal).
+_COMPACT_TOMBSTONES = 32
+
+
+class LunCommandQueue:
+    """Pending commands of one LUN: append-ordered, O(1) arbitrary removal.
+
+    Dispatch removes the *best eligible* command, which for a deque costs
+    a full O(n) scan per dispatch -- quadratic when queues are deep
+    (exactly the overload regime).  Removal here marks a tombstone and
+    iteration skips dead entries; the backing list is compacted lazily
+    once tombstones dominate, so dispatch and abort stay amortised O(1)
+    at any depth.  Iteration yields live commands in enqueue order --
+    identical to the old deque, preserving scheduling bit-identity.
+    """
+
+    __slots__ = ("_items", "_dead", "high_watermark")
+
+    def __init__(self) -> None:
+        self._items: list[FlashCommand] = []
+        self._dead: set[int] = set()
+        #: Deepest the live queue has ever been (pure observer).
+        self.high_watermark = 0
+
+    def append(self, cmd: FlashCommand) -> None:
+        self._items.append(cmd)
+        depth = len(self._items) - len(self._dead)
+        if depth > self.high_watermark:
+            self.high_watermark = depth
+
+    def extend(self, cmds: Iterable[FlashCommand]) -> None:
+        for cmd in cmds:
+            self.append(cmd)
+
+    def remove(self, cmd: FlashCommand) -> None:
+        """Tombstone a queued command (dispatch or abort)."""
+        if cmd.id in self._dead:
+            raise ValueError(f"command #{cmd.id} removed twice")
+        self._dead.add(cmd.id)
+        if (
+            len(self._dead) >= _COMPACT_TOMBSTONES
+            and len(self._dead) * 2 >= len(self._items)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        dead = self._dead
+        self._items = [cmd for cmd in self._items if cmd.id not in dead]
+        dead.clear()
+
+    def __iter__(self) -> Iterator[FlashCommand]:
+        dead = self._dead
+        if not dead:
+            return iter(self._items)
+        return (cmd for cmd in self._items if cmd.id not in dead)
+
+    def __len__(self) -> int:
+        return len(self._items) - len(self._dead)
+
+    def __bool__(self) -> bool:
+        return len(self._items) > len(self._dead)
 
 
 class SsdScheduler:
@@ -55,8 +117,8 @@ class SsdScheduler:
         self.config = config
         #: Allocator predicate: can a PROGRAM/COPYBACK bind a page now?
         self.can_bind = can_bind
-        self.queues: dict[tuple[int, int], deque[FlashCommand]] = {
-            key: deque() for key in array.luns
+        self.queues: dict[tuple[int, int], LunCommandQueue] = {
+            key: LunCommandQueue() for key in array.luns
         }
         #: Per-channel rotation pointer for LUN tie-breaking.
         self._lun_rotation: dict[int, int] = {c.channel_id: 0 for c in array.channels}
@@ -82,6 +144,16 @@ class SsdScheduler:
 
     def total_pending(self) -> int:
         return sum(len(queue) for queue in self.queues.values())
+
+    def abort(self, cmd: FlashCommand) -> None:
+        """Remove a still-queued command (overload timeout abort).  The
+        caller owns the flash-state cleanup (in-flight read accounting)
+        and the IO completion."""
+        self.queues[cmd.lun_key].remove(cmd)
+
+    def max_queue_high_watermark(self) -> int:
+        """Deepest any LUN queue has ever been (overload statistics)."""
+        return max(queue.high_watermark for queue in self.queues.values())
 
     # ------------------------------------------------------------------
     # Dispatch loop
@@ -155,7 +227,7 @@ class SsdScheduler:
         return best
 
     def _select_fair(
-        self, lun_key: tuple[int, int], queue: deque[FlashCommand]
+        self, lun_key: tuple[int, int], queue: LunCommandQueue
     ) -> Optional[FlashCommand]:
         start = self._fair_rotation[lun_key]
         for offset in range(len(_FAIR_ORDER)):

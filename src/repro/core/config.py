@@ -560,6 +560,132 @@ class CrashConfig:
 
 
 @dataclass
+class OverloadConfig:
+    """Overload robustness: bounded queues, admission control, command
+    timeouts, host retries and graceful degradation.
+
+    Everything defaults to off (``enabled=False``) and the layer is a
+    pure opt-in: with the master switch off no code path, event or RNG
+    stream changes, so default configurations stay bit-identical to a
+    simulator without it.  The layer itself consumes no randomness at
+    all (backoff is deterministic exponential), so enabling it never
+    perturbs the RNG streams of unrelated subsystems either.
+
+    Four cooperating mechanisms (see DESIGN.md section 9 for the state
+    machine):
+
+    * **Host admission** -- ``host_queue_bound`` caps the OS pending
+      pool (an NVMe-style bounded submission queue).  A full pool
+      rejects new IOs with :class:`~repro.core.events.IoStatus.BUSY`
+      completions, or raises
+      :class:`~repro.host.interface.QueueFullError` synchronously to
+      the issuing thread when ``strict_admission`` is set.
+    * **Device admission & degraded mode** -- ``device_queue_bound``
+      caps total pending flash commands; past it the controller busies
+      new IOs.  Crossing ``degraded_enter_pending`` queued commands or
+      ``gc_debt_watermark`` concurrent GC jobs enters *degraded mode*,
+      which sheds IOs whose priority hint exceeds
+      ``shed_priority_threshold`` and enforces a minimum virtual-time
+      gap of ``degraded_admission_gap_ns`` between admissions until the
+      backlog falls to ``degraded_exit_pending``.
+    * **Command timeouts** -- an *application* command still queued
+      (not yet started) ``command_timeout_ns`` after enqueue is aborted
+      and its IO completes with ``TIMEOUT``.  Only commands that
+      reserved no device state at enqueue are abortable: reads, and
+      late-binding programs (page/DFTL); the hybrid FTL's programs
+      pre-reserve log slots and are exempt.
+    * **Host retries** -- the OS retries ``BUSY``/``TIMEOUT``
+      completions up to ``max_retries`` times with deterministic
+      exponential backoff (``retry_backoff_ns`` *
+      ``retry_backoff_multiplier`` ** attempt), as long as the next
+      attempt still fits the per-IO budget ``io_deadline_ns`` measured
+      from first issue.  An IO therefore succeeds within its budget or
+      fails definitively, with the attempt count recorded on
+      ``IoRequest.attempts``.
+    """
+
+    #: Master switch; off keeps every code path untouched.
+    enabled: bool = False
+    #: Max IOs in the OS pending pool; ``None`` leaves the pool unbounded.
+    host_queue_bound: Optional[int] = None
+    #: Raise ``QueueFullError`` to the issuing thread instead of
+    #: completing rejected IOs with ``BUSY`` status.
+    strict_admission: bool = False
+    #: Max total pending flash commands before the device busies new IOs;
+    #: ``None`` leaves the device queues unbounded.
+    device_queue_bound: Optional[int] = None
+    #: Queued-command age at which an application command is aborted and
+    #: completed with ``TIMEOUT``; ``None`` disables timeouts.
+    command_timeout_ns: Optional[int] = None
+    #: Host-side retry attempts for BUSY/TIMEOUT completions (0 = none).
+    max_retries: int = 0
+    #: Backoff before the first retry; doubles (by the multiplier) after
+    #: each further attempt.  Deterministic -- no RNG jitter by design.
+    retry_backoff_ns: int = units.microseconds(100)
+    retry_backoff_multiplier: float = 2.0
+    #: Per-IO deadline budget measured from first issue; a retry that
+    #: cannot complete its backoff within the budget is not attempted.
+    #: ``None`` bounds retries by ``max_retries`` alone.
+    io_deadline_ns: Optional[int] = None
+    #: Pending flash commands at which the controller enters degraded
+    #: mode; ``None`` disables the queue-depth trigger.
+    degraded_enter_pending: Optional[int] = None
+    #: Pending flash commands at which degraded mode exits; ``None``
+    #: derives half of ``degraded_enter_pending``.
+    degraded_exit_pending: Optional[int] = None
+    #: Concurrent GC jobs at which the controller enters degraded mode
+    #: (GC debt); ``None`` disables the GC trigger.
+    gc_debt_watermark: Optional[int] = None
+    #: Degraded mode: minimum virtual-time gap between admitted IOs
+    #: (rate limiting); 0 disables the throttle.
+    degraded_admission_gap_ns: int = 0
+    #: Degraded mode: shed IOs whose ``priority`` hint exceeds this
+    #: (larger hint = less urgent); ``None`` sheds nothing.
+    shed_priority_threshold: Optional[int] = None
+
+    def validate(self) -> None:
+        if not self.enabled:
+            return
+        for name in ("host_queue_bound", "device_queue_bound"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"OverloadConfig.{name} must be >= 1")
+        for name in ("command_timeout_ns", "io_deadline_ns"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"OverloadConfig.{name} must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_ns <= 0:
+            raise ValueError("retry_backoff_ns must be positive")
+        if self.retry_backoff_multiplier < 1.0:
+            raise ValueError("retry_backoff_multiplier must be >= 1.0")
+        if self.degraded_enter_pending is not None and self.degraded_enter_pending < 1:
+            raise ValueError("degraded_enter_pending must be >= 1")
+        if self.degraded_exit_pending is not None:
+            if self.degraded_enter_pending is None:
+                raise ValueError(
+                    "degraded_exit_pending needs degraded_enter_pending"
+                )
+            if not 0 <= self.degraded_exit_pending <= self.degraded_enter_pending:
+                raise ValueError(
+                    "degraded_exit_pending must be in [0, degraded_enter_pending]"
+                )
+        if self.gc_debt_watermark is not None and self.gc_debt_watermark < 1:
+            raise ValueError("gc_debt_watermark must be >= 1")
+        if self.degraded_admission_gap_ns < 0:
+            raise ValueError("degraded_admission_gap_ns must be >= 0")
+        if self.shed_priority_threshold is not None and self.shed_priority_threshold < 0:
+            raise ValueError("shed_priority_threshold must be >= 0")
+
+    def exit_pending(self) -> int:
+        """The effective degraded-mode exit watermark."""
+        if self.degraded_exit_pending is not None:
+            return self.degraded_exit_pending
+        return (self.degraded_enter_pending or 0) // 2
+
+
+@dataclass
 class HostConfig:
     """Operating-system layer configuration (paper Section 2.2 OS)."""
 
@@ -591,6 +717,7 @@ class SimulationConfig:
     host: HostConfig = field(default_factory=HostConfig)
     reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
     crash: CrashConfig = field(default_factory=CrashConfig)
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
     seed: int = 42
     #: Hard stop for the virtual clock; ``None`` runs until workloads end.
     max_time_ns: Optional[int] = None
@@ -620,6 +747,7 @@ class SimulationConfig:
         self.host.validate()
         self.reliability.validate(self.geometry)
         self.crash.validate()
+        self.overload.validate()
         if self.logical_pages < 1:
             raise ValueError("overprovisioning leaves no logical space")
         plan = self.reliability.fault_plan

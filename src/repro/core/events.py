@@ -56,6 +56,15 @@ class IoStatus(enum.Enum):
     #: operation may or may not have reached flash -- standard storage
     #: ambiguity for unacknowledged requests.
     POWER_FAIL = "power_fail"
+    #: Rejected by admission control: the host submission pool or the
+    #: device queue is at its configured bound, or degraded mode shed
+    #: the IO (overload subsystem).  Nothing reached flash; the host may
+    #: retry after a backoff.
+    BUSY = "busy"
+    #: The IO's flash command sat queued past its timeout budget and was
+    #: aborted before execution (overload subsystem).  Nothing reached
+    #: flash; the host may retry within its deadline budget.
+    TIMEOUT = "timeout"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -114,6 +123,7 @@ class IoRequest:
         "data",
         "status",
         "version",
+        "attempts",
     )
 
     def __init__(
@@ -141,6 +151,10 @@ class IoRequest:
         #: The durability audit compares acknowledged versions against
         #: the recovered mapping after a power loss.
         self.version: Optional[int] = None
+        #: Host-side retries performed for this IO (overload subsystem):
+        #: 0 on the first attempt, incremented per re-submission after a
+        #: BUSY/TIMEOUT completion.
+        self.attempts: int = 0
 
     @property
     def is_read(self) -> bool:

@@ -68,6 +68,28 @@ class SimulationResult:
         self.read_only_entry_ns = reliability.read_only_entry_ns if reliability else None
         self.channel_utilisation = controller.array.channel_utilisation()
         self.lun_utilisation = controller.array.lun_utilisation()
+        #: Overload robustness layer; all zero when disabled.  The queue
+        #: high-watermarks are pure observers tracked unconditionally,
+        #: so unbounded legacy configurations expose their runaway
+        #: growth too (the E20 comparison depends on this).
+        self.os_queue_high_watermark = simulation.os.os_queue_high_watermark
+        self.device_queue_high_watermark = (
+            controller.scheduler.max_queue_high_watermark()
+        )
+        self.host_rejections = simulation.os.host_rejections
+        self.io_retries = simulation.os.retries_scheduled
+        self.io_retries_exhausted = simulation.os.retries_exhausted
+        self.busy_ios = simulation.os.busy_completions
+        self.timeout_ios = simulation.os.timeout_completions
+        overload = controller.overload
+        self.device_busy_rejections = overload.busy_rejections if overload else 0
+        self.shed_ios = overload.shed_ios if overload else 0
+        self.throttled_ios = overload.throttled_ios if overload else 0
+        self.command_timeouts = overload.command_timeouts if overload else 0
+        self.degraded_entries = overload.degraded_entries if overload else 0
+        self.time_degraded_ns = (
+            overload.time_degraded_total(simulation.sim.now) if overload else 0
+        )
         #: Bytes held by the array-backed device state: FTL mapping and
         #: version tables plus the flash-array bitmaps and per-block
         #: metadata (scale regressions show up in every run summary).
@@ -139,6 +161,23 @@ class SimulationResult:
                 "checkpoint_pages_written": float(
                     self.crash_stats.checkpoint_pages_written
                 ),
+                # Overload robustness layer; the watermarks are live for
+                # every run, the counters are zero when disabled.
+                "os_queue_high_watermark": float(self.os_queue_high_watermark),
+                "device_queue_high_watermark": float(
+                    self.device_queue_high_watermark
+                ),
+                "host_rejections": float(self.host_rejections),
+                "device_busy_rejections": float(self.device_busy_rejections),
+                "shed_ios": float(self.shed_ios),
+                "throttled_ios": float(self.throttled_ios),
+                "command_timeouts": float(self.command_timeouts),
+                "io_retries": float(self.io_retries),
+                "io_retries_exhausted": float(self.io_retries_exhausted),
+                "busy_ios": float(self.busy_ios),
+                "timeout_ios": float(self.timeout_ios),
+                "degraded_entries": float(self.degraded_entries),
+                "time_degraded_ms": units.to_milliseconds(self.time_degraded_ns),
             }
         )
         self._summary_cache = summary
@@ -180,6 +219,19 @@ class SimulationResult:
                 f"{self.read_retries} retries, {self.parity_rebuilds} rebuilds, "
                 f"{self.uncorrectable_reads} lost, "
                 f"{self.runtime_retired_blocks} blocks retired"
+            )
+        if (
+            self.host_rejections
+            or self.device_busy_rejections
+            or self.shed_ios
+            or self.command_timeouts
+            or self.io_retries
+        ):
+            lines.append(
+                f"overload      : {self.host_rejections + self.device_busy_rejections} "
+                f"rejected, {self.shed_ios} shed, {self.command_timeouts} timed out, "
+                f"{self.io_retries} retries ({self.io_retries_exhausted} exhausted), "
+                f"{units.format_time(self.time_degraded_ns)} degraded"
             )
         if self.crash_stats.power_losses:
             lines.append(

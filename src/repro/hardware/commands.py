@@ -106,6 +106,7 @@ class FlashCommand:
         "context",
         "outcome",
         "retry_index",
+        "aborted",
     )
 
     def __init__(
@@ -148,6 +149,10 @@ class FlashCommand:
         #: Read-retry ladder position: 0 for the first attempt, then 1..N
         #: for re-issued reads (scales the effective RBER down).
         self.retry_index = 0
+        #: Aborted by the overload governor before execution (command
+        #: timeout); the command never reaches the array and its
+        #: ``on_complete`` never fires.
+        self.aborted = False
 
     @property
     def lun_key(self) -> tuple[int, int]:

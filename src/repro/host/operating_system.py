@@ -25,7 +25,11 @@ from repro.core.events import IoRequest, IoStatus, IoType, WriteHints
 from repro.core.rng import RandomSource, RandomStream
 from repro.core.statistics import StatisticsGatherer
 from repro.core.tracing import TraceRecorder
-from repro.host.interface import OpenInterface, install_standard_handlers
+from repro.host.interface import (
+    OpenInterface,
+    QueueFullError,
+    install_standard_handlers,
+)
 from repro.host.schedulers import build_os_scheduler
 
 
@@ -160,6 +164,21 @@ class OperatingSystem:
         self.track_inflight = False
         self._inflight: dict[int, IoRequest] = {}
         self.auditor = None
+        #: Overload layer (None when disabled, the default): host-side
+        #: admission control plus the BUSY/TIMEOUT retry ladder.
+        self._overload = config.overload if config.overload.enabled else None
+        #: Deepest the OS pending pool has ever been.  A pure observer,
+        #: tracked unconditionally: the legacy (unbounded) configuration
+        #: needs it to *show* runaway queue growth in E20.
+        self.os_queue_high_watermark = 0
+        #: IOs rejected at host admission (pool at its bound).
+        self.host_rejections = 0
+        #: Retries scheduled / abandoned by the BUSY-TIMEOUT ladder.
+        self.retries_scheduled = 0
+        self.retries_exhausted = 0
+        #: Final (post-ladder) failure deliveries, by status.
+        self.busy_completions = 0
+        self.timeout_completions = 0
 
     # ------------------------------------------------------------------
     # Thread registration and lifecycle
@@ -237,14 +256,54 @@ class OperatingSystem:
     # IO path
     # ------------------------------------------------------------------
     def issue(self, record: _ThreadRecord, io: IoRequest) -> None:
-        """Accept an IO from a thread into its pending pool."""
+        """Accept an IO from a thread into its pending pool.
+
+        With ``overload.host_queue_bound`` set, a full pool *rejects*
+        the IO instead of queueing it -- an NVMe-style bounded
+        submission queue.  Default: the rejected IO completes with
+        ``BUSY`` (the thread observes backpressure through its normal
+        completion callback); with ``strict_admission`` a
+        :class:`QueueFullError` is raised synchronously instead.  Host
+        rejections are final -- the retry ladder serves *device*
+        pushback; a saturated host pool means the application itself
+        must slow down.
+        """
         io.issue_time = self.sim.now
         record.issued += 1
         self.tracer.record(
             self.sim.now, "os", "issue", f"{io.io_type} lpn={io.lpn} by {record.name}"
         )
-        self.scheduler.add(io)
+        overload = self._overload
+        if (
+            overload is not None
+            and overload.host_queue_bound is not None
+            and len(self.scheduler) >= overload.host_queue_bound
+        ):
+            self.host_rejections += 1
+            self.tracer.record(
+                self.sim.now, "os", "reject", f"pool-full lpn={io.lpn} #{io.id}"
+            )
+            if overload.strict_admission:
+                raise QueueFullError(
+                    f"host submission pool at its bound "
+                    f"({overload.host_queue_bound} pending IOs)"
+                )
+            io.status = IoStatus.BUSY
+            self.sim.post(0, self._deliver_rejected, io)
+            return
+        self._enqueue(io)
         self._dispatch()
+
+    def _enqueue(self, io: IoRequest) -> None:
+        self.scheduler.add(io)
+        depth = len(self.scheduler)
+        if depth > self.os_queue_high_watermark:
+            self.os_queue_high_watermark = depth
+
+    def _deliver_rejected(self, io: IoRequest) -> None:
+        """Complete a host-rejected IO (never dispatched)."""
+        io.complete_time = self.sim.now
+        self._deliver(io)
 
     def _dispatch(self) -> None:
         while self.outstanding < self.max_outstanding:
@@ -267,10 +326,21 @@ class OperatingSystem:
             raise RuntimeError("completion interrupt without outstanding IO")
         if self._inflight:
             self._inflight.pop(io.id, None)
+        if self._overload is not None and self._maybe_retry(io):
+            self._dispatch()
+            return
+        self._deliver(io)
+
+    def _deliver(self, io: IoRequest) -> None:
+        """Final delivery: statistics, audit and the thread callback."""
         if self.auditor is not None:
             self.auditor.on_completion(io)
         if self._retain_ios:
             self.completed_ios.append(io)
+        if io.status is IoStatus.BUSY:
+            self.busy_completions += 1
+        elif io.status is IoStatus.TIMEOUT:
+            self.timeout_completions += 1
         self.stats.record_io(io)
         record = self._records.get(io.thread_name)
         if record is not None:
@@ -279,6 +349,52 @@ class OperatingSystem:
                 record.stats.record_io(io)
             if not record.finished and record.context is not None:
                 record.thread.on_io_completed(record.context, io)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Retry ladder (overload subsystem)
+    # ------------------------------------------------------------------
+    def _maybe_retry(self, io: IoRequest) -> bool:
+        """Arm a retry for a device BUSY/TIMEOUT completion.
+
+        Deterministic exponential backoff, bounded by ``max_retries``
+        and by the per-IO deadline budget (``io_deadline_ns`` from first
+        issue).  Returns True when a retry was scheduled -- the
+        completion is then consumed and the thread sees nothing until
+        the IO either succeeds or fails definitively.
+        """
+        if io.status not in (IoStatus.BUSY, IoStatus.TIMEOUT):
+            return False
+        overload = self._overload
+        if io.attempts >= overload.max_retries:
+            if overload.max_retries > 0:
+                self.retries_exhausted += 1
+            return False
+        delay = int(
+            overload.retry_backoff_ns
+            * overload.retry_backoff_multiplier ** io.attempts
+        )
+        if overload.io_deadline_ns is not None and io.issue_time is not None:
+            if self.sim.now + delay - io.issue_time > overload.io_deadline_ns:
+                self.retries_exhausted += 1
+                return False
+        io.attempts += 1
+        self.retries_scheduled += 1
+        self.tracer.record(
+            self.sim.now,
+            "os",
+            "retry",
+            f"{io.status} lpn={io.lpn} #{io.id} try={io.attempts} in {delay}ns",
+        )
+        self.sim.post(delay, self._retry_io, io)
+        return True
+
+    def _retry_io(self, io: IoRequest) -> None:
+        """Re-submit a backed-off IO through the normal pending pool."""
+        io.status = IoStatus.OK
+        io.dispatch_time = None
+        io.complete_time = None
+        self._enqueue(io)
         self._dispatch()
 
     # ------------------------------------------------------------------

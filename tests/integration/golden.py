@@ -38,7 +38,25 @@ FTLS = ("page", "dftl", "hybrid")
 #: Summary keys introduced after the fixtures were captured.  They are
 #: excluded from the byte comparison (the fixture predates them); each
 #: gets its own determinism/stability coverage instead.
-KEYS_ADDED_AFTER_CAPTURE = ("device_memory_bytes",)
+KEYS_ADDED_AFTER_CAPTURE = (
+    "device_memory_bytes",
+    # Overload robustness layer (PR 10): the counters are all zero with
+    # the layer disabled; the two high-watermarks are live observers on
+    # every run (covered by tests/overload/ determinism tests).
+    "os_queue_high_watermark",
+    "device_queue_high_watermark",
+    "host_rejections",
+    "device_busy_rejections",
+    "shed_ios",
+    "throttled_ios",
+    "command_timeouts",
+    "io_retries",
+    "io_retries_exhausted",
+    "busy_ios",
+    "timeout_ios",
+    "degraded_entries",
+    "time_degraded_ms",
+)
 
 
 def _reliability_on(config: SimulationConfig) -> None:

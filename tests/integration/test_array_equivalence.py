@@ -155,4 +155,21 @@ def test_crash_recovery_summaries_reproducible(seed: int, crash_at_us: int) -> N
 
 def test_fixture_covers_all_scenarios(golden_fixture: dict[str, str]) -> None:
     assert sorted(golden_fixture) == sorted(_SCENARIOS)
-    assert KEYS_ADDED_AFTER_CAPTURE == ("device_memory_bytes",)
+    # Grown only deliberately: each key here escapes the byte comparison
+    # and must bring its own determinism coverage (see golden.py).
+    assert KEYS_ADDED_AFTER_CAPTURE == (
+        "device_memory_bytes",
+        "os_queue_high_watermark",
+        "device_queue_high_watermark",
+        "host_rejections",
+        "device_busy_rejections",
+        "shed_ios",
+        "throttled_ios",
+        "command_timeouts",
+        "io_retries",
+        "io_retries_exhausted",
+        "busy_ios",
+        "timeout_ios",
+        "degraded_entries",
+        "time_degraded_ms",
+    )

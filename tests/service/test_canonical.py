@@ -174,6 +174,15 @@ _PERTURBABLE_PATHS = (
     "host.max_outstanding",
     "geometry.channels",
     "geometry.pages_per_block",
+    # Overload robustness knobs participate in cache keys like any
+    # other config field (OverloadConfig is a plain dataclass, so
+    # canonical_value walks it by field name).
+    "overload.host_queue_bound",
+    "overload.device_queue_bound",
+    "overload.command_timeout_ns",
+    "overload.max_retries",
+    "overload.degraded_enter_pending",
+    "overload.degraded_admission_gap_ns",
 )
 
 
@@ -190,6 +199,25 @@ def test_any_config_perturbation_changes_the_hash(path, value):
         assert content_hash(perturbed) == base_hash
     else:
         assert content_hash(perturbed) != base_hash
+
+
+def test_overload_knobs_change_the_cache_key():
+    """Every robustness knob is part of the run's identity: flipping the
+    master switch or any bound must invalidate cached results, while a
+    config that merely *constructs* the default OverloadConfig hashes
+    identically to one that never touched it."""
+    base = small_config()
+    assert content_hash(base) == content_hash(small_config())
+
+    toggled = small_config()
+    toggled.overload.enabled = True
+    assert content_hash(toggled) != content_hash(base)
+
+    bounded = small_config()
+    bounded.overload.enabled = True
+    bounded.overload.command_timeout_ns = 1_000_000
+    assert content_hash(bounded) != content_hash(toggled)
+    assert spec_for(bounded).cache_key("f") != spec_for(toggled).cache_key("f")
 
 
 def test_keys_are_stable_across_processes():
